@@ -1,0 +1,40 @@
+"""[ABL-MGA] Ablation: most-general-attacker synthesis depth.
+
+The MGA's power and cost both scale with its message-synthesis bound.
+This sweep quantifies the trade: state count and runtime of the
+environment graph at increasing synthesis depth, plus the check that
+depth 0 (forward-only attacker) already finds the plaintext flaw while
+deeper synthesis leaves the verdicts on the crypto protocol unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.environment import env_authentication, env_explore
+from repro.semantics.lts import Budget
+
+from benchmarks.conftest import impl_crypto, impl_plaintext
+
+BUDGET = Budget(max_states=4000, max_depth=16)
+
+
+@pytest.mark.parametrize("depth", [0, 1, 2])
+def test_ablation_mga_synthesis_depth(benchmark, depth):
+    graph = benchmark(
+        env_explore, impl_crypto(), synth_depth=depth, budget=BUDGET
+    )
+    assert graph.state_count() >= 2
+    benchmark.extra_info["states"] = graph.state_count()
+
+
+def test_ablation_depth0_already_breaks_plaintext():
+    verdict = env_authentication(
+        impl_plaintext(), "A", synth_depth=0, budget=BUDGET
+    )
+    assert not verdict.holds
+
+
+def test_ablation_depth2_keeps_crypto_safe():
+    verdict = env_authentication(impl_crypto(), "A", synth_depth=2, budget=BUDGET)
+    assert verdict.holds and verdict.exhaustive

@@ -1,0 +1,47 @@
+"""[ABL-STATE] Ablation: state-space growth of the multisession protocols.
+
+DESIGN.md calls out the bounded-exploration substitution for
+Definition 4's universal quantifier.  This benchmark quantifies the
+cost: reachable-state counts of ``(nu c)(Pm | replay)`` and
+``(nu c)(Pm3 | replay)`` as the depth horizon grows, which is what the
+budgets of every multisession verdict trade against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.intruder import replayer
+from repro.equivalence.testing import compose
+from repro.semantics.lts import Budget, explore
+
+from benchmarks.conftest import C, impl_challenge_response, spec_multi
+
+
+def explore_at_depth(config, depth: int):
+    system = compose(config.with_part("E", replayer(C)))
+    return explore(system, Budget(max_states=4000, max_depth=depth))
+
+
+@pytest.mark.parametrize("depth", [4, 6, 8, 10])
+def test_ablation_statespace_abstract_multisession(benchmark, depth):
+    graph = benchmark(explore_at_depth, spec_multi(), depth)
+    assert graph.state_count() > 1
+    benchmark.extra_info["states"] = graph.state_count()
+    benchmark.extra_info["transitions"] = graph.transition_count()
+
+
+@pytest.mark.parametrize("depth", [4, 6, 8])
+def test_ablation_statespace_challenge_response(benchmark, depth):
+    graph = benchmark(explore_at_depth, impl_challenge_response(), depth)
+    assert graph.state_count() > 1
+    benchmark.extra_info["states"] = graph.state_count()
+    benchmark.extra_info["transitions"] = graph.transition_count()
+
+
+def test_ablation_statespace_growth_is_monotone():
+    sizes = [
+        explore_at_depth(spec_multi(), depth).state_count() for depth in (4, 6, 8)
+    ]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]

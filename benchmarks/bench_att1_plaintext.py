@@ -1,0 +1,32 @@
+"""[ATT1] Section 5.1: the plaintext P1 does NOT implement P.
+
+Paper claim: with attacker ``E = (nu ME) c<ME>`` and tester
+``observe(z). [z =~ l_E] omega``, ``(nu c)(P1 | E)`` passes the test
+while ``(nu c)(P | E)`` cannot — the attack ``Message 1 E(A) -> B : ME``.
+
+The benchmark measures the full Definition-4 search over the standard
+attacker suite, which must rediscover exactly this attack.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.attacks import securely_implements
+from repro.analysis.intruder import standard_attackers
+
+from benchmarks.conftest import C, SINGLE, impl_plaintext, spec_single
+
+
+def find_the_attack():
+    return securely_implements(
+        impl_plaintext(), spec_single(), standard_attackers([C]), budget=SINGLE
+    )
+
+
+def test_att1_impersonation_attack_found(benchmark):
+    verdict = benchmark(find_the_attack)
+    assert not verdict.secure
+    assert verdict.attack is not None
+    assert verdict.attack.attacker_name == "impersonate(c)"
+    assert verdict.attack.test.name == "origin-is-E"
+    narration = "\n".join(verdict.attack.narration)
+    assert "E -> B on c : ME" in narration  # Message 1  E(A) -> B : ME

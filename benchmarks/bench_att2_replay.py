@@ -1,0 +1,40 @@
+"""[ATT2] Section 5.2: the replay attack on Pm2.
+
+Paper claim: with ``E = c(x). c<x>. c<x>`` and the tester
+``observe(x). observe(y). [x =~ y] omega``, ``(nu c)(Pm2 | E)`` passes
+(B accepts the same message twice) while ``(nu c)(Pm | E)`` never does:
+
+    Message 1:a  A -> E(B) : {M}KAB
+    Message 2:a  E(A) -> B : {M}KAB
+    Message 2:b  E(A) -> B : {M}KAB
+
+The benchmark measures the Definition-4 search that rediscovers it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.attacks import securely_implements
+from repro.analysis.intruder import replayer
+
+from benchmarks.conftest import C, MULTI, impl_crypto_multi, spec_multi
+
+
+def find_the_replay():
+    return securely_implements(
+        impl_crypto_multi(),
+        spec_multi(),
+        [("replay(c)", replayer(C))],
+        roles=("!A", "!B", "E"),
+        budget=MULTI,
+    )
+
+
+def test_att2_replay_attack_found(benchmark):
+    verdict = benchmark(find_the_replay)
+    assert not verdict.secure
+    assert verdict.attack is not None
+    assert verdict.attack.test.name == "same-origin-twice"
+    narration = "\n".join(verdict.attack.narration)
+    # the same ciphertext is delivered to two responder instances
+    assert narration.count("E -> !B") == 2
+    assert narration.count("-> T on observe") == 2

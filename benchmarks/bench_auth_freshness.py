@@ -1,0 +1,47 @@
+"""[AUTH/FRESH] The displayed properties after Proposition 3.
+
+Paper claims (for Pm and similarly-shaped protocols):
+
+* **Authentication** — every activated continuation accepted a datum
+  whose origin is an instance of A;
+* **Freshness** — no two activations of one run share a creator.
+
+The benchmark checks both over the abstract multisession protocol under
+the replay attacker (they must hold), and confirms the contrapositives:
+Pm2 fails freshness under replay, plaintext P1 fails authentication
+under impersonation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.intruder import impersonator, replayer
+from repro.analysis.properties import authentication, freshness
+from repro.semantics.lts import Budget
+
+from benchmarks.conftest import (
+    C,
+    impl_crypto_multi,
+    impl_plaintext,
+    spec_multi,
+)
+
+BUDGET = Budget(max_states=1200, max_depth=14)
+
+
+def check_all():
+    pm = spec_multi().with_part("E", replayer(C))
+    auth = authentication(pm, sender_role="!A", budget=BUDGET)
+    fresh = freshness(pm, budget=BUDGET)
+    pm2 = impl_crypto_multi().with_part("E", replayer(C))
+    fresh_pm2 = freshness(pm2, budget=BUDGET)
+    p1 = impl_plaintext().with_part("E", impersonator(C))
+    auth_p1 = authentication(p1, sender_role="A", budget=BUDGET)
+    return auth, fresh, fresh_pm2, auth_p1
+
+
+def test_auth_and_freshness_properties(benchmark):
+    auth, fresh, fresh_pm2, auth_p1 = benchmark(check_all)
+    assert auth.holds and auth.activations >= 1
+    assert fresh.holds
+    assert not fresh_pm2.holds  # the replay breaks freshness on Pm2
+    assert not auth_p1.holds  # impersonation breaks authentication on P1

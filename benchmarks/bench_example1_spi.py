@@ -1,0 +1,40 @@
+"""[EX1] Example 1 (Section 2): the computation of S = !P | Q.
+
+Paper claim: ``S`` does exactly two silent steps — Q receives ``{M}k``
+from a replica of P, decrypts it, and re-encrypts M under its private
+key h.  The benchmark measures parsing + instantiation + the two-step
+execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import SharedEnc, payload
+from repro.semantics.system import instantiate
+from repro.semantics.transitions import successors
+from repro.syntax.parser import parse_process
+
+SOURCE = """
+!(a<{M}k>.0)
+| a(x). case x of {y}k in (nu h)( b<{y}h>.0 | b(r).0 )
+"""
+
+
+def run_example() -> tuple:
+    system = instantiate(parse_process(SOURCE))
+    step1 = successors(system)
+    assert len(step1) == 1
+    step2 = successors(step1[0].target)
+    assert len(step2) == 1
+    final = successors(step2[0].target)
+    return step1[0], step2[0], final
+
+
+def test_example1_two_step_computation(benchmark):
+    step1, step2, final = benchmark(run_example)
+    # step 1 delivers {M}k, step 2 delivers {M}h (re-encrypted)
+    first = payload(step1.action.value)
+    assert isinstance(first, SharedEnc) and first.key.base == "k"
+    second = payload(step2.action.value)
+    assert isinstance(second, SharedEnc) and second.key.base == "h"
+    # only further (useless) !P unfoldings remain: no enabled transition
+    assert final == []

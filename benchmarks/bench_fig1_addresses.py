@@ -1,0 +1,39 @@
+"""[FIG1] Figure 1: relative addresses in (P0|P1)|(P2|(P3|P4)).
+
+Paper claim: the address of P3 relative to P1 is ``||0||1 * ||1||1||0``,
+and addresses of exchanged roles are mutually compatible (Def. 2).
+The benchmark measures the full address algebra (between / inverse /
+resolve / compose) over every ordered pair of the figure's five leaves.
+"""
+
+from __future__ import annotations
+
+from repro.core.addresses import RelativeAddress
+
+LEAVES = [(0, 0), (0, 1), (1, 0), (1, 1, 0), (1, 1, 1)]
+P1, P3 = (0, 1), (1, 1, 0)
+
+
+def full_algebra_pass() -> int:
+    checked = 0
+    for a in LEAVES:
+        for b in LEAVES:
+            fwd = RelativeAddress.between(observer=a, target=b)
+            assert fwd.inverse() == RelativeAddress.between(observer=b, target=a)
+            assert fwd.resolve(a) == b
+            for c in LEAVES:
+                carrier = RelativeAddress.between(observer=c, target=a)
+                assert fwd.compose(carrier) == RelativeAddress.between(
+                    observer=c, target=b
+                )
+                checked += 1
+    return checked
+
+
+def test_fig1_address_algebra(benchmark):
+    checked = benchmark(full_algebra_pass)
+    assert checked == 125
+    # the paper's headline value
+    assert RelativeAddress.between(observer=P1, target=P3) == RelativeAddress.parse(
+        "||0||1*||1||1||0"
+    )

@@ -1,0 +1,46 @@
+"""[PROP1] Proposition 1: startup pins the location variables.
+
+Paper claim: in ``startup(***, A, lamB, B) | E``, for every process E,
+``lamB`` can only be assigned the relative address ``||1 * ||0`` of A
+with respect to B — so B only ever receives from A.
+
+The benchmark explores the full state space of P | E for the whole
+standard attacker suite and checks every c-communication accepted by B.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.intruder import standard_attackers
+from repro.core.addresses import RelativeAddress
+from repro.equivalence.testing import compose
+from repro.semantics.lts import explore
+
+from benchmarks.conftest import C, SINGLE, spec_single
+
+
+def check_all_attackers() -> int:
+    transitions_checked = 0
+    for name, attacker in standard_attackers([C]):
+        cfg = spec_single().with_part("E", attacker)
+        system = compose(cfg)
+        a_loc = system.location_of("A")
+        b_loc = system.location_of("B")
+        graph = explore(system, SINGLE)
+        assert not graph.truncated, name
+        for key in graph.states:
+            for transition, _ in graph.successors_of(key):
+                action = transition.action
+                if action.channel.base == "c" and action.receiver[: len(b_loc)] == b_loc:
+                    # the partner B hooked must be A — Proposition 1
+                    assert action.sender[: len(a_loc)] == a_loc, name
+                    observed = RelativeAddress.between(
+                        observer=b_loc, target=a_loc
+                    )
+                    assert observed == RelativeAddress.parse("||1*||0")
+                    transitions_checked += 1
+    return transitions_checked
+
+
+def test_prop1_startup_location_binding(benchmark):
+    checked = benchmark(check_all_attackers)
+    assert checked >= 1  # the honest delivery occurs for some attacker

@@ -1,0 +1,34 @@
+"""[PROP2] Proposition 2: P2 securely implements P (single session).
+
+Paper claim: ``(nu c)(P2 | X)`` is barbed-weakly simulated by
+``(nu c)(P | X)`` for all X, hence no test distinguishes them.
+
+The benchmark runs both halves of the evidence over the standard
+attacker suite: the Definition-4 tester search (must find nothing) and
+the weak-simulation check per attacker (must all hold, untruncated).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.attacks import securely_implements
+from repro.analysis.intruder import standard_attackers
+
+from benchmarks.conftest import C, SINGLE, impl_crypto, spec_single
+
+
+def verify_p2():
+    return securely_implements(
+        impl_crypto(),
+        spec_single(),
+        standard_attackers([C]),
+        budget=SINGLE,
+        check_simulation=True,
+    )
+
+
+def test_prop2_p2_securely_implements_p(benchmark):
+    verdict = benchmark(verify_p2)
+    assert verdict.secure
+    assert verdict.exhaustive  # single session: finite, fully explored
+    assert verdict.simulations, "simulation cross-check must have run"
+    assert all(sim.holds and not sim.truncated for sim in verdict.simulations)

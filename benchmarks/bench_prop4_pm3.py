@@ -1,0 +1,40 @@
+"""[PROP4] Proposition 4: Pm3 securely implements Pm.
+
+Paper claim: the challenge-response protocol
+
+    Message 1  B -> A : N
+    Message 2  A -> B : {M, N}KAB
+
+resists the attackers that break Pm2; in particular the replay detector
+``observe(x). observe(y). [x =~ y] omega`` never fires.
+
+Replication makes the space infinite, so the verdict is relative to the
+exploration horizon (recorded in EXPERIMENTS.md).  The benchmark runs
+the Definition-4 search with the paper's two attackers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.attacks import securely_implements
+from repro.analysis.intruder import impersonator, replayer
+from repro.semantics.lts import Budget
+
+from benchmarks.conftest import C, impl_challenge_response, spec_multi
+
+BUDGET = Budget(max_states=900, max_depth=12)
+
+
+def verify_pm3():
+    return securely_implements(
+        impl_challenge_response(),
+        spec_multi(),
+        [("replay(c)", replayer(C)), ("impersonate(c)", impersonator(C))],
+        roles=("!A", "!B", "E"),
+        budget=BUDGET,
+    )
+
+
+def test_prop4_pm3_securely_implements_pm(benchmark):
+    verdict = benchmark(verify_pm3)
+    assert verdict.secure
+    assert verdict.attack is None

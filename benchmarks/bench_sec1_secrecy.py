@@ -1,0 +1,51 @@
+"""[SEC1] Section 5.1 remark: localizing the output gives secrecy.
+
+Paper claim: "locating the output of M in A (as in
+A' = (nu M) c@||0*||1<M>) would give a secrecy guarantee on the message,
+because A would be sure that B is the only possible receiver of M".
+
+The benchmark runs the Dolev-Yao secrecy analysis over the standard
+attacker suite for both the plain abstract protocol (whose output anyone
+may consume: the eavesdropper learns M) and the doubly-localized variant
+(no attacker ever hears anything).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.intruder import eavesdropper, standard_attackers
+from repro.analysis.secrecy import keeps_secret, secrecy_protocol
+from repro.equivalence.testing import Configuration
+from repro.protocols.paper import abstract_protocol
+from repro.semantics.lts import Budget
+
+from benchmarks.conftest import C
+
+BUDGET = Budget(max_states=1500, max_depth=20)
+
+
+def cfg_for(protocol, attacker) -> Configuration:
+    return Configuration(
+        parts=(("P", protocol), ("E", attacker)),
+        private=(C,),
+        subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+    )
+
+
+def sweep():
+    localized_safe = 0
+    for _, attacker in standard_attackers([C]):
+        verdict = keeps_secret(cfg_for(secrecy_protocol(), attacker), "M", budget=BUDGET)
+        assert verdict.holds and verdict.exhaustive
+        localized_safe += 1
+    plain = keeps_secret(
+        cfg_for(abstract_protocol(), eavesdropper(C)), "M", budget=BUDGET
+    )
+    return localized_safe, plain
+
+
+def test_sec1_localized_output_keeps_the_secret(benchmark):
+    localized_safe, plain = benchmark(sweep)
+    assert localized_safe == len(standard_attackers([C]))
+    # the unlocalized output leaks M to a simple eavesdropper
+    assert not plain.holds
+    assert plain.leak is not None and plain.leak.base == "M"

@@ -1,0 +1,75 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark corresponds to one row of the experiment index in
+DESIGN.md and asserts the *shape* of the paper's claim (who wins, what
+attack exists) while pytest-benchmark measures how long the experiment
+takes on this substrate.  EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Name
+from repro.equivalence.testing import Configuration
+from repro.protocols.paper import (
+    abstract_multisession,
+    abstract_protocol,
+    challenge_response_multisession,
+    crypto_multisession,
+    crypto_protocol,
+    plaintext_protocol,
+)
+from repro.semantics.lts import Budget
+
+C = Name("c")
+
+#: Budgets used by the experiment benchmarks.  Multisession systems are
+#: infinite-state; their negative answers are relative to this horizon.
+SINGLE = Budget(max_states=2000, max_depth=40)
+MULTI = Budget(max_states=1200, max_depth=14)
+
+
+def spec_single() -> Configuration:
+    return Configuration(
+        parts=(("P", abstract_protocol()),),
+        private=(C,),
+        subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+    )
+
+
+def impl_plaintext() -> Configuration:
+    pair = plaintext_protocol()
+    return Configuration(
+        parts=(("A", pair.initiator), ("B", pair.responder)), private=(C,)
+    )
+
+
+def impl_crypto() -> Configuration:
+    return Configuration(
+        parts=(("P2", crypto_protocol()),),
+        private=(C,),
+        subroles=(("P2", (0,), "A"), ("P2", (1,), "B")),
+    )
+
+
+def spec_multi() -> Configuration:
+    return Configuration(
+        parts=(("Pm", abstract_multisession()),),
+        private=(C,),
+        subroles=(("Pm", (0,), "!A"), ("Pm", (1,), "!B")),
+    )
+
+
+def impl_crypto_multi() -> Configuration:
+    return Configuration(
+        parts=(("Pm2", crypto_multisession()),),
+        private=(C,),
+        subroles=(("Pm2", (0,), "!A"), ("Pm2", (1,), "!B")),
+    )
+
+
+def impl_challenge_response() -> Configuration:
+    return Configuration(
+        parts=(("Pm3", challenge_response_multisession()),),
+        private=(C,),
+        subroles=(("Pm3", (0,), "!A"), ("Pm3", (1,), "!B")),
+    )

@@ -1,0 +1,103 @@
+"""Walk through every result of Section 5 of the paper.
+
+Reproduces, with printed evidence:
+
+* the Section 5.1 impersonation attack on the plaintext protocol P1
+  (``Message 1  E(A) -> B : ME``);
+* Proposition 2 — P2 securely implements P (single session);
+* the Section 5.2 replay attack on Pm2 (E intercepts ``{M}KAB`` and
+  delivers it to two responder instances);
+* Proposition 4 — the challenge-response Pm3 resists the same attackers.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import (
+    Budget,
+    Configuration,
+    Name,
+    abstract_multisession,
+    abstract_protocol,
+    challenge_response_multisession,
+    crypto_multisession,
+    crypto_protocol,
+    impersonator,
+    plaintext_protocol,
+    replayer,
+    securely_implements,
+    standard_attackers,
+)
+
+C = Name("c")
+SINGLE_BUDGET = Budget(max_states=2000, max_depth=40)
+MULTI_BUDGET = Budget(max_states=1500, max_depth=14)
+
+
+def single_session() -> None:
+    spec = Configuration(
+        parts=(("P", abstract_protocol()),),
+        private=(C,),
+        subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+    )
+    pair = plaintext_protocol()
+    impl_plain = Configuration(
+        parts=(("A", pair.initiator), ("B", pair.responder)), private=(C,)
+    )
+    impl_crypto = Configuration(
+        parts=(("P2", crypto_protocol()),),
+        private=(C,),
+        subroles=(("P2", (0,), "A"), ("P2", (1,), "B")),
+    )
+
+    print("=== Section 5.1: single session ===")
+    print("\n[ATT1] plaintext P1 against abstract P:")
+    verdict = securely_implements(
+        impl_plain, spec, standard_attackers([C]), budget=SINGLE_BUDGET
+    )
+    print(verdict.describe())
+
+    print("\n[PROP2] shared-key P2 against abstract P:")
+    verdict = securely_implements(
+        impl_crypto, spec, standard_attackers([C]),
+        budget=SINGLE_BUDGET, check_simulation=True,
+    )
+    print(verdict.describe())
+
+
+def multisession() -> None:
+    spec = Configuration(
+        parts=(("Pm", abstract_multisession()),),
+        private=(C,),
+        subroles=(("Pm", (0,), "!A"), ("Pm", (1,), "!B")),
+    )
+    impl2 = Configuration(
+        parts=(("Pm2", crypto_multisession()),),
+        private=(C,),
+        subroles=(("Pm2", (0,), "!A"), ("Pm2", (1,), "!B")),
+    )
+    impl3 = Configuration(
+        parts=(("Pm3", challenge_response_multisession()),),
+        private=(C,),
+        subroles=(("Pm3", (0,), "!A"), ("Pm3", (1,), "!B")),
+    )
+    attackers = [("replay(c)", replayer(C)), ("impersonate(c)", impersonator(C))]
+
+    print("\n=== Section 5.2: multiple sessions ===")
+    print("\n[ATT2] replicated P2 (= Pm2) against abstract Pm:")
+    verdict = securely_implements(
+        impl2, spec, attackers, roles=("!A", "!B", "E"), budget=MULTI_BUDGET
+    )
+    print(verdict.describe())
+
+    print("\n[PROP4] challenge-response Pm3 against abstract Pm:")
+    verdict = securely_implements(
+        impl3, spec, attackers, roles=("!A", "!B", "E"), budget=MULTI_BUDGET
+    )
+    print(verdict.describe())
+    if not verdict.exhaustive:
+        print("(verdict is budget-limited: replication makes the space infinite)")
+
+
+if __name__ == "__main__":
+    single_session()
+    multisession()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` on environments whose
+setuptools lacks the ``wheel`` package (editable installs then go
+through ``setup.py develop`` instead of building a wheel).  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""One-call protocol audit: the whole battery, one report.
+
+:func:`audit` runs every analysis the library offers over a single
+configuration — and, when a specification is supplied, the Definition-4
+check against it — returning a structured :class:`AuditReport` that
+renders as a human-readable summary.  This is the "just tell me what's
+wrong with my protocol" entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.attacks import ImplementationVerdict, securely_implements
+from repro.analysis.environment import (
+    EnvVerdict,
+    env_authentication,
+    env_freshness,
+    env_secrecy,
+)
+from repro.analysis.intruder import standard_attackers
+from repro.core.terms import Name
+from repro.equivalence.barbs import converges
+from repro.equivalence.testing import Configuration, compose
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget, DEFAULT_BUDGET
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """Everything the audit found.
+
+    ``passed`` summarizes: honest delivery works, every requested
+    property holds, and (when checked) the implementation is secure.
+    Individual verdicts carry their own budget qualifiers.
+    """
+
+    delivers: bool
+    delivery_exhaustive: bool
+    authentication: Optional[EnvVerdict]
+    freshness: EnvVerdict
+    secrecy: tuple[tuple[str, EnvVerdict], ...]
+    implementation: Optional[ImplementationVerdict]
+
+    @property
+    def passed(self) -> bool:
+        checks = [self.delivers, self.freshness.holds]
+        if self.authentication is not None:
+            checks.append(self.authentication.holds)
+        checks.extend(verdict.holds for _, verdict in self.secrecy)
+        if self.implementation is not None:
+            checks.append(self.implementation.secure)
+        return all(checks)
+
+    def describe(self) -> str:
+        lines = [f"audit: {'PASS' if self.passed else 'FAIL'}"]
+        lines.append(
+            f"  delivery      : {'reachable' if self.delivers else 'UNREACHABLE'}"
+        )
+        if self.authentication is not None:
+            lines.append(f"  authentication: {self.authentication.describe()}")
+        lines.append(f"  freshness     : {self.freshness.describe()}")
+        for secret, verdict in self.secrecy:
+            lines.append(f"  secrecy({secret}): {verdict.describe()}")
+        if self.implementation is not None:
+            lines.append(f"  Definition 4  : {self.implementation.describe()}")
+        return "\n".join(lines)
+
+
+def audit(
+    config: Configuration,
+    sender_role: Optional[str] = None,
+    secrets: Sequence[str] = (),
+    spec: Optional[Configuration] = None,
+    observe: str = "observe",
+    budget: Budget = DEFAULT_BUDGET,
+    synth_depth: int = 1,
+) -> AuditReport:
+    """Audit a protocol configuration.
+
+    Args:
+        config: the protocol (principals + private channels), without an
+            attacker part.
+        sender_role: when given, check message authentication — every
+            delivered datum must originate at this role.
+        secrets: base spellings of names that must stay underivable by
+            the most-general attacker.
+        spec: when given, also run the Definition-4 check (``config``
+            securely implements ``spec``) over the standard attacker
+            suite.
+        observe: the observation channel of the continuations.
+        budget: exploration budget shared by all the checks.
+        synth_depth: message-synthesis bound of the most-general
+            attacker.
+    """
+    delivers, delivery_exhaustive = converges(
+        compose(config), output_barb(Name(observe)), budget
+    )
+    authentication = (
+        env_authentication(
+            config, sender_role, observe=observe, synth_depth=synth_depth, budget=budget
+        )
+        if sender_role is not None
+        else None
+    )
+    freshness = env_freshness(
+        config, observe=observe, synth_depth=synth_depth, budget=budget
+    )
+    secrecy = tuple(
+        (secret, env_secrecy(config, secret, synth_depth=synth_depth, budget=budget))
+        for secret in secrets
+    )
+    implementation = None
+    if spec is not None:
+        implementation = securely_implements(
+            config,
+            spec,
+            standard_attackers(list(config.private)),
+            observe=Name(observe),
+            roles=(
+                tuple(label for _, _, label in config.subroles) or config.labels()
+            )
+            + ("E",),
+            budget=budget,
+        )
+    return AuditReport(
+        delivers=delivers,
+        delivery_exhaustive=delivery_exhaustive,
+        authentication=authentication,
+        freshness=freshness,
+        secrecy=secrecy,
+        implementation=implementation,
+    )

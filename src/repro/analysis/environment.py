@@ -1,0 +1,352 @@
+"""The knowledge-indexed most-general attacker.
+
+:mod:`repro.analysis.intruder` approximates Definition 4's "for all X in
+E_C" by enumerating attacker *processes*.  This module implements the
+stronger, standard alternative: an *environment-sensitive semantics*
+whose states pair the protocol with the attacker's Dolev-Yao knowledge.
+The environment is not a fixed process — at every point it may
+
+* **hear** any output the localization discipline lets it receive
+  (extending its knowledge with the message), or
+* **say** any message it can synthesize, to any input that admits it.
+
+One exploration of this system covers *every* attacker whose outputs
+stay within the synthesis bound — including all the enumerated ones —
+so a property that holds on the environment graph holds against the
+whole family at once.
+
+Partner authentication interacts with the environment exactly as with
+process attackers: the environment owns a *location* (a designated part
+of the configuration, conventionally the ``E`` role), so a channel
+localized to an honest partner simply never talks to it, and messages
+it invents are localized at its location — which is what the
+origin-sensitive properties then detect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.knowledge import Knowledge, synthesizable
+from repro.core.addresses import Location, is_prefix
+from repro.core.errors import TermError
+from repro.core.processes import replace_leaves
+from repro.core.substitution import instantiate_locvar, subst
+from repro.core.terms import Name, Term, localize
+from repro.equivalence.testing import Configuration, compose
+from repro.semantics.actions import Comm, PendingAction, Transition
+from repro.semantics.lts import Budget, DEFAULT_BUDGET
+from repro.semantics.normalize import normalize
+from repro.semantics.system import System
+from repro.semantics.transitions import _admits, pending_actions, successors
+from repro.core.processes import LocVar
+
+
+@dataclass(frozen=True, slots=True)
+class EnvState:
+    """A protocol state paired with the attacker's knowledge."""
+
+    system: System
+    knowledge: Knowledge
+
+    def key(self) -> tuple[str, frozenset]:
+        return (self.system.canonical_key(), self.knowledge.atoms)
+
+
+@dataclass(frozen=True, slots=True)
+class EnvStep:
+    """One step of the environment-sensitive semantics.
+
+    ``kind`` is ``"tau"`` (honest internal), ``"hear"`` (the environment
+    consumed an output) or ``"say"`` (the environment fed an input).
+    """
+
+    kind: str
+    action: Comm
+    target: "EnvState"
+
+    def describe(self, source: EnvState) -> str:
+        base = Transition(self.action, self.target.system).describe(source.system)
+        return f"[{self.kind}] {base}"
+
+
+def _consume_output(
+    system: System, out: PendingAction, env_loc: Location
+) -> System:
+    """The environment hears ``out``: the sender's prefix fires."""
+    continuation = out.continuation
+    if isinstance(out.index, LocVar):
+        continuation = instantiate_locvar(continuation, out.index, env_loc)
+    new_root = replace_leaves(system.root, {out.leaf_loc: out.wrap(continuation)})
+    return system.with_root(normalize(new_root), out.new_private)
+
+
+def _feed_input(
+    system: System, inp: PendingAction, value: Term, env_loc: Location
+) -> System:
+    """The environment says ``value`` to the input ``inp``."""
+    continuation = subst(inp.continuation, {inp.binder: value})
+    if isinstance(inp.index, LocVar):
+        continuation = instantiate_locvar(continuation, inp.index, env_loc)
+    new_root = replace_leaves(system.root, {inp.leaf_loc: inp.wrap(continuation)})
+    return system.with_root(normalize(new_root), inp.new_private)
+
+
+def env_successors(
+    state: EnvState,
+    env_loc: Location,
+    channels: frozenset[str],
+    synth_depth: int = 1,
+) -> Iterator[EnvStep]:
+    """Every step of the environment-sensitive semantics.
+
+    ``channels`` restricts the environment to the protocol wires (the
+    set ``C`` of Definition 4, by base spelling); honest internal steps
+    are not restricted.
+    """
+    # Honest internal steps (the environment idles).
+    for step in successors(state.system):
+        yield EnvStep("tau", step.action, EnvState(step.target, state.knowledge))
+
+    actions = [
+        act
+        for act in pending_actions(state.system)
+        if not is_prefix(env_loc, act.act_loc)
+    ]
+
+    # The environment hears an admissible output.
+    for out in actions:
+        if not out.is_output or out.channel_subject.base not in channels:
+            continue
+        if out.channel_subject.uid is not None and not state.knowledge.can_derive(
+            out.channel_subject
+        ):
+            continue  # a channel the environment does not know
+        if not _admits(out.index, out.act_loc, env_loc):
+            continue
+        try:
+            value = localize(out.payload, out.act_loc)
+        except TermError:
+            continue
+        action = Comm(out.channel_subject, value, sender=out.act_loc, receiver=env_loc)
+        target = EnvState(
+            _consume_output(state.system, out, env_loc),
+            state.knowledge.adding(value),
+        )
+        yield EnvStep("hear", action, target)
+
+    # The environment says something synthesizable.
+    for inp in actions:
+        if inp.is_output or inp.channel_subject.base not in channels:
+            continue
+        if inp.channel_subject.uid is not None and not state.knowledge.can_derive(
+            inp.channel_subject
+        ):
+            continue
+        if not _admits(inp.index, inp.act_loc, env_loc):
+            continue
+        for message in synthesizable(state.knowledge, synth_depth):
+            value = localize(message, env_loc)
+            action = Comm(
+                inp.channel_subject, value, sender=env_loc, receiver=inp.act_loc
+            )
+            target = EnvState(
+                _feed_input(state.system, inp, value, env_loc), state.knowledge
+            )
+            yield EnvStep("say", action, target)
+
+
+@dataclass
+class EnvGraph:
+    """Explored fragment of the environment-sensitive state space."""
+
+    initial: tuple
+    states: dict[tuple, EnvState] = field(default_factory=dict)
+    edges: dict[tuple, list[tuple[EnvStep, tuple]]] = field(default_factory=dict)
+    truncated: bool = False
+
+    def state_count(self) -> int:
+        return len(self.states)
+
+
+def env_explore(
+    config: Configuration,
+    env_role: str = "E",
+    initial_knowledge: tuple[Term, ...] = (),
+    synth_depth: int = 1,
+    budget: Budget = DEFAULT_BUDGET,
+) -> EnvGraph:
+    """Explore a configuration against the most-general attacker.
+
+    The configuration must contain a part for ``env_role`` (use
+    ``Nil()`` — it is only there to give the environment a location in
+    the tree).  ``initial_knowledge`` seeds the attacker (free protocol
+    channels are always known).
+    """
+    from repro.core.processes import Nil
+
+    cfg = config
+    if env_role not in config.labels():
+        cfg = config.with_part(env_role, Nil())
+    system = compose(cfg)
+    env_loc = system.location_of(env_role)
+    channels = frozenset(name.base for name in cfg.private) | {
+        name.base for name in initial_knowledge if isinstance(name, Name)
+    }
+    # The attacker of Definition 4 lives inside the (nu C) scope, so it
+    # knows the *instantiated* channel names, not just their spellings.
+    channel_instances = tuple(
+        name for name in system.private if name.base in channels
+    )
+    knowledge = Knowledge.from_terms(tuple(initial_knowledge) + channel_instances)
+    initial = EnvState(system, knowledge)
+
+    graph = EnvGraph(initial=initial.key())
+    graph.states[initial.key()] = initial
+    queue: deque[tuple[EnvState, int]] = deque([(initial, 0)])
+    while queue:
+        state, depth = queue.popleft()
+        key = state.key()
+        if depth >= budget.max_depth:
+            graph.truncated = True
+            continue
+        out: list[tuple[EnvStep, tuple]] = []
+        for step in env_successors(state, env_loc, channels, synth_depth):
+            target_key = step.target.key()
+            if target_key not in graph.states:
+                if len(graph.states) >= budget.max_states:
+                    graph.truncated = True
+                    continue
+                graph.states[target_key] = step.target
+                queue.append((step.target, depth + 1))
+            out.append((step, target_key))
+        graph.edges[key] = out
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Properties over the environment graph
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class EnvVerdict:
+    """Outcome of a most-general-attacker check."""
+
+    holds: bool
+    exhaustive: bool
+    states: int
+    violation: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.holds:
+            qualifier = "" if self.exhaustive else " (within budget)"
+            return f"holds against the most-general attacker over {self.states} states{qualifier}"
+        return f"VIOLATED: {self.violation}"
+
+
+def env_secrecy(
+    config: Configuration,
+    secret_base: str,
+    env_role: str = "E",
+    synth_depth: int = 1,
+    budget: Budget = DEFAULT_BUDGET,
+) -> EnvVerdict:
+    """Can the most-general attacker ever derive a secret?"""
+    graph = env_explore(config, env_role, synth_depth=synth_depth, budget=budget)
+    for state in graph.states.values():
+        for name in state.system.private:
+            if name.base == secret_base and state.knowledge.can_derive(name):
+                return EnvVerdict(
+                    holds=False,
+                    exhaustive=not graph.truncated,
+                    states=graph.state_count(),
+                    violation=f"the attacker derives {name.render()}",
+                )
+    return EnvVerdict(
+        holds=True, exhaustive=not graph.truncated, states=graph.state_count()
+    )
+
+
+def env_freshness(
+    config: Configuration,
+    observe: str = "observe",
+    env_role: str = "E",
+    synth_depth: int = 1,
+    budget: Budget = DEFAULT_BUDGET,
+) -> EnvVerdict:
+    """Can the most-general attacker make two continuation instances
+    accept data from the same creator (a replay), in any single run?"""
+    from repro.core.terms import origin
+
+    graph = env_explore(config, env_role, synth_depth=synth_depth, budget=budget)
+    for state in graph.states.values():
+        per_creator: dict[Location, Location] = {}
+        for act in pending_actions(state.system):
+            if not act.is_output or act.channel_subject.base != observe:
+                continue
+            try:
+                value = localize(act.payload, act.act_loc)
+            except TermError:
+                continue
+            creator = origin(value)
+            if creator is None:
+                continue
+            previous = per_creator.get(creator)
+            if previous is not None and previous != act.act_loc:
+                return EnvVerdict(
+                    holds=False,
+                    exhaustive=not graph.truncated,
+                    states=graph.state_count(),
+                    violation=(
+                        "two continuation instances accepted data from one "
+                        "creator in a single run"
+                    ),
+                )
+            per_creator[creator] = act.act_loc
+    return EnvVerdict(
+        holds=True, exhaustive=not graph.truncated, states=graph.state_count()
+    )
+
+
+def env_authentication(
+    config: Configuration,
+    sender_role: str,
+    observe: str = "observe",
+    env_role: str = "E",
+    synth_depth: int = 1,
+    budget: Budget = DEFAULT_BUDGET,
+) -> EnvVerdict:
+    """Does every activated continuation hold a datum created by
+    ``sender_role``, whatever the most-general attacker does?"""
+    from repro.core.terms import origin
+
+    graph = env_explore(config, env_role, synth_depth=synth_depth, budget=budget)
+    sample = next(iter(graph.states.values()))
+    sender_loc = sample.system.location_of(sender_role)
+    for state in graph.states.values():
+        for act in pending_actions(state.system):
+            if not act.is_output or act.channel_subject.base != observe:
+                continue
+            try:
+                value = localize(act.payload, act.act_loc)
+            except TermError:
+                continue
+            creator = origin(value)
+            if creator is None or not is_prefix(sender_loc, creator):
+                from repro.syntax.pretty import render_term
+
+                return EnvVerdict(
+                    holds=False,
+                    exhaustive=not graph.truncated,
+                    states=graph.state_count(),
+                    violation=(
+                        f"a continuation accepted {render_term(value)} "
+                        f"not created by {sender_role}"
+                    ),
+                )
+    return EnvVerdict(
+        holds=True, exhaustive=not graph.truncated, states=graph.state_count()
+    )

@@ -1,0 +1,212 @@
+"""Attackers over the protocol channels (the set ``E_C`` of Definition 4).
+
+Definition 4 quantifies over *every* process that communicates only on
+the protocol channels ``C``.  That set is not enumerable, so the library
+substitutes two finite sources of attackers (documented in DESIGN.md):
+
+* **canned attackers** — the standard manipulations every protocol
+  analysis exercises (eavesdrop, intercept, forward, replay, impersonate,
+  reorder), including the two concrete attackers the paper uses in its
+  counterexamples;
+* **bounded enumeration** (:func:`enumerate_attackers`) — all sequential
+  behaviours of at most ``max_actions`` I/O actions whose outputs are
+  Dolev-Yao synthesizable from what the attacker has heard plus a stock
+  of fresh names.
+
+The enumeration is the classic "most general attacker, bounded" recipe:
+it cannot *prove* Definition 4, but every positive verdict is backed by
+the simulation technique of Propositions 2/4 as well, and every negative
+verdict comes with a concrete witness attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.processes import (
+    Channel,
+    Input,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.terms import Name, Pair, SharedEnc, Term, Var, fresh_uid
+
+# ----------------------------------------------------------------------
+# Canned attackers
+# ----------------------------------------------------------------------
+
+
+def idle() -> Process:
+    """The empty environment — every protocol must at least survive it."""
+    return Nil()
+
+
+def eavesdropper(channel: Name, messages: int = 1) -> Process:
+    """Absorb ``messages`` messages and stop (a message-killing sink)."""
+    proc: Process = Nil()
+    for _ in range(messages):
+        proc = Input(Channel(channel), Var("e", fresh_uid()), proc)
+    return proc
+
+
+def forwarder(channel: Name, times: int = 1) -> Process:
+    """Intercept one message and re-send it ``times`` times.
+
+    With ``times=2`` this is exactly the replay attacker of Section 5.2:
+    ``E = c(x). c<x>. c<x>`` — it intercepts ``{M}KAB`` and delivers it
+    to two different responder instances.
+    """
+    x = Var("x", fresh_uid())
+    proc: Process = Nil()
+    for _ in range(times):
+        proc = Output(Channel(channel), x, proc)
+    return Input(Channel(channel), x, proc)
+
+
+def replayer(channel: Name) -> Process:
+    """The paper's replay attacker: intercept once, deliver twice."""
+    return forwarder(channel, times=2)
+
+
+def impersonator(channel: Name, spoofed: str = "ME") -> Process:
+    """Send one fresh message, pretending to be a legitimate sender.
+
+    This is the Section 5.1 attacker ``E = (nu ME) c<ME>`` behind the
+    attack ``Message 1  E(A) -> B : ME``.
+    """
+    me = Name(spoofed)
+    return Restriction(me, Output(Channel(channel), me, Nil()))
+
+
+def injector(channel: Name, message: Term) -> Process:
+    """Send a chosen message once."""
+    return Output(Channel(channel), message, Nil())
+
+
+def relay(source: Name, target: Name) -> Process:
+    """Move one message from one channel to another."""
+    x = Var("x", fresh_uid())
+    return Input(Channel(source), x, Output(Channel(target), x, Nil()))
+
+
+def persistent_forwarder(channel: Name) -> Process:
+    """``!c(x).c<x>`` — an unbounded store-and-forward medium."""
+    x = Var("x", fresh_uid())
+    return Replication(Input(Channel(channel), x, Output(Channel(channel), x, Nil())))
+
+
+def standard_attackers(channels: Sequence[Name]) -> list[tuple[str, Process]]:
+    """The canned attacker suite for a set of protocol channels."""
+    attackers: list[tuple[str, Process]] = [("idle", idle())]
+    for ch in channels:
+        tag = ch.base
+        attackers.extend(
+            [
+                (f"eavesdrop({tag})", eavesdropper(ch)),
+                (f"intercept2({tag})", eavesdropper(ch, messages=2)),
+                (f"forward({tag})", forwarder(ch)),
+                (f"replay({tag})", replayer(ch)),
+                (f"impersonate({tag})", impersonator(ch)),
+            ]
+        )
+    for src in channels:
+        for dst in channels:
+            if src != dst:
+                attackers.append((f"relay({src.base}->{dst.base})", relay(src, dst)))
+    return attackers
+
+
+# ----------------------------------------------------------------------
+# Bounded most-general attacker enumeration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AttackerBudget:
+    """Bounds for :func:`enumerate_attackers`.
+
+    Attributes:
+        max_actions: length of the attacker's action sequence.
+        synth_depth: how many pair/encryption constructors an output may
+            stack on top of heard values and fresh names.
+        fresh_names: how many private names the attacker may invent.
+    """
+
+    max_actions: int = 3
+    synth_depth: int = 1
+    fresh_names: int = 1
+
+
+def _compositions(parts: list[Term], depth: int) -> list[Term]:
+    """Close ``parts`` under pairing/encryption up to ``depth`` levels."""
+    known: list[Term] = list(parts)
+    seen: set[Term] = set(known)
+    frontier = list(known)
+    for _ in range(depth):
+        fresh: list[Term] = []
+        for left in frontier:
+            for right in known:
+                for candidate in (Pair(left, right), SharedEnc((left,), right)):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        fresh.append(candidate)
+        known.extend(fresh)
+        frontier = fresh
+    return known
+
+
+def enumerate_attackers(
+    channels: Sequence[Name],
+    budget: AttackerBudget = AttackerBudget(),
+) -> Iterator[tuple[str, Process]]:
+    """All sequential attackers within the budget, smallest first.
+
+    Each attacker is a sequence of inputs (hearing a message binds a
+    variable) and outputs (sending any term synthesizable from heard
+    variables and its stock of fresh names).  Every generated process is
+    in ``E_C``: it only ever touches the given channels.
+    """
+    stock = [Name(f"E{i}", fresh_uid(), creator=None) for i in range(budget.fresh_names)]
+
+    def go(
+        actions_left: int, heard: tuple[Var, ...], label: str
+    ) -> Iterator[tuple[str, Process]]:
+        yield (label or "idle", Nil())
+        if actions_left == 0:
+            return
+        for ch in channels:
+            x = Var("x", fresh_uid())
+            for sub_label, sub in go(actions_left - 1, heard + (x,), f"{label}.{ch.base}?"):
+                yield (sub_label, Input(Channel(ch), x, sub))
+            payloads = _compositions(list(heard) + list(stock), budget.synth_depth)
+            for i, message in enumerate(payloads):
+                for sub_label, sub in go(actions_left - 1, heard, f"{label}.{ch.base}!{i}"):
+                    yield (sub_label, Output(Channel(ch), message, sub))
+
+    for label, proc in go(budget.max_actions, (), ""):
+        if isinstance(proc, Nil):
+            continue  # covered by the canned idle attacker
+        # Fresh names the attacker actually uses must be restricted so it
+        # stays a closed process.
+        used = [n for n in stock if n in _names_in(proc)]
+        for name in reversed(used):
+            proc = Restriction(Name(name.base), _unbind(proc, name))
+        yield (label, proc)
+
+
+def _names_in(proc: Process) -> frozenset[Name]:
+    from repro.core.processes import free_names
+
+    return free_names(proc)
+
+
+def _unbind(proc: Process, name: Name) -> Process:
+    """Replace an instantiated stock name by its raw restriction name."""
+    from repro.core.substitution import rename_names
+
+    return rename_names(proc, {name: Name(name.base)})

@@ -1,0 +1,162 @@
+"""Dolev-Yao message derivation under perfect cryptography.
+
+The attackers of Definition 4 are arbitrary processes over the protocol
+channels; what they can *say* is bounded by what they can derive from
+what they have heard.  This module implements the standard two-phase
+closure:
+
+* **analysis** — decompose what is known: project pairs, and decrypt
+  ciphertexts whose key is (or becomes) known;
+* **synthesis** — compose new messages: pair known messages and encrypt
+  them under known keys.
+
+Analysis is a finite fixpoint; synthesis is infinite and therefore
+exposed as a *bounded enumeration* (:func:`synthesizable`) and a
+*derivability check* (:meth:`Knowledge.can_derive`), which is decidable
+by the usual subterm argument: a derivable term is built from analyzed
+parts by composition only.
+
+Localization wrappers are transparent to the attacker: knowledge is
+about data, not about where data was created (an attacker cannot forge
+origins — that is the whole point of the paper — but it can freely strip
+and forward them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.terms import Localized, Name, Pair, SharedEnc, Succ, Term, Zero, payload
+
+
+def _strip(term: Term) -> Term:
+    """Remove localization wrappers, recursively."""
+    term = payload(term)
+    if isinstance(term, Pair):
+        return Pair(_strip(term.first), _strip(term.second))
+    if isinstance(term, Succ):
+        return Succ(_strip(term.term))
+    if isinstance(term, SharedEnc):
+        return SharedEnc(tuple(_strip(part) for part in term.body), _strip(term.key))
+    return term
+
+
+@dataclass(frozen=True)
+class Knowledge:
+    """An analyzed, deduplicated set of known messages.
+
+    Construct with :meth:`from_terms`; the constructor argument must
+    already be analysis-closed (use the factory).
+    """
+
+    atoms: frozenset[Term]
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[Term]) -> "Knowledge":
+        """Build knowledge from heard messages, closing under analysis."""
+        known: set[Term] = {_strip(t) for t in terms}
+        changed = True
+        while changed:
+            changed = False
+            for term in tuple(known):
+                if isinstance(term, Pair):
+                    for part in (term.first, term.second):
+                        if part not in known:
+                            known.add(part)
+                            changed = True
+                elif isinstance(term, Succ):
+                    # the predecessor of a known numeral is known
+                    if term.term not in known:
+                        known.add(term.term)
+                        changed = True
+                elif isinstance(term, SharedEnc) and term.key in known:
+                    for part in term.body:
+                        if part not in known:
+                            known.add(part)
+                            changed = True
+        return cls(frozenset(known))
+
+    def adding(self, *terms: Term) -> "Knowledge":
+        """Knowledge extended with newly heard messages."""
+        return Knowledge.from_terms(set(self.atoms) | {_strip(t) for t in terms})
+
+    def can_derive(self, goal: Term) -> bool:
+        """Decide whether ``goal`` is synthesizable from this knowledge."""
+        goal = _strip(goal)
+        if goal in self.atoms:
+            return True
+        if isinstance(goal, Zero):
+            return True  # 0 is a public constructor
+        if isinstance(goal, Succ):
+            return self.can_derive(goal.term)
+        if isinstance(goal, Pair):
+            return self.can_derive(goal.first) and self.can_derive(goal.second)
+        if isinstance(goal, SharedEnc):
+            return self.can_derive(goal.key) and all(
+                self.can_derive(part) for part in goal.body
+            )
+        return False
+
+    def names(self) -> frozenset[Name]:
+        """The atomic names known (usable as keys or channel subjects)."""
+        return frozenset(t for t in self.atoms if isinstance(t, Name))
+
+    def __contains__(self, term: Term) -> bool:
+        return self.can_derive(term)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+def synthesizable(knowledge: Knowledge, depth: int) -> Iterator[Term]:
+    """Enumerate messages derivable with at most ``depth`` compositions.
+
+    Depth 0 yields the analyzed atoms themselves; each further level
+    pairs and encrypts what the previous levels produced.  The output is
+    deduplicated and ordered smallest-first, which keeps downstream
+    attacker enumeration stable across runs.
+    """
+    seen: set[Term] = set()
+    levels: list[list[Term]] = [sorted(knowledge.atoms, key=_term_order)]
+    for term in levels[0]:
+        seen.add(term)
+        yield term
+    keys = [t for t in knowledge.atoms if isinstance(t, Name)]
+    for _ in range(depth):
+        previous = [t for level in levels for t in level]
+        fresh: list[Term] = []
+        for left in previous:
+            for right in previous:
+                candidate: Term = Pair(left, right)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    fresh.append(candidate)
+        for body in previous:
+            for key in keys:
+                candidate = SharedEnc((body,), key)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    fresh.append(candidate)
+        fresh.sort(key=_term_order)
+        levels.append(fresh)
+        yield from fresh
+
+
+def _term_order(term: Term) -> tuple[int, str]:
+    """Deterministic ordering key: size first, then rendering."""
+    from repro.syntax.pretty import render_term
+
+    return (_size(term), render_term(term))
+
+
+def _size(term: Term) -> int:
+    if isinstance(term, Pair):
+        return 1 + _size(term.first) + _size(term.second)
+    if isinstance(term, Succ):
+        return 1 + _size(term.term)
+    if isinstance(term, SharedEnc):
+        return 1 + sum(_size(p) for p in term.body) + _size(term.key)
+    if isinstance(term, Localized):
+        return _size(term.term)
+    return 1

@@ -1,0 +1,339 @@
+"""Compiling Alice&Bob protocol narrations into the calculus.
+
+The paper presents every protocol twice: as an informal narration ::
+
+    Message 1  B -> A : N
+    Message 2  A -> B : {M, N}KAB
+
+and as a spi-calculus process.  This module mechanizes the translation,
+following the standard reading of narrations:
+
+* a role *sends* a message by synthesizing it from what it knows (its
+  initial knowledge: long-term keys and the names it freshly generates,
+  plus everything it has learned from earlier messages);
+* a role *receives* a message by decomposing it as far as its knowledge
+  allows — decrypting with known keys, splitting pairs — binding the
+  components it cannot know in advance and *checking* (with a match) the
+  components it can, e.g. a nonce it generated itself.
+
+The compiler supports the simplified spi calculus of the paper: names,
+pairs and shared-key encryption.  Each compiled role is a sequential
+process; the last "receive" event of a designated role can be given a
+continuation — the hook Definition 4 observes.
+
+Example::
+
+    spec = NarrationSpec(
+        roles=("A", "B"),
+        channel="c",
+        shared_keys={"KAB": ("A", "B")},
+        fresh={"A": ("M",), "B": ("N",)},
+        messages=(
+            Message("B", "A", ref("N")),
+            Message("A", "B", enc_msg(ref("M"), ref("N"), key="KAB")),
+        ),
+    )
+    roles = compile_narration(spec, continuations={"B": observer("M")})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Union
+
+from repro.core.errors import NarrationError
+from repro.core.processes import (
+    Case,
+    Channel,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Process,
+    Replication,
+    Restriction,
+    Split,
+)
+from repro.core.terms import Name, Pair, SharedEnc, Term, Var, fresh_uid
+
+# ----------------------------------------------------------------------
+# Narration syntax
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Ref:
+    """A reference to a declared name (key, nonce or payload)."""
+
+    ident: str
+
+
+@dataclass(frozen=True, slots=True)
+class PairMsg:
+    first: "MsgTerm"
+    second: "MsgTerm"
+
+
+@dataclass(frozen=True, slots=True)
+class EncMsg:
+    body: tuple["MsgTerm", ...]
+    key: Ref
+
+
+MsgTerm = Union[Ref, PairMsg, EncMsg]
+
+
+def ref(ident: str) -> Ref:
+    return Ref(ident)
+
+
+def pair_msg(first: MsgTerm, second: MsgTerm) -> PairMsg:
+    return PairMsg(first, second)
+
+
+def enc_msg(*body: MsgTerm, key: str) -> EncMsg:
+    return EncMsg(tuple(body), Ref(key))
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One narration line ``sender -> receiver : term``.
+
+    ``channel`` overrides the narration's default channel for this one
+    message (some protocols use a distinct wire per principal pair; all
+    override channels must be listed in a configuration's ``private``
+    set just like the default one).
+    """
+
+    sender: str
+    receiver: str
+    term: MsgTerm
+    channel: Optional[str] = None
+
+    def render(self, index: int) -> str:
+        wire = f" [{self.channel}]" if self.channel else ""
+        return (
+            f"Message {index}  {self.sender} -> {self.receiver}{wire} : "
+            f"{_render(self.term)}"
+        )
+
+
+def _render(term: MsgTerm) -> str:
+    if isinstance(term, Ref):
+        return term.ident
+    if isinstance(term, PairMsg):
+        return f"({_render(term.first)}, {_render(term.second)})"
+    if isinstance(term, EncMsg):
+        return "{" + ", ".join(_render(t) for t in term.body) + "}" + term.key.ident
+    raise NarrationError(f"unknown narration term {term!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class NarrationSpec:
+    """A complete protocol narration.
+
+    Attributes:
+        roles: the principals, in the order their processes compose.
+        channel: the public channel every message travels on.
+        shared_keys: key name -> the roles knowing it initially.
+        fresh: role -> names that role generates freshly (restricted in
+            its process).
+        public: identifiers every role (and the attacker) knows from the
+            start — agent names, protocol tags, run identifiers.
+        messages: the narration lines, in temporal order.
+        replicate: compile each role under ``!`` (multisession).
+    """
+
+    roles: tuple[str, ...]
+    channel: str
+    messages: tuple[Message, ...]
+    shared_keys: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    fresh: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    public: tuple[str, ...] = ()
+    replicate: bool = False
+
+    def render(self) -> str:
+        return "\n".join(m.render(i) for i, m in enumerate(self.messages, start=1))
+
+    def channels(self) -> tuple[Name, ...]:
+        """All wires the narration uses (default plus per-message ones) —
+        the set ``C`` a Definition-4 configuration must restrict."""
+        extra = sorted({m.channel for m in self.messages if m.channel is not None})
+        return (Name(self.channel),) + tuple(Name(ident) for ident in extra)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _RoleState:
+    """Per-role compilation state: what the role can currently refer to."""
+
+    known: dict[str, Term]  # narration ident -> term usable by this role
+    events: list[Callable[[Process], Process]]  # continuation builders
+
+    def wrap(self, continuation: Process) -> Process:
+        result = continuation
+        for event in reversed(self.events):
+            result = event(result)
+        return result
+
+
+def compile_narration(
+    spec: NarrationSpec,
+    continuations: Optional[Mapping[str, Callable[[Mapping[str, Term]], Process]]] = None,
+) -> dict[str, Process]:
+    """Compile a narration into one raw process per role.
+
+    ``continuations`` maps a role to a function from the role's final
+    knowledge (narration ident -> term) to its continuation process —
+    typically an observer output for Definition-4 testing.
+    """
+    continuations = dict(continuations or {})
+    unknown = set(continuations) - set(spec.roles)
+    if unknown:
+        raise NarrationError(f"continuations for unknown roles: {sorted(unknown)}")
+    channel = Name(spec.channel)
+
+    states: dict[str, _RoleState] = {}
+    for role in spec.roles:
+        known: dict[str, Term] = {}
+        for ident in spec.public:
+            known[ident] = Name(ident)
+        for key, holders in spec.shared_keys.items():
+            if role in holders:
+                known[key] = Name(key)
+        for name in spec.fresh.get(role, ()):
+            known[name] = Name(name)
+        states[role] = _RoleState(known=known, events=[])
+
+    for index, message in enumerate(spec.messages, start=1):
+        if message.sender not in states or message.receiver not in states:
+            raise NarrationError(
+                f"message {index} mentions undeclared roles: {message.render(index)}"
+            )
+        wire = channel if message.channel is None else Name(message.channel)
+        _compile_send(states[message.sender], message, index, wire)
+        _compile_receive(states[message.receiver], message, index, wire)
+
+    result: dict[str, Process] = {}
+    for role in spec.roles:
+        state = states[role]
+        tail: Process = Nil()
+        if role in continuations:
+            tail = continuations[role](dict(state.known))
+        proc = state.wrap(tail)
+        for name in reversed(spec.fresh.get(role, ())):
+            proc = Restriction(Name(name), proc)
+        if spec.replicate:
+            proc = Replication(proc)
+        result[role] = proc
+    return result
+
+
+def _synthesize(state: _RoleState, term: MsgTerm, index: int) -> Term:
+    """Build the concrete term a sender outputs.
+
+    A composite the role heard wholesale (e.g. a ciphertext it cannot
+    open) is forwarded as-is; otherwise the term is built from parts.
+    """
+    if not isinstance(term, Ref) and _render(term) in state.known:
+        return state.known[_render(term)]
+    if isinstance(term, Ref):
+        if term.ident not in state.known:
+            raise NarrationError(
+                f"message {index}: sender does not know {term.ident!r}"
+            )
+        return state.known[term.ident]
+    if isinstance(term, PairMsg):
+        return Pair(
+            _synthesize(state, term.first, index),
+            _synthesize(state, term.second, index),
+        )
+    if isinstance(term, EncMsg):
+        key = _synthesize(state, term.key, index)
+        return SharedEnc(
+            tuple(_synthesize(state, part, index) for part in term.body), key
+        )
+    raise NarrationError(f"unknown narration term {term!r}")
+
+
+def _compile_send(
+    state: _RoleState, message: Message, index: int, channel: Name
+) -> None:
+    value = _synthesize(state, message.term, index)
+
+    def event(continuation: Process, _value: Term = value) -> Process:
+        return Output(Channel(channel), _value, continuation)
+
+    state.events.append(event)
+
+
+def _compile_receive(
+    state: _RoleState, message: Message, index: int, channel: Name
+) -> None:
+    binder = Var(f"m{index}", fresh_uid())
+
+    def event(continuation: Process, _binder: Var = binder) -> Process:
+        return Input(Channel(channel), _binder, continuation)
+
+    state.events.append(event)
+    _decompose(state, message.term, binder, index)
+
+
+def _decompose(state: _RoleState, pattern: MsgTerm, value: Term, index: int) -> None:
+    """Destructure a received value according to the narration pattern.
+
+    Components the role already knows become runtime checks (matches);
+    unknown components become knowledge.  Encrypted parts whose key the
+    role does not know stay opaque (bound as a whole, usable only for
+    forwarding) — the standard narration semantics.
+    """
+    if isinstance(pattern, Ref):
+        if pattern.ident in state.known:
+            expected = state.known[pattern.ident]
+
+            def check(continuation: Process, _v: Term = value, _e: Term = expected) -> Process:
+                return Match(_v, _e, continuation)
+
+            state.events.append(check)
+        else:
+            state.known[pattern.ident] = value
+        return
+    if isinstance(pattern, PairMsg):
+        first = Var(f"p{index}a", fresh_uid())
+        second = Var(f"p{index}b", fresh_uid())
+
+        def split(
+            continuation: Process, _v: Term = value, _f: Var = first, _s: Var = second
+        ) -> Process:
+            return Split(_v, _f, _s, continuation)
+
+        state.events.append(split)
+        _decompose(state, pattern.first, first, index)
+        _decompose(state, pattern.second, second, index)
+        return
+    if isinstance(pattern, EncMsg):
+        if pattern.key.ident not in state.known:
+            # Opaque ciphertext: remember it wholesale so it can at least
+            # be compared or forwarded under its narration rendering.
+            state.known[_render(pattern)] = value
+            return
+        key = state.known[pattern.key.ident]
+        binders = tuple(Var(f"d{index}_{i}", fresh_uid()) for i in range(len(pattern.body)))
+
+        def open_case(
+            continuation: Process,
+            _v: Term = value,
+            _b: tuple[Var, ...] = binders,
+            _k: Term = key,
+        ) -> Process:
+            return Case(_v, _b, _k, continuation)
+
+        state.events.append(open_case)
+        for part, bound in zip(pattern.body, binders):
+            _decompose(state, part, bound, index)
+        return
+    raise NarrationError(f"unknown narration term {pattern!r}")

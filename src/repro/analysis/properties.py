@@ -1,0 +1,194 @@
+"""The paper's named trace properties: Authentication and Freshness.
+
+After Proposition 3 the paper displays two properties that hold for the
+multisession abstract protocol (and all similarly-shaped ones):
+
+  **Authentication**: when the continuation of an instance of
+  ``B0(theta*theta' N)`` is activated, ``theta*theta'`` must be the
+  relative address of an instance of A with respect to the actual
+  instance of B.
+
+  **Freshness**: for every pair of activated continuations
+  ``B0(theta*theta' N)`` and ``B0(theta~*theta~' N')``, the two
+  messages have been originated by two *different* instances of A.
+
+This module checks both over the explored state space of a
+configuration.  "Continuation activated with value V" is observed as a
+delivery on the observation channel: the canonical ``B0(z) =
+observe<z>`` republishes exactly the datum the session accepted, with
+its origin intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.addresses import Location, RelativeAddress, is_prefix
+from repro.core.terms import Name, origin
+from repro.equivalence.testing import Configuration, compose
+from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
+
+
+@dataclass(frozen=True, slots=True)
+class Activation:
+    """One observed continuation activation: who got what from where."""
+
+    receiver: Location  # the B-instance whose continuation ran
+    creator: Optional[Location]  # origin of the accepted datum
+    address: Optional[RelativeAddress]  # creator as B sees it
+
+    def describe(self) -> str:
+        from repro.core.addresses import location_str
+
+        addr = "unlocalized" if self.address is None else self.address.render()
+        return f"B at {location_str(self.receiver)} accepted a datum from {addr}"
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyVerdict:
+    """Outcome of an authentication/freshness check.
+
+    ``holds`` is qualified by ``exhaustive`` exactly like every other
+    bounded verdict in the library; ``violation`` names the offending
+    activation (pair).
+    """
+
+    holds: bool
+    exhaustive: bool
+    activations: int
+    violation: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.holds:
+            qualifier = "" if self.exhaustive else " (within the exploration budget)"
+            return f"holds over {self.activations} activations{qualifier}"
+        return f"VIOLATED: {self.violation}"
+
+
+def _collect_activations(
+    config: Configuration,
+    observe: Name,
+    budget: Budget,
+) -> tuple[list[Activation], bool]:
+    """Every distinct continuation activation in the reachable space.
+
+    An activation is a *pending* output on the observation channel: the
+    continuation ``B0(z) = observe<z>`` offers the accepted datum as
+    soon as it runs, whether or not anything consumes it.
+    """
+    from repro.core.errors import TermError
+    from repro.core.terms import localize
+    from repro.semantics.transitions import pending_actions
+
+    system = compose(config)
+    graph = explore(system, budget)
+    activations: list[Activation] = []
+    seen: set[tuple] = set()
+    for state in graph.states.values():
+        for action in pending_actions(state):
+            if not action.is_output or action.channel_subject.base != observe.base:
+                continue
+            try:
+                value = localize(action.payload, action.act_loc)
+            except TermError:
+                continue
+            creator = origin(value)
+            fingerprint = (action.act_loc, creator)
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            address = (
+                None
+                if creator is None
+                else RelativeAddress.between(observer=action.act_loc, target=creator)
+            )
+            activations.append(
+                Activation(receiver=action.act_loc, creator=creator, address=address)
+            )
+    return activations, not graph.truncated
+
+
+def authentication(
+    config: Configuration,
+    sender_role: str,
+    observe: Name = Name("observe"),
+    budget: Budget = DEFAULT_BUDGET,
+) -> PropertyVerdict:
+    """The paper's Authentication property.
+
+    Every activated continuation must have accepted a datum whose
+    creator is an instance of ``sender_role`` (by location prefix).
+    """
+    system = compose(config)
+    sender_loc = system.location_of(sender_role)
+    activations, exhaustive = _collect_activations(config, observe, budget)
+    for activation in activations:
+        if activation.creator is None or not is_prefix(sender_loc, activation.creator):
+            return PropertyVerdict(
+                holds=False,
+                exhaustive=exhaustive,
+                activations=len(activations),
+                violation=activation.describe(),
+            )
+    return PropertyVerdict(
+        holds=True, exhaustive=exhaustive, activations=len(activations)
+    )
+
+
+def freshness(
+    config: Configuration,
+    observe: Name = Name("observe"),
+    budget: Budget = DEFAULT_BUDGET,
+) -> PropertyVerdict:
+    """The paper's Freshness property.
+
+    No two *distinct* continuation activations of one run may have
+    accepted data originated by the same creator instance — accepting
+    the same origin twice is exactly what a replay looks like.
+
+    "Of one run" matters: exploration sees all nondeterministic
+    branches, and the same creator may legitimately serve different
+    partners in different branches.  A replay, by contrast, leaves two
+    co-existing activations in a *single* reachable state — which is how
+    the paper's attack on Pm2 manifests (two B-instances simultaneously
+    holding one ``{M}KAB``).
+    """
+    from repro.core.errors import TermError
+    from repro.core.terms import localize
+    from repro.semantics.transitions import pending_actions
+
+    system = compose(config)
+    graph = explore(system, budget)
+    total = 0
+    for state in graph.states.values():
+        per_creator: dict[Location, Location] = {}
+        for action in pending_actions(state):
+            if not action.is_output or action.channel_subject.base != observe.base:
+                continue
+            try:
+                value = localize(action.payload, action.act_loc)
+            except TermError:
+                continue
+            creator = origin(value)
+            if creator is None:
+                continue
+            total += 1
+            previous = per_creator.get(creator)
+            if previous is not None and previous != action.act_loc:
+                from repro.core.addresses import location_str
+
+                return PropertyVerdict(
+                    holds=False,
+                    exhaustive=not graph.truncated,
+                    activations=total,
+                    violation=(
+                        f"receivers {location_str(previous)} and "
+                        f"{location_str(action.act_loc)} both accepted a datum "
+                        f"created at {location_str(creator)} in one run"
+                    ),
+                )
+            per_creator[creator] = action.act_loc
+    return PropertyVerdict(
+        holds=True, exhaustive=not graph.truncated, activations=total
+    )

@@ -1,0 +1,114 @@
+"""Session-hooking analysis (Proposition 3 as a reusable report).
+
+The multisession startup hooks each instance of one role to exactly one
+instance of the other, and located channels then confine every later
+message to the hooked pair.  This module extracts that structure from an
+explored state space:
+
+* :func:`communication_partners` — who talked to whom on a channel,
+  instance by instance;
+* :func:`hooking_report` — the full Proposition-3 check: sessions are
+  pairwise-exclusive in *both* directions, plus the list of hooked
+  pairs for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.addresses import Location, location_str
+from repro.equivalence.testing import Configuration, compose
+from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
+
+
+@dataclass(frozen=True, slots=True)
+class HookingReport:
+    """Who hooked whom, and whether the hooking is pairwise.
+
+    Attributes:
+        pairs: every (sender-instance, receiver-instance) pair observed
+            on the channel across the explored space.
+        exclusive: True when the relation is a partial injection in both
+            directions — each instance has at most one partner, which is
+            the paper's "instances are hooked pairwise".
+        exhaustive: False when the exploration hit its budget.
+    """
+
+    pairs: frozenset[tuple[Location, Location]]
+    exclusive: bool
+    exhaustive: bool
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.pairs)} hooked pair(s); "
+            + ("pairwise-exclusive" if self.exclusive else "NOT pairwise-exclusive")
+            + ("" if self.exhaustive else " (within budget)")
+        ]
+        for sender, receiver in sorted(self.pairs):
+            lines.append(f"  {location_str(sender)} <-> {location_str(receiver)}")
+        return "\n".join(lines)
+
+
+def communication_partners(
+    config: Configuration,
+    channel: str,
+    budget: Budget = DEFAULT_BUDGET,
+) -> tuple[frozenset[tuple[Location, Location]], bool]:
+    """All (sender, receiver) pairs seen on ``channel``.
+
+    Returns the pair set and an exhaustiveness flag.  Pairs are
+    aggregated over the whole explored space: with located channels a
+    receiver's set is its hard-wired partner; with plain channels it
+    reflects every scheduling the budget reached.
+    """
+    system = compose(config)
+    graph = explore(system, budget)
+    pairs: set[tuple[Location, Location]] = set()
+    for key in graph.states:
+        for transition, _ in graph.successors_of(key):
+            action = transition.action
+            if action.channel.base == channel:
+                pairs.add((action.sender, action.receiver))
+    return frozenset(pairs), not graph.truncated
+
+
+def hooking_report(
+    config: Configuration,
+    channel: str = "c",
+    exclude_role: Optional[str] = "E",
+    budget: Budget = DEFAULT_BUDGET,
+) -> HookingReport:
+    """Check that sessions on ``channel`` are hooked pairwise.
+
+    Communications involving ``exclude_role`` (the attacker, by default)
+    are ignored: the property is about the honest instances' bindings.
+    Exclusivity fails exactly when some instance serves two partners —
+    which located channels make impossible (Proposition 3) and plain
+    channels do not.
+    """
+    system = compose(config)
+    excluded: Optional[Location] = None
+    if exclude_role is not None:
+        try:
+            excluded = system.location_of(exclude_role)
+        except KeyError:
+            excluded = None
+
+    pairs, exhaustive = communication_partners(config, channel, budget)
+    if excluded is not None:
+        pairs = frozenset(
+            (s, r)
+            for s, r in pairs
+            if s[: len(excluded)] != excluded and r[: len(excluded)] != excluded
+        )
+
+    senders: dict[Location, set[Location]] = {}
+    receivers: dict[Location, set[Location]] = {}
+    for sender, receiver in pairs:
+        senders.setdefault(sender, set()).add(receiver)
+        receivers.setdefault(receiver, set()).add(sender)
+    exclusive = all(len(v) == 1 for v in senders.values()) and all(
+        len(v) == 1 for v in receivers.values()
+    )
+    return HookingReport(pairs=pairs, exclusive=exclusive, exhaustive=exhaustive)

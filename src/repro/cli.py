@@ -1,0 +1,217 @@
+"""Command-line interface to the calculus.
+
+Five subcommands cover the workflows::
+
+    repro-spi parse   FILE           # parse & pretty-print (+ tree view)
+    repro-spi run     FILE           # narrated execution, first-choice
+    repro-spi explore FILE           # bounded exploration, stats, dot
+    repro-spi analyze SYSFILE        # MGA properties of a system file
+    repro-spi check   IMPL SPEC      # Definition 4 between system files
+
+``parse``/``run``/``explore`` take a bare process in the concrete
+syntax (``-`` reads stdin, ``-e SOURCE`` passes it inline);
+``analyze``/``check`` take *system files* (see
+:mod:`repro.syntax.sysfile`) describing whole configurations.
+
+Exit status: 0 on success, 1 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.semantics.diagnostics import statistics, to_dot
+from repro.semantics.lts import Budget, explore
+from repro.semantics.system import System, instantiate
+from repro.semantics.transitions import successors
+from repro.syntax.parser import parse_process
+from repro.syntax.pretty import render_process
+from repro.syntax.sysfile import load_system_file
+
+
+def _read_source(args: argparse.Namespace) -> str:
+    if args.expr is not None:
+        return args.expr
+    if args.file == "-":
+        return sys.stdin.read()
+    with open(args.file, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "file", nargs="?", default="-", help="source file ('-' for stdin)"
+    )
+    parser.add_argument(
+        "-e", "--expr", default=None, help="inline source (overrides FILE)"
+    )
+
+
+def _load_system(args: argparse.Namespace) -> System:
+    return instantiate(parse_process(_read_source(args)))
+
+
+def _show_tree(system: System, out) -> None:
+    from repro.core.addresses import location_str
+
+    print("tree of sequential processes:", file=out)
+    for loc, leaf in system.leaves():
+        print(f"  {location_str(loc):14s} {render_process(leaf)}", file=out)
+
+
+def cmd_parse(args: argparse.Namespace, out) -> int:
+    proc = parse_process(_read_source(args))
+    print(render_process(proc, unicode=args.unicode), file=out)
+    if args.tree:
+        _show_tree(instantiate(proc), out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    system = _load_system(args)
+    _show_tree(system, out)
+    for step_no in range(1, args.steps + 1):
+        options = successors(system)
+        if not options:
+            print(f"stuck after {step_no - 1} steps", file=out)
+            return 0
+        chosen = options[0]
+        if len(options) > 1:
+            print(f"step {step_no} ({len(options)} choices, taking the first):", file=out)
+        else:
+            print(f"step {step_no}:", file=out)
+        print(f"  {chosen.describe(system)}", file=out)
+        system = chosen.target
+    print(f"stopped after {args.steps} steps (budget)", file=out)
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace, out) -> int:
+    system = _load_system(args)
+    graph = explore(system, Budget(max_states=args.max_states, max_depth=args.max_depth))
+    print(statistics(graph).describe(), file=out)
+    if args.dot is not None:
+        dot = to_dot(graph)
+        if args.dot == "-":
+            print(dot, file=out)
+        else:
+            with open(args.dot, "w", encoding="utf-8") as handle:
+                handle.write(dot + "\n")
+            print(f"dot graph written to {args.dot}", file=out)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out) -> int:
+    from repro.analysis.environment import (
+        env_authentication,
+        env_freshness,
+        env_secrecy,
+    )
+
+    sysfile = load_system_file(args.sysfile)
+    budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
+    cfg = sysfile.configuration
+    if args.sender is not None:
+        verdict = env_authentication(
+            cfg, args.sender, observe=sysfile.observe.base, budget=budget
+        )
+        print(f"authentication({args.sender}): {verdict.describe()}", file=out)
+    verdict = env_freshness(cfg, observe=sysfile.observe.base, budget=budget)
+    print(f"freshness: {verdict.describe()}", file=out)
+    for secret in args.secret or []:
+        verdict = env_secrecy(cfg, secret, budget=budget)
+        print(f"secrecy({secret}): {verdict.describe()}", file=out)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace, out) -> int:
+    from repro.analysis.attacks import securely_implements
+    from repro.analysis.intruder import standard_attackers
+
+    impl = load_system_file(args.impl)
+    spec = load_system_file(args.spec)
+    if set(impl.configuration.private) != set(spec.configuration.private):
+        print("error: the two system files declare different channels", file=sys.stderr)
+        return 1
+    budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
+    roles = [label for _, _, label in impl.configuration.subroles]
+    roles = roles or list(impl.configuration.labels())
+    verdict = securely_implements(
+        impl.configuration,
+        spec.configuration,
+        standard_attackers(list(impl.configuration.private)),
+        observe=impl.observe,
+        roles=tuple(roles) + ("E",),
+        budget=budget,
+    )
+    print(verdict.describe(), file=out)
+    return 0 if verdict.secure else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spi",
+        description="spi calculus with authentication primitives (PACT 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_parse = sub.add_parser("parse", help="parse and pretty-print a process")
+    _add_source_arguments(p_parse)
+    p_parse.add_argument("--unicode", action="store_true", help="use the paper's glyphs")
+    p_parse.add_argument("--tree", action="store_true", help="show the location tree")
+    p_parse.set_defaults(handler=cmd_parse)
+
+    p_run = sub.add_parser("run", help="execute a system step by step")
+    _add_source_arguments(p_run)
+    p_run.add_argument("--steps", type=int, default=20, help="max steps (default 20)")
+    p_run.set_defaults(handler=cmd_run)
+
+    p_explore = sub.add_parser("explore", help="explore the state space")
+    _add_source_arguments(p_explore)
+    p_explore.add_argument("--max-states", type=int, default=2000)
+    p_explore.add_argument("--max-depth", type=int, default=64)
+    p_explore.add_argument("--dot", default=None, help="write Graphviz output ('-' = stdout)")
+    p_explore.set_defaults(handler=cmd_explore)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="check MGA properties of a system file"
+    )
+    p_analyze.add_argument("sysfile", help="system file (see repro.syntax.sysfile)")
+    p_analyze.add_argument("--sender", default=None, help="role for authentication")
+    p_analyze.add_argument(
+        "--secret", action="append", default=None, help="secret base name (repeatable)"
+    )
+    p_analyze.add_argument("--max-states", type=int, default=4000)
+    p_analyze.add_argument("--max-depth", type=int, default=18)
+    p_analyze.set_defaults(handler=cmd_analyze)
+
+    p_check = sub.add_parser(
+        "check", help="Definition 4: does IMPL securely implement SPEC?"
+    )
+    p_check.add_argument("impl", help="implementation system file")
+    p_check.add_argument("spec", help="specification system file")
+    p_check.add_argument("--max-states", type=int, default=2000)
+    p_check.add_argument("--max-depth", type=int, default=24)
+    p_check.set_defaults(handler=cmd_check)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the exit status instead of raising SystemExit
+    so it is directly testable."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

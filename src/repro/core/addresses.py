@@ -1,0 +1,242 @@
+"""Relative addresses (Definitions 1 and 2 of the paper).
+
+A *relative address* describes the path between two sequential processes
+in the abstract syntax tree of a system, where the internal nodes of the
+tree are the occurrences of the binary parallel operator ``|`` and the
+leaves are sequential processes (restrictions are transparent).
+
+The paper writes an address as ``theta0 * theta1`` where, for the address
+of a *target* process ``T`` relative to an *observer* process ``O``:
+
+* ``theta0`` is the path from the minimal common ancestor of ``O`` and
+  ``T`` down to ``O`` (the paper reads it "upwards from O and reversed");
+* ``theta1`` is the path from that ancestor down to ``T``.
+
+Each step of a path is a tag ``||0`` (left branch) or ``||1`` (right
+branch).  Definition 1 requires the two components to diverge at their
+first step when both are non-empty.
+
+This module also provides *absolute locations* — paths from the root of
+the syntax tree, written as tuples of 0/1 — which the abstract machine
+uses internally (the paper stresses that relative addresses "are used by
+the abstract machine of the calculus only").  Every operation the paper
+performs on relative addresses (inversion, compatibility, composition
+when a message is forwarded) is a pure function of the absolute locations
+involved, which is how we implement them.
+
+Example (Figure 1 of the paper)::
+
+    >>> p1 = (0, 1)          # absolute location of P1
+    >>> p3 = (1, 1, 0)       # absolute location of P3
+    >>> RelativeAddress.between(observer=p1, target=p3)
+    RelativeAddress.parse('||0||1*||1||1||0')
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+from repro.core.errors import AddressError
+
+#: An absolute location: the path of 0/1 branch choices from the root of
+#: the syntax tree down to a (sub)process.  The root itself is ``()``.
+Location = tuple[int, ...]
+
+#: The root location.
+ROOT: Location = ()
+
+_TAG_RE = re.compile(r"\|\|([01])")
+_ADDRESS_RE = re.compile(r"^(?:\|\|[01])*[*•](?:\|\|[01])*$")
+
+
+def _validate_path(path: tuple[int, ...], what: str) -> None:
+    for tag in path:
+        if tag not in (0, 1):
+            raise AddressError(f"{what} contains invalid tag {tag!r}; tags must be 0 or 1")
+
+
+def common_ancestor(a: Location, b: Location) -> Location:
+    """Return the longest common prefix of two absolute locations."""
+    shared = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        shared += 1
+    return a[:shared]
+
+
+def is_prefix(prefix: Location, loc: Location) -> bool:
+    """True when ``prefix`` is an ancestor-or-self of ``loc``."""
+    return loc[: len(prefix)] == prefix
+
+
+@lru_cache(maxsize=None)
+def location_str(loc: Location) -> str:
+    """Render an absolute location, e.g. ``(1, 0)`` as ``<||1||0>``."""
+    return "<" + "".join(f"||{tag}" for tag in loc) + ">"
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeAddress:
+    """A relative address ``theta0 * theta1`` (Definition 1).
+
+    Attributes:
+        observer_path: ``theta0`` — path from the common ancestor to the
+            observer (the process the address is *relative to*).
+        target_path: ``theta1`` — path from the common ancestor to the
+            target (the process being pointed at).
+    """
+
+    observer_path: tuple[int, ...]
+    target_path: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        _validate_path(self.observer_path, "observer path")
+        _validate_path(self.target_path, "target path")
+        if (
+            self.observer_path
+            and self.target_path
+            and self.observer_path[0] == self.target_path[0]
+        ):
+            raise AddressError(
+                "ill-formed relative address: components must diverge at "
+                f"their first tag (Definition 1), got {self!s}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def between(cls, observer: Location, target: Location) -> "RelativeAddress":
+        """The address of ``target`` relative to ``observer``.
+
+        Both arguments are absolute locations in the same tree.
+        """
+        ancestor = common_ancestor(observer, target)
+        k = len(ancestor)
+        return cls(tuple(observer[k:]), tuple(target[k:]))
+
+    @classmethod
+    def parse(cls, text: str) -> "RelativeAddress":
+        """Parse the concrete syntax, e.g. ``'||0||1*||1||1||0'``.
+
+        Either ``*`` or the paper's bullet ``•`` separates the two
+        components.  An empty component is allowed on either side.
+        """
+        text = text.strip()
+        if not _ADDRESS_RE.match(text):
+            raise AddressError(f"cannot parse relative address {text!r}")
+        sep = "*" if "*" in text else "•"
+        left, right = text.split(sep, 1)
+        observer = tuple(int(m.group(1)) for m in _TAG_RE.finditer(left))
+        target = tuple(int(m.group(1)) for m in _TAG_RE.finditer(right))
+        return cls(observer, target)
+
+    # ------------------------------------------------------------------
+    # The paper's operations
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "RelativeAddress":
+        """The compatible address ``l^-1`` (Definition 2).
+
+        If ``self`` is the address of ``B`` relative to ``A`` then the
+        inverse is the address of ``A`` relative to ``B``.
+        """
+        return RelativeAddress(self.target_path, self.observer_path)
+
+    def is_compatible(self, other: "RelativeAddress") -> bool:
+        """Definition 2: ``other`` and ``self`` describe the same path
+        with source and target exchanged."""
+        return other == self.inverse()
+
+    def resolve(self, observer: Location) -> Location:
+        """Absolute location of the target, given the observer's location.
+
+        Requires ``observer`` to end with ``theta0`` (otherwise the
+        address does not apply at that location and an
+        :class:`AddressError` is raised).
+        """
+        k = len(self.observer_path)
+        if k > len(observer) or (k and observer[-k:] != self.observer_path):
+            raise AddressError(
+                f"address {self} does not apply at observer location "
+                f"{location_str(observer)}"
+            )
+        ancestor = observer[: len(observer) - k]
+        return ancestor + self.target_path
+
+    def compose(self, carrier: "RelativeAddress") -> "RelativeAddress":
+        """Address update when a localized datum is forwarded.
+
+        ``self`` is the address of a datum's *creator* relative to the
+        process ``S`` that currently holds it; ``carrier`` is the address
+        of ``S`` relative to the process ``R`` that receives the datum.
+        The result is the address of the creator relative to ``R`` — the
+        address-composition operation the paper uses so that a forwarded
+        name keeps pointing at its original creator.
+        """
+        # Reconstruct consistent absolute coordinates.  Both self and
+        # carrier mention S: ``self.observer_path`` is the path from
+        # anc(S, creator) to S, ``carrier.target_path`` the path from
+        # anc(R, S) to S.  One ancestor dominates the other, so one path
+        # must be a suffix of the other; pad with the deeper prefix.
+        s_via_self = self.observer_path
+        s_via_carrier = carrier.target_path
+        if len(s_via_self) >= len(s_via_carrier):
+            if s_via_carrier and s_via_self[-len(s_via_carrier):] != s_via_carrier:
+                raise AddressError(
+                    f"incompatible addresses for composition: {self} after {carrier}"
+                )
+            # Root := anc(S, creator); anc(R, S) sits below it.
+            pad = s_via_self[: len(s_via_self) - len(s_via_carrier)]
+            creator_abs: Location = self.target_path
+            receiver_abs: Location = pad + carrier.observer_path
+        else:
+            if s_via_self and s_via_carrier[-len(s_via_self):] != s_via_self:
+                raise AddressError(
+                    f"incompatible addresses for composition: {self} after {carrier}"
+                )
+            # Root := anc(R, S); anc(S, creator) sits below it.
+            anc_sc = s_via_carrier[: len(s_via_carrier) - len(s_via_self)]
+            creator_abs = anc_sc + self.target_path
+            receiver_abs = carrier.observer_path
+        return RelativeAddress.between(observer=receiver_abs, target=creator_abs)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, unicode: bool = False) -> str:
+        """Concrete syntax; ``unicode=True`` uses the paper's bullet."""
+        sep = "•" if unicode else "*"
+        left = "".join(f"||{t}" for t in self.observer_path)
+        right = "".join(f"||{t}" for t in self.target_path)
+        return f"{left}{sep}{right}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"RelativeAddress.parse({self.render()!r})"
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        yield self.observer_path
+        yield self.target_path
+
+
+#: The empty address ``*`` — the address of a process relative to itself.
+SELF = RelativeAddress((), ())
+
+
+def all_locations(depth: int) -> list[Location]:
+    """Every absolute location of depth at most ``depth`` (testing aid)."""
+    result: list[Location] = [()]
+    frontier: list[Location] = [()]
+    for _ in range(depth):
+        frontier = [loc + (tag,) for loc in frontier for tag in (0, 1)]
+        result.extend(frontier)
+    return result

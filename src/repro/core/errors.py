@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class AddressError(ReproError):
+    """A relative address is malformed or cannot be resolved.
+
+    Raised when a path pair violates Definition 1 of the paper (the two
+    components must diverge at their first step), or when an address is
+    resolved against an absolute location it does not apply to.
+    """
+
+
+class TermError(ReproError):
+    """A term is used in a way its sort does not permit.
+
+    Examples: encrypting with a composite key where a name is required by
+    the construction helpers, or localizing an already-localized value.
+    """
+
+
+class ProcessError(ReproError):
+    """A process is structurally invalid (e.g. duplicate binder reuse)."""
+
+
+class SubstitutionError(ReproError):
+    """A substitution would be ill-formed (e.g. binding a non-variable)."""
+
+
+class ParseError(ReproError):
+    """The concrete-syntax parser rejected its input.
+
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticsError(ReproError):
+    """The abstract machine reached an inconsistent configuration.
+
+    This signals a bug in the caller (e.g. asking for the successors of a
+    state built for a different system) or in the library itself, never a
+    normal protocol outcome: stuck protocols simply have no transitions.
+    """
+
+
+class InstantiationError(ReproError):
+    """A raw process could not be turned into a runnable system."""
+
+
+class BudgetExceededError(ReproError):
+    """An exploration exceeded its state/step budget.
+
+    Carries the partially-explored result so callers may inspect how far
+    the search got before giving up.
+    """
+
+    def __init__(self, message: str, partial: object = None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+class NarrationError(ReproError):
+    """A protocol narration cannot be compiled to the calculus."""
+
+
+class EquivalenceError(ReproError):
+    """An equivalence check was invoked on incompatible arguments."""

@@ -1,0 +1,443 @@
+"""Processes of the spi calculus with authentication primitives.
+
+The process grammar of the paper, plus the two authentication constructs::
+
+    P, Q, R ::= 0                              nil
+              | M<N>.P                         output
+              | M(x).P                         input
+              | (nu m)P                        restriction
+              | P | P                          parallel composition
+              | [M = N]P                       matching
+              | !P                             replication
+              | case L of {x1,...,xk}N in P    shared-key decryption
+              | [M =~ N]P                      address matching (Sec. 3.2)
+
+and channels may carry a *localization index* (Sec. 3.1)::
+
+    M@l   — channel localized to the partner at relative address l
+    M@lam — channel whose partner is fixed at first use (location variable)
+
+The abstract machine instantiates a location variable with the partner's
+location during the first communication; from then on every channel
+indexed by that variable in the same thread only talks to that partner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.core.addresses import Location, RelativeAddress
+from repro.core.errors import ProcessError
+from repro.core.terms import At, Name, Term, Var
+
+
+@dataclass(frozen=True, slots=True)
+class LocVar:
+    """A location variable (written ``lam`` in source syntax).
+
+    Location variables are a distinct syntactic category: they may only
+    index channels, and only the abstract machine can bind them — user
+    terms can never mention a concrete partner location.
+    """
+
+    ident: str
+    uid: Optional[int] = None
+
+    def render(self) -> str:
+        return self.ident if self.uid is None else f"{self.ident}#{self.uid}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+
+#: What may index a channel:
+#:   None             — ordinary non-localized channel,
+#:   RelativeAddress  — source-level localization ``c@l``,
+#:   LocVar           — to be bound at first communication ``c@lam``,
+#:   Location         — machine-level localization (absolute partner path).
+ChannelIndex = Union[None, RelativeAddress, LocVar, Location]
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A possibly-localized channel ``M@index``."""
+
+    subject: Term
+    index: ChannelIndex = None
+
+    def localized(self) -> bool:
+        return self.index is not None
+
+    def with_subject(self, subject: Term) -> "Channel":
+        return Channel(subject, self.index)
+
+    def render(self) -> str:
+        from repro.core.addresses import location_str
+
+        if self.index is None:
+            return _render_subject(self.subject)
+        if isinstance(self.index, RelativeAddress):
+            idx = self.index.render()
+        elif isinstance(self.index, LocVar):
+            idx = self.index.render()
+        else:
+            idx = location_str(self.index)
+        return f"{_render_subject(self.subject)}@{idx}"
+
+
+def _render_subject(term: Term) -> str:
+    if isinstance(term, (Name, Var)):
+        return term.render()
+    return repr(term)
+
+
+def chan(subject: Term, index: ChannelIndex = None) -> Channel:
+    """Convenience constructor for channels."""
+    return Channel(subject, index)
+
+
+# ----------------------------------------------------------------------
+# Process constructors
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Nil:
+    """The inert process ``0``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Output:
+    """``M<N>.P`` — send ``payload`` on ``channel``, continue as ``P``."""
+
+    channel: Channel
+    payload: Term
+    continuation: "Process" = field(default_factory=Nil)
+
+
+@dataclass(frozen=True, slots=True)
+class Input:
+    """``M(x).P`` — receive on ``channel`` binding ``binder`` in ``P``."""
+
+    channel: Channel
+    binder: Var
+    continuation: "Process" = field(default_factory=Nil)
+
+
+@dataclass(frozen=True, slots=True)
+class Restriction:
+    """``(nu m)P`` — declare the private name ``name`` in ``body``."""
+
+    name: Name
+    body: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Parallel:
+    """``P | Q`` — the binary parallel composition.
+
+    Parallel composition is the *structural* operator of the calculus:
+    its occurrences are the internal nodes of the tree of sequential
+    processes from which relative addresses are read off (Figure 1).
+    """
+
+    left: "Process"
+    right: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Match:
+    """``[M = N]P`` — behave as ``P`` if the two data are equal."""
+
+    left: Term
+    right: Term
+    continuation: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class AddrMatch:
+    """``[M =~ N]P`` — the paper's address matching.
+
+    Passes when the *origins* of the two sides coincide.  ``right`` may
+    be an :class:`~repro.core.terms.At` literal (compare against a fixed
+    relative address, resolved at the matcher's own location) or any
+    other term (compare the origins of two received data, as in the
+    replay-detecting tester of Section 5.2).
+    """
+
+    left: Term
+    right: Term
+    continuation: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Replication:
+    """``!P`` — infinitely many copies of ``P`` in parallel."""
+
+    body: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Case:
+    """``case L of {x1,...,xk}N in P`` — shared-key decryption.
+
+    If the scrutinee is a ciphertext under a key equal to ``key``, binds
+    the plaintext components to ``binders`` in ``continuation``;
+    otherwise the process is stuck.
+    """
+
+    scrutinee: Term
+    binders: tuple[Var, ...]
+    key: Term
+    continuation: "Process"
+
+    def __post_init__(self) -> None:
+        if not self.binders:
+            raise ProcessError("a case must bind at least one variable")
+        if len(set(self.binders)) != len(self.binders):
+            raise ProcessError("case binders must be pairwise distinct")
+
+
+@dataclass(frozen=True, slots=True)
+class IntCase:
+    """``case L of 0: P suc(x): Q`` — integer case of the full calculus.
+
+    If the scrutinee is ``0`` behaves as ``zero_branch``; if it is
+    ``suc(M)`` binds ``binder`` to ``M`` in ``succ_branch``; otherwise
+    the process is stuck.
+    """
+
+    scrutinee: Term
+    zero_branch: "Process"
+    binder: Var
+    succ_branch: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Split:
+    """``let (x, y) = M in P`` — pair projection (full-calculus helper).
+
+    The paper's simplified calculus omits pair splitting but the full spi
+    calculus has it, and it is convenient for protocol programming.
+    """
+
+    scrutinee: Term
+    first: Var
+    second: Var
+    continuation: "Process"
+
+    def __post_init__(self) -> None:
+        if self.first == self.second:
+            raise ProcessError("split binders must be distinct")
+
+
+Process = Union[
+    Nil,
+    Output,
+    Input,
+    Restriction,
+    Parallel,
+    Match,
+    AddrMatch,
+    Replication,
+    Case,
+    IntCase,
+    Split,
+]
+
+#: The sequential process constructors — everything except Parallel, whose
+#: occurrences form the internal nodes of the location tree.  (Restriction
+#: is transparent for addressing but *not* sequential; see ``walk_leaves``.)
+GUARD_TYPES = (Nil, Output, Input, Match, AddrMatch, Replication, Case, IntCase, Split)
+
+
+# ----------------------------------------------------------------------
+# Structure and traversal
+# ----------------------------------------------------------------------
+
+
+def children(proc: Process) -> tuple[Process, ...]:
+    """Immediate sub-processes of ``proc``."""
+    if isinstance(proc, Parallel):
+        return (proc.left, proc.right)
+    if isinstance(proc, Restriction):
+        return (proc.body,)
+    if isinstance(proc, Replication):
+        return (proc.body,)
+    if isinstance(proc, (Output, Input, Match, AddrMatch, Case, Split)):
+        return (proc.continuation,)
+    if isinstance(proc, IntCase):
+        return (proc.zero_branch, proc.succ_branch)
+    return ()
+
+
+def walk(proc: Process) -> Iterator[Process]:
+    """Pre-order traversal of a process and all its sub-processes."""
+    yield proc
+    for child in children(proc):
+        yield from walk(child)
+
+
+def walk_leaves(proc: Process, at: Location = ()) -> Iterator[tuple[Location, Process]]:
+    """The tree of sequential processes (Figure 1).
+
+    Yields ``(location, subprocess)`` for each leaf, where internal nodes
+    are parallel compositions and restrictions are transparent.
+    """
+    if isinstance(proc, Parallel):
+        yield from walk_leaves(proc.left, at + (0,))
+        yield from walk_leaves(proc.right, at + (1,))
+    elif isinstance(proc, Restriction):
+        yield from walk_leaves(proc.body, at)
+    else:
+        yield (at, proc)
+
+
+def subprocess_at(proc: Process, loc: Location) -> Process:
+    """The subtree rooted at ``loc`` (restrictions are transparent)."""
+    while isinstance(proc, Restriction):
+        proc = proc.body
+    if not loc:
+        return proc
+    if not isinstance(proc, Parallel):
+        raise ProcessError(f"no subprocess at location {loc}")
+    branch = proc.left if loc[0] == 0 else proc.right
+    return subprocess_at(branch, loc[1:])
+
+
+def replace_leaves(proc: Process, replacements: dict[Location, Process]) -> Process:
+    """Rebuild ``proc`` with the leaves at the given locations replaced.
+
+    Locations are interpreted as in :func:`walk_leaves`; restrictions on
+    the path are preserved.  Raises :class:`ProcessError` when a location
+    does not exist.
+    """
+
+    def go(p: Process, at: Location) -> Process:
+        pending = [loc for loc in replacements if loc[: len(at)] == at]
+        if not pending:
+            return p
+        if isinstance(p, Restriction):
+            return Restriction(p.name, go(p.body, at))
+        if at in replacements:
+            if len(pending) > 1:
+                raise ProcessError(f"nested replacement locations at {at}")
+            return replacements[at]
+        if not isinstance(p, Parallel):
+            raise ProcessError(f"replacement location {pending[0]} not in tree")
+        return Parallel(go(p.left, at + (0,)), go(p.right, at + (1,)))
+
+    return go(proc, ())
+
+
+def parallel(*procs: Process) -> Process:
+    """Left-associated parallel composition of one or more processes."""
+    if not procs:
+        return Nil()
+    result = procs[0]
+    for p in procs[1:]:
+        result = Parallel(result, p)
+    return result
+
+
+def restrict(names_: tuple[Name, ...] | list[Name] | Name, body: Process) -> Process:
+    """``(nu n1)...(nu nk) body`` for one or several names."""
+    if isinstance(names_, Name):
+        names_ = (names_,)
+    result = body
+    for n in reversed(tuple(names_)):
+        result = Restriction(n, result)
+    return result
+
+
+def seq_outputs(channel: Channel, payloads: list[Term], continuation: Process) -> Process:
+    """``c<p1>. c<p2>. ... . continuation`` — a chain of outputs."""
+    result = continuation
+    for p in reversed(payloads):
+        result = Output(channel, p, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Free names / variables
+# ----------------------------------------------------------------------
+
+
+def _channel_terms(ch: Channel) -> tuple[Term, ...]:
+    return (ch.subject,)
+
+
+def term_parts(proc: Process) -> tuple[Term, ...]:
+    """The terms occurring at the top constructor of ``proc``."""
+    if isinstance(proc, Output):
+        return _channel_terms(proc.channel) + (proc.payload,)
+    if isinstance(proc, Input):
+        return _channel_terms(proc.channel)
+    if isinstance(proc, (Match, AddrMatch)):
+        return (proc.left, proc.right)
+    if isinstance(proc, Case):
+        return (proc.scrutinee, proc.key)
+    if isinstance(proc, (Split, IntCase)):
+        return (proc.scrutinee,)
+    return ()
+
+
+def free_names(proc: Process) -> frozenset[Name]:
+    """Names free in ``proc`` (restriction is the only name binder)."""
+    from repro.core.terms import names_of
+
+    if isinstance(proc, Restriction):
+        return free_names(proc.body) - {proc.name}
+    result: set[Name] = set()
+    for t in term_parts(proc):
+        result |= names_of(t)
+    for child in children(proc):
+        result |= free_names(child)
+    return frozenset(result)
+
+
+def free_variables(proc: Process) -> frozenset[Var]:
+    """Variables free in ``proc`` (inputs, cases and splits bind)."""
+    from repro.core.terms import variables_of
+
+    result: set[Var] = set()
+    for t in term_parts(proc):
+        result |= variables_of(t)
+    if isinstance(proc, Input):
+        result |= free_variables(proc.continuation) - {proc.binder}
+    elif isinstance(proc, Case):
+        result |= free_variables(proc.continuation) - set(proc.binders)
+    elif isinstance(proc, Split):
+        result |= free_variables(proc.continuation) - {proc.first, proc.second}
+    elif isinstance(proc, IntCase):
+        result |= free_variables(proc.zero_branch)
+        result |= free_variables(proc.succ_branch) - {proc.binder}
+    else:
+        for child in children(proc):
+            result |= free_variables(child)
+    return frozenset(result)
+
+
+def free_locvars(proc: Process) -> frozenset[LocVar]:
+    """Location variables occurring in channel indexes of ``proc``.
+
+    Location variables have no user-level binder: they are free until the
+    abstract machine instantiates them at the first communication.
+    """
+    result: set[LocVar] = set()
+    if isinstance(proc, (Output, Input)) and isinstance(proc.channel.index, LocVar):
+        result.add(proc.channel.index)
+    for child in children(proc):
+        result |= free_locvars(child)
+    return frozenset(result)
+
+
+def bound_names(proc: Process) -> frozenset[Name]:
+    """All names bound by a restriction anywhere in ``proc``."""
+    return frozenset(p.name for p in walk(proc) if isinstance(p, Restriction))
+
+
+def process_size(proc: Process) -> int:
+    """Number of constructors — a cheap complexity measure for budgets."""
+    return sum(1 for _ in walk(proc))

@@ -1,0 +1,300 @@
+"""Terms of the (simplified) spi calculus, extended with localization.
+
+The paper's grammar for terms is::
+
+    L, M, N ::= a, b, c, k, m, n        names
+              | x, y, z, w             variables
+              | (M1, M2)               pairs
+              | {M1, ..., Mk}N         shared-key encryption
+
+To support the paper's *message authentication* primitive, values that
+flow through the abstract machine additionally carry their origin:
+
+* a :class:`Name` records the absolute location of its *creator* (the
+  position of the restriction that declared it) — the paper's "names
+  handled locally";
+* a composite value constructed and sent by a process is wrapped in a
+  :class:`Localized` node recording the sender's location, so a receiver
+  (in particular a tester) can ascertain the origin of a message;
+* tester-side *literal* localized terms (``l n`` in the paper, e.g.
+  ``[z =~ ||1||0*||1]``) are written with :class:`At`, which pairs a
+  relative address with an optional payload and is resolved against the
+  matcher's own location when the match is attempted.
+
+All term classes are immutable; sharing is safe across states of the
+state-space exploration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.core.addresses import Location, RelativeAddress
+from repro.core.errors import TermError
+
+_uid_counter = itertools.count(1)
+
+
+def fresh_uid() -> int:
+    """Return a process-wide fresh integer (used to uniquify binders)."""
+    return next(_uid_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Name:
+    """A name ``a, b, c, k, m, n, ...``.
+
+    Attributes:
+        base: the user-visible spelling.
+        uid: ``None`` for *free* (global) names; a unique integer for
+            names created by a restriction once the system has been
+            instantiated.  Two names are the same channel/key iff their
+            ``(base, uid)`` pair is equal.
+        creator: absolute location of the process that created the name
+            (``None`` for free names, which belong to the environment).
+            The creator participates in equality: it is assigned exactly
+            once, together with ``uid``, so equal ``(base, uid)`` always
+            implies equal ``creator``.
+    """
+
+    base: str
+    uid: Optional[int] = None
+    creator: Optional[Location] = None
+
+    def is_free(self) -> bool:
+        """True for global names that no restriction binds."""
+        return self.uid is None
+
+    def render(self) -> str:
+        return self.base if self.uid is None else f"{self.base}#{self.uid}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A variable ``x, y, z, w, ...`` bound by an input or a decryption."""
+
+    ident: str
+    uid: Optional[int] = None
+
+    def render(self) -> str:
+        return self.ident if self.uid is None else f"{self.ident}#{self.uid}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+
+@dataclass(frozen=True, slots=True)
+class Pair:
+    """The pair ``(M1, M2)``."""
+
+    first: "Term"
+    second: "Term"
+
+
+@dataclass(frozen=True, slots=True)
+class Zero:
+    """The natural number ``0`` of the full spi calculus.
+
+    The paper works in a simplified calculus but notes "in the full
+    calculus, terms can also be pairs, zero and successors of terms";
+    this library implements the full term language.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Succ:
+    """The successor ``suc(M)`` of the full spi calculus."""
+
+    term: "Term"
+
+
+@dataclass(frozen=True, slots=True)
+class SharedEnc:
+    """The shared-key ciphertext ``{M1, ..., Mk}N``.
+
+    Under the perfect-cryptography assumption the only way to recover the
+    body is a ``case`` with a key equal to ``key``.
+    """
+
+    body: tuple["Term", ...]
+    key: "Term"
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise TermError("a ciphertext must contain at least one term")
+
+
+@dataclass(frozen=True, slots=True)
+class Localized:
+    """A runtime value together with the location of its creator.
+
+    Produced by the abstract machine when a composite term is sent: the
+    message is "seen by the receiver as localized in the local space of
+    the sender".  User code never constructs these directly.
+    """
+
+    creator: Location
+    term: "Term"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.term, Localized):
+            raise TermError("localized values do not nest at top level")
+
+
+@dataclass(frozen=True, slots=True)
+class At:
+    """A syntactic localized literal ``l M`` (tester vocabulary).
+
+    ``At(l, None)`` denotes "any datum originating at ``l``"; with a
+    payload it denotes that specific datum localized at ``l``.  The
+    relative address ``l`` is interpreted at the location of the process
+    performing the match.
+    """
+
+    address: RelativeAddress
+    term: Optional["Term"] = None
+
+
+Term = Union[Name, Var, Pair, Zero, Succ, SharedEnc, Localized, At]
+
+#: Term constructors that may appear in *user-written* (source) terms.
+SOURCE_TERM_TYPES = (Name, Var, Pair, Zero, Succ, SharedEnc, At)
+
+
+# ----------------------------------------------------------------------
+# Generic traversal helpers
+# ----------------------------------------------------------------------
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Depth-first pre-order iterator over a term and all its subterms."""
+    yield term
+    if isinstance(term, Pair):
+        yield from subterms(term.first)
+        yield from subterms(term.second)
+    elif isinstance(term, Succ):
+        yield from subterms(term.term)
+    elif isinstance(term, SharedEnc):
+        for part in term.body:
+            yield from subterms(part)
+        yield from subterms(term.key)
+    elif isinstance(term, Localized):
+        yield from subterms(term.term)
+    elif isinstance(term, At) and term.term is not None:
+        yield from subterms(term.term)
+
+
+def names_of(term: Term) -> frozenset[Name]:
+    """All names occurring anywhere in ``term``."""
+    return frozenset(t for t in subterms(term) if isinstance(t, Name))
+
+
+def variables_of(term: Term) -> frozenset[Var]:
+    """All variables occurring anywhere in ``term``."""
+    return frozenset(t for t in subterms(term) if isinstance(t, Var))
+
+
+def is_closed(term: Term) -> bool:
+    """True when the term contains no variables."""
+    return not variables_of(term)
+
+
+# ----------------------------------------------------------------------
+# Origins (message authentication)
+# ----------------------------------------------------------------------
+
+
+def origin(value: Term) -> Optional[Location]:
+    """The absolute location of the creator of a runtime value.
+
+    Names report the location of the restriction that created them;
+    localized composites report the location of the sender that built
+    them.  Free names and never-sent composites have no origin.
+    """
+    if isinstance(value, Name):
+        return value.creator
+    if isinstance(value, Localized):
+        return value.creator
+    return None
+
+
+def payload(value: Term) -> Term:
+    """The underlying datum of a runtime value (strips localization)."""
+    return value.term if isinstance(value, Localized) else value
+
+
+def localize(value: Term, sender: Location) -> Term:
+    """Attach an origin to an outgoing message, if it does not have one.
+
+    A forwarded value (a name, or an already-localized composite) keeps
+    its original creator — this is the address-preservation property the
+    paper's message authentication rests on.  A composite freshly built
+    by the sender becomes localized at the sender.
+    """
+    if isinstance(value, (Name, Localized)):
+        return value
+    if isinstance(value, (Var, At)):
+        raise TermError(f"cannot send open or literal term {value!r}")
+    return Localized(sender, value)
+
+
+def values_equal(a: Term, b: Term) -> bool:
+    """Equality of runtime data, ignoring top-level localization.
+
+    This is the ``[M = N]`` matching of the calculus: two values match
+    when they denote the same datum.  Name identity includes the creator,
+    so two names from different restriction instances never match even if
+    they share a spelling.
+    """
+    return payload(a) == payload(b)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+
+
+def names(spec: str) -> tuple[Name, ...]:
+    """Split a whitespace/comma separated spec into free names.
+
+    >>> a, b = names("a b")
+    """
+    parts = spec.replace(",", " ").split()
+    return tuple(Name(p) for p in parts)
+
+
+def variables(spec: str) -> tuple[Var, ...]:
+    """Split a whitespace/comma separated spec into variables."""
+    parts = spec.replace(",", " ").split()
+    return tuple(Var(p) for p in parts)
+
+
+def enc(*body: Term, key: Term) -> SharedEnc:
+    """Build ``{body}key`` with a keyword for readability at call sites."""
+    return SharedEnc(tuple(body), key)
+
+
+def nat(value: int) -> Term:
+    """The numeral for a non-negative Python int, e.g. ``nat(2)`` =
+    ``suc(suc(0))``."""
+    if value < 0:
+        raise TermError("naturals cannot encode negative numbers")
+    result: Term = Zero()
+    for _ in range(value):
+        result = Succ(result)
+    return result
+
+
+def nat_value(term: Term) -> Optional[int]:
+    """The Python int a closed numeral denotes (``None`` otherwise)."""
+    count = 0
+    term = payload(term)
+    while isinstance(term, Succ):
+        count += 1
+        term = payload(term.term)
+    return count if isinstance(term, Zero) else None

@@ -1,0 +1,101 @@
+"""Barbs, exhibition and convergence (Section 4.1 of the paper).
+
+A process *exhibits* a barb ``beta`` (written ``P # beta`` in the paper)
+when it can immediately perform a visible input or output on the barb's
+channel; it *converges* on ``beta`` (``P \\\\ beta``) when some sequence
+of silent steps leads to a state that exhibits it.  Channels restricted
+at system construction are internal and never give rise to barbs — this
+is what makes Definition 4's protocol channels unobservable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.terms import Name
+from repro.semantics.actions import Barb
+from repro.semantics.lts import Budget, DEFAULT_BUDGET, reachable
+from repro.semantics.system import System
+from repro.semantics.transitions import pending_actions
+
+
+def barbs(system: System) -> frozenset[Barb]:
+    """All barbs the system exhibits right now."""
+    result: set[Barb] = set()
+    for action in pending_actions(system):
+        if action.channel_subject not in system.private:
+            result.add(action.barb())
+    return frozenset(result)
+
+
+#: A barb enriched with the origin of the offered output payload (None
+#: for inputs, origin-less data, and unsendable literals).
+RichBarb = tuple[Barb, Optional[tuple[int, ...]]]
+
+
+def rich_barbs(system: System) -> frozenset[RichBarb]:
+    """Barbs together with the origin of the datum on offer.
+
+    The paper's testers can observe *where a received message was
+    created* (address matching), so a proof technique sound for its
+    testing preorder must distinguish an output of an attacker-created
+    datum from an output of an honest one even on the same channel.
+    This is the barb notion :mod:`repro.equivalence.simulation` uses.
+    """
+    from repro.core.errors import TermError
+    from repro.core.terms import localize, origin
+
+    result: set[RichBarb] = set()
+    for action in pending_actions(system):
+        if action.channel_subject in system.private:
+            continue
+        if not action.is_output:
+            result.add((action.barb(), None))
+            continue
+        try:
+            value = localize(action.payload, action.act_loc)
+        except TermError:
+            result.add((action.barb(), None))
+            continue
+        result.add((action.barb(), origin(value)))
+    return frozenset(result)
+
+
+def exhibits(system: System, barb: Barb) -> bool:
+    """``system # barb`` — an immediate visible commitment exists."""
+    return barb in barbs(system)
+
+
+def converges(
+    system: System, barb: Barb, budget: Budget = DEFAULT_BUDGET
+) -> tuple[bool, bool]:
+    """``system \\\\ barb`` — some tau-run reaches a state exhibiting it.
+
+    Returns ``(converges, exhaustive)``; a ``(False, False)`` result
+    means the exploration budget ran out first.
+    """
+    return reachable(system, lambda s: exhibits(s, barb), budget)
+
+
+def converges_any(
+    system: System, candidates: Iterable[Barb], budget: Budget = DEFAULT_BUDGET
+) -> tuple[Optional[Barb], bool]:
+    """First barb among ``candidates`` the system converges on."""
+    wanted = frozenset(candidates)
+
+    hit: list[Barb] = []
+
+    def check(state: System) -> bool:
+        found = barbs(state) & wanted
+        if found:
+            hit.append(next(iter(found)))
+            return True
+        return False
+
+    found, exhaustive = reachable(system, check, budget)
+    return (hit[0] if found else None), exhaustive
+
+
+def observable_channels(system: System) -> frozenset[Name]:
+    """The channels on which the system can currently be observed."""
+    return frozenset(b.channel for b in barbs(system))

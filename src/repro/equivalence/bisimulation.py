@@ -1,0 +1,92 @@
+"""Barbed weak bisimulation.
+
+Sangiorgi's barbed bisimulation [26] is the symmetric strengthening of
+the simulation used in the paper's proofs: both systems must weakly
+match each other's steps and (rich) barbs.  Where the simulation of
+:mod:`repro.equivalence.simulation` answers "is every behaviour of the
+implementation also a spec behaviour?", bisimilarity answers "do the
+two systems offer exactly the same behaviours?" — a convenient way to
+show two *formulations* of the same protocol equivalent (e.g. a
+hand-written process vs. the narration compiler's output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.equivalence.simulation import tau_closure, weak_barb_table
+from repro.equivalence.barbs import rich_barbs
+from repro.semantics.lts import Budget, DEFAULT_BUDGET, Graph, explore
+from repro.semantics.system import System
+
+
+def largest_bisimulation(left: Graph, right: Graph) -> set[tuple[str, str]]:
+    """The largest barbed weak bisimulation between two explored graphs."""
+    left_barbs = {key: rich_barbs(state) for key, state in left.states.items()}
+    right_barbs = {key: rich_barbs(state) for key, state in right.states.items()}
+    left_weak = weak_barb_table(left)
+    right_weak = weak_barb_table(right)
+    left_closure = tau_closure(left)
+    right_closure = tau_closure(right)
+
+    relation: set[tuple[str, str]] = {
+        (p, q)
+        for p in left.states
+        for q in right.states
+        if left_barbs[p] <= right_weak[q] and right_barbs[q] <= left_weak[p]
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in tuple(relation):
+            if pair not in relation:
+                continue
+            p, q = pair
+            ok = all(
+                any((p_next, q2) in relation for q2 in right_closure[q])
+                for _, p_next in left.successors_of(p)
+            ) and all(
+                any((p2, q_next) in relation for p2 in left_closure[p])
+                for _, q_next in right.successors_of(q)
+            )
+            if not ok:
+                relation.discard(pair)
+                changed = True
+    return relation
+
+
+@dataclass(frozen=True, slots=True)
+class BisimulationResult:
+    """Outcome of a barbed-weak-bisimilarity check (budget-qualified)."""
+
+    holds: bool
+    truncated: bool
+    left_states: int
+    right_states: int
+    relation_size: int
+
+    def describe(self) -> str:
+        verdict = "bisimilar" if self.holds else "NOT bisimilar"
+        qualifier = " (budget-truncated exploration)" if self.truncated else ""
+        return (
+            f"left ({self.left_states} states) and right "
+            f"({self.right_states} states) are {verdict}; "
+            f"|R| = {self.relation_size}{qualifier}"
+        )
+
+
+def weakly_bisimilar(
+    left: System, right: System, budget: Budget = DEFAULT_BUDGET
+) -> BisimulationResult:
+    """Are the two systems barbed-weakly bisimilar (up to the budget)?"""
+    left_graph = explore(left, budget)
+    right_graph = explore(right, budget)
+    relation = largest_bisimulation(left_graph, right_graph)
+    return BisimulationResult(
+        holds=(left_graph.initial, right_graph.initial) in relation,
+        truncated=left_graph.truncated or right_graph.truncated,
+        left_states=left_graph.state_count(),
+        right_states=right_graph.state_count(),
+        relation_size=len(relation),
+    )

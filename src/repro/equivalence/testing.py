@@ -1,0 +1,187 @@
+"""May-testing (Definition 3) and its protocol-composition harness.
+
+A *test* is a pair ``(T, beta)`` of a closed tester process and a barb.
+A process ``P`` passes the test iff ``(P | T)`` converges on ``beta``.
+The may-testing preorder ``P <= Q`` holds when every test ``P`` passes
+is also passed by ``Q``.
+
+The paper applies the preorder to *protocol configurations*
+``(nu C)(P | X)`` — a protocol with its channels restricted, composed
+with an attacker ``X`` that can only use those channels — and testers
+whose distinguishing power includes *address matching*, so they can
+observe where a message in a continuation originated.
+
+Because locations (and hence name identities and address literals)
+depend on the shape of the final composition, composition happens on raw
+processes here, and instantiation is the last step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.processes import Parallel, Process, parallel, restrict
+from repro.core.terms import Name
+from repro.equivalence.barbs import converges
+from repro.semantics.actions import Barb
+from repro.semantics.lts import Budget, DEFAULT_BUDGET
+from repro.semantics.system import System, instantiate, left_associated_locations
+
+
+@dataclass(frozen=True, slots=True)
+class Test:
+    """A may-test ``(T, beta)`` with a human-readable name."""
+
+    # Tell pytest this dataclass is not a test-case class.
+    __test__ = False
+
+    name: str
+    tester: Process
+    barb: Barb
+
+
+@dataclass(frozen=True, slots=True)
+class Configuration:
+    """A protocol ready to be tested: principals plus hidden channels.
+
+    Attributes:
+        parts: labelled raw principals, composed left-associatively.
+            Include the attacker here (Definition 4 restricts the
+            attacker together with the protocol).
+        private: the protocol channels ``C`` — restricted around the
+            parts, so neither testers nor any outside observer can see
+            or use them.
+        subroles: extra role labels for principals nested *inside* a
+            part — e.g. ``("P", (0,), "A")`` names the left component of
+            part ``P``.  Needed when a protocol's key or session-channel
+            restriction spans both principals, forcing them into one
+            part.
+        hidden: additional names restricted around the parts that are
+            *not* protocol channels: long-term keys and other shared
+            secrets.  Unlike ``private``, hidden names are never handed
+            to attacker models as initial knowledge.
+    """
+
+    parts: tuple[tuple[str, Process], ...]
+    private: tuple[Name, ...] = ()
+    subroles: tuple[tuple[str, tuple[int, ...], str], ...] = ()
+    hidden: tuple[Name, ...] = ()
+
+    def with_part(self, label: str, proc: Process) -> "Configuration":
+        return Configuration(
+            self.parts + ((label, proc),), self.private, self.subroles, self.hidden
+        )
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.parts)
+
+
+def compose(config: Configuration, tester: Optional[Process] = None) -> System:
+    """Instantiate ``((nu C)(parts...)) | T`` with roles registered.
+
+    Without a tester the system is just the restricted composition.  The
+    tester, when present, sits *outside* the restriction: it interacts
+    with continuations only, never with the protocol channels.
+    """
+    inner_locs = left_associated_locations(len(config.parts))
+    inner = restrict(
+        config.hidden + config.private, parallel(*(p for _, p in config.parts))
+    )
+    prefix: tuple[int, ...] = () if tester is None else (0,)
+    part_locs = {
+        label: prefix + loc for loc, (label, _) in zip(inner_locs, config.parts)
+    }
+    roles = [(loc, label) for label, loc in part_locs.items()]
+    for parent, rel, sublabel in config.subroles:
+        roles.append((part_locs[parent] + rel, sublabel))
+    if tester is None:
+        return instantiate(inner, roles=roles)
+    root = Parallel(inner, tester)
+    roles.append(((1,), "T"))
+    return instantiate(root, roles=roles)
+
+
+def part_locations(config: Configuration, with_tester: bool) -> dict[str, tuple[int, ...]]:
+    """Where each role will sit once composed (before instantiating).
+
+    Lets callers build testers and attackers whose address literals
+    refer to the final tree shape.  Subroles are included.
+    """
+    inner_locs = left_associated_locations(len(config.parts))
+    prefix: tuple[int, ...] = (0,) if with_tester else ()
+    table = {label: prefix + loc for loc, (label, _) in zip(inner_locs, config.parts)}
+    for parent, rel, sublabel in config.subroles:
+        table[sublabel] = table[parent] + rel
+    if with_tester:
+        table["T"] = (1,)
+    return table
+
+
+def passes(
+    config: Configuration, test: Test, budget: Budget = DEFAULT_BUDGET
+) -> tuple[bool, bool]:
+    """Does the configuration pass ``(T, beta)``?
+
+    Returns ``(passed, exhaustive)`` — a negative verdict is only
+    conclusive when ``exhaustive`` is True.
+    """
+    system = compose(config, test.tester)
+    return converges(system, test.barb, budget)
+
+
+@dataclass(frozen=True, slots=True)
+class Distinction:
+    """Witness that the may-testing preorder fails: ``left`` passes a
+    test that ``right`` does not pass."""
+
+    test: Test
+    exhaustive: bool
+
+    def describe(self) -> str:
+        qualifier = "" if self.exhaustive else " (within the exploration budget)"
+        return (
+            f"test {self.test.name!r} with barb {self.test.barb.render()} is "
+            f"passed by the left configuration but not the right{qualifier}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PreorderVerdict:
+    """Result of checking ``left <= right`` over a finite test suite.
+
+    ``holds`` is True when no distinguishing test was found.  The check
+    is exact for the supplied tests only; ``exhaustive`` is False when
+    some exploration hit its budget, in which case a True verdict is
+    "no counterexample found" rather than a proof.
+    """
+
+    holds: bool
+    tests_run: int
+    distinction: Optional[Distinction] = None
+    exhaustive: bool = True
+
+
+def may_preorder(
+    left: Configuration,
+    right: Configuration,
+    tests: Sequence[Test],
+    budget: Budget = DEFAULT_BUDGET,
+) -> PreorderVerdict:
+    """Check ``left <= right`` (Definition 3) over the given tests."""
+    all_exhaustive = True
+    for test in tests:
+        left_passes, left_exh = passes(left, test, budget)
+        if not left_passes:
+            all_exhaustive = all_exhaustive and left_exh
+            continue
+        right_passes, right_exh = passes(right, test, budget)
+        all_exhaustive = all_exhaustive and right_exh
+        if not right_passes:
+            return PreorderVerdict(
+                holds=False,
+                tests_run=len(tests),
+                distinction=Distinction(test, right_exh),
+                exhaustive=right_exh,
+            )
+    return PreorderVerdict(holds=True, tests_run=len(tests), exhaustive=all_exhaustive)

@@ -1,0 +1,143 @@
+"""Additional protocols built with the narration compiler.
+
+These exercise the library beyond the paper's toy examples: a key
+transport through a trusted server (wide-mouthed-frog style), a
+two-message nonce handshake, and helpers to wrap any compiled narration
+into a Definition-4 :class:`~repro.equivalence.testing.Configuration`
+against the paper's abstract specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.analysis.narration import (
+    Message,
+    NarrationSpec,
+    compile_narration,
+    enc_msg,
+    ref,
+)
+from repro.core.processes import Channel, Nil, Output, Process
+from repro.core.terms import Name, Term
+from repro.equivalence.testing import Configuration
+
+#: Observation channel used by all library continuations.
+OBSERVE = Name("observe")
+
+
+def observer(ident: str) -> Callable[[Mapping[str, Term]], Process]:
+    """Continuation publishing the named datum on ``observe``.
+
+    The published value carries its origin, so Definition-4 testers can
+    check who really created it.
+    """
+
+    def continuation(known: Mapping[str, Term]) -> Process:
+        return Output(Channel(OBSERVE), known[ident], Nil())
+
+    return continuation
+
+
+# ----------------------------------------------------------------------
+# Library narrations
+# ----------------------------------------------------------------------
+
+
+def wide_mouthed_frog(replicate: bool = False) -> NarrationSpec:
+    """A wide-mouthed-frog style session-key transport.
+
+    ::
+
+        Message 1  A -> S : {KAB}KAS     (A invents the session key)
+        Message 2  S -> B : {KAB}KBS     (the server re-encrypts it)
+        Message 3  A -> B : {M}KAB       (payload under the session key)
+
+    ``B`` learns ``KAB`` from the server and uses the *learned* key to
+    decrypt the payload — exercising decryption under received keys in
+    the narration compiler.
+    """
+    return NarrationSpec(
+        roles=("A", "S", "B"),
+        channel="c",
+        shared_keys={"KAS": ("A", "S"), "KBS": ("S", "B")},
+        fresh={"A": ("KAB", "M")},
+        messages=(
+            Message("A", "S", enc_msg(ref("KAB"), key="KAS")),
+            Message("S", "B", enc_msg(ref("KAB"), key="KBS")),
+            Message("A", "B", enc_msg(ref("M"), key="KAB")),
+        ),
+        replicate=replicate,
+    )
+
+
+def nonce_handshake(replicate: bool = False) -> NarrationSpec:
+    """The paper's challenge-response (Pm3) as a narration.
+
+    ::
+
+        Message 1  B -> A : N
+        Message 2  A -> B : {M, N}KAB
+    """
+    return NarrationSpec(
+        roles=("A", "B"),
+        channel="c",
+        shared_keys={"KAB": ("A", "B")},
+        fresh={"A": ("M",), "B": ("N",)},
+        messages=(
+            Message("B", "A", ref("N")),
+            Message("A", "B", enc_msg(ref("M"), ref("N"), key="KAB")),
+        ),
+        replicate=replicate,
+    )
+
+
+def plain_transport(replicate: bool = False) -> NarrationSpec:
+    """The paper's P1/Pm1: one plaintext message, no protection."""
+    return NarrationSpec(
+        roles=("A", "B"),
+        channel="c",
+        fresh={"A": ("M",)},
+        messages=(Message("A", "B", ref("M")),),
+        replicate=replicate,
+    )
+
+
+def encrypted_transport(replicate: bool = False) -> NarrationSpec:
+    """The paper's P2/Pm2: one message under a long-term shared key."""
+    return NarrationSpec(
+        roles=("A", "B"),
+        channel="c",
+        shared_keys={"KAB": ("A", "B")},
+        fresh={"A": ("M",)},
+        messages=(Message("A", "B", enc_msg(ref("M"), key="KAB")),),
+        replicate=replicate,
+    )
+
+
+# ----------------------------------------------------------------------
+# Configuration helpers
+# ----------------------------------------------------------------------
+
+
+def narration_configuration(
+    spec: NarrationSpec,
+    observed_role: str = "B",
+    observed_datum: str = "M",
+    continuations: Optional[Mapping[str, Callable[[Mapping[str, Term]], Process]]] = None,
+) -> Configuration:
+    """Compile a narration and wrap it as a testable configuration.
+
+    By default the ``observed_role`` republishes ``observed_datum`` on
+    ``observe`` as its continuation.  All narration channels are made
+    private (the set ``C`` of Definition 4), and so are the long-term
+    shared keys: free names are public in this model, so a key left
+    free would be attacker knowledge.
+    """
+    conts = dict(continuations) if continuations else {
+        observed_role: observer(observed_datum)
+    }
+    roles = compile_narration(spec, continuations=conts)
+    parts = tuple((role, roles[role]) for role in spec.roles)
+    keys = tuple(Name(key) for key in spec.shared_keys)
+    return Configuration(parts=parts, private=spec.channels(), hidden=keys)

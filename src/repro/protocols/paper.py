@@ -1,0 +1,217 @@
+"""The protocols of Section 5 of the paper.
+
+Single session (Section 5.1):
+
+* :func:`abstract_protocol` — ``P``: the secure-by-construction
+  specification.  ``A`` freshly creates ``M`` and sends it on ``c``;
+  ``B`` receives only on ``c@lamB``, a channel that the startup phase
+  pins to ``A``'s location.
+* :func:`plaintext_protocol` — ``P1``: the insecure implementation that
+  sends ``M`` in the clear on an ordinary channel (no localization, no
+  cryptography).  Subject to the impersonation attack ``E(A) -> B : ME``.
+* :func:`crypto_protocol` — ``P2``: sends ``{M}KAB`` under a key shared
+  by ``A`` and ``B``.  Securely implements ``P`` for a single session
+  (Proposition 2).
+
+Multiple sessions (Section 5.2):
+
+* :func:`abstract_multisession` — ``Pm``: the replicated specification.
+* :func:`crypto_multisession` — ``Pm2``: replicated ``P2``; broken by a
+  replay attack (``E`` intercepts ``{M}KAB`` and delivers it twice).
+* :func:`challenge_response_multisession` — ``Pm3``: nonce
+  challenge-response, ``B -> A : N`` then ``A -> B : {M, N}KAB``;
+  securely implements ``Pm`` (Proposition 4).
+
+Each builder takes the continuation ``B0`` as a function of the received
+variable, defaulting to the paper's observing continuation
+``B0(z) = observe<z>``, whose output is the only barb the testers of
+Definition 4 can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.processes import (
+    Case,
+    Channel,
+    Input,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.terms import Name, SharedEnc, Term, Var, fresh_uid
+from repro.protocols.startup import m_startup, startup
+
+#: Type of protocol continuations: given the received value (a term,
+#: usually a variable), produce the process that runs after the session.
+Continuation = Callable[[Term], Process]
+
+#: The canonical observation channel of the paper's examples.
+OBSERVE = Name("observe")
+
+
+def observing_continuation(value: Term) -> Process:
+    """``B0(z) = observe<z>`` — republish the received datum."""
+    return Output(Channel(OBSERVE), value, Nil())
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolPair:
+    """A principal pair ``(A, B)`` plus the channels they use.
+
+    ``channels`` lists the message-exchange channels (the set ``C`` of
+    Definition 4) — the ones an attacker may use and a configuration
+    must restrict.
+    """
+
+    initiator: Process
+    responder: Process
+    channels: tuple[Name, ...]
+
+    def parts(self) -> tuple[tuple[str, Process], ...]:
+        return (("A", self.initiator), ("B", self.responder))
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 — single session
+# ----------------------------------------------------------------------
+
+
+def abstract_protocol(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+) -> Process:
+    """``P = startup(***, A, lamB, B)`` — authentic by construction.
+
+    ``B`` only accepts the message on a channel localized to ``A``: the
+    semantics rules make it impossible for any environment to make ``B``
+    accept a datum whose origin is not ``A`` (Proposition 1).
+    """
+    c = Name(channel)
+    lam_b = LocVar("lamB", fresh_uid())
+    m = Name("M")
+    z = Var("z", fresh_uid())
+    side_a = Restriction(m, Output(Channel(c), m, Nil()))
+    side_b = Input(Channel(c, lam_b), z, continuation(z))
+    return startup(None, side_a, lam_b, side_b)
+
+
+def plaintext_protocol(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+) -> ProtocolPair:
+    """``P1 = A1 | B1`` — M travels in the clear, nothing is localized."""
+    c = Name(channel)
+    m = Name("M")
+    z = Var("z", fresh_uid())
+    side_a = Restriction(m, Output(Channel(c), m, Nil()))
+    side_b = Input(Channel(c), z, continuation(z))
+    return ProtocolPair(side_a, side_b, (c,))
+
+
+def crypto_protocol(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+) -> Process:
+    """``P2 = (nu KAB)(A2 | B2)`` — M protected by a shared key.
+
+    Returns the full process (the key restriction spans both sides);
+    the message channel is the free name ``channel``.
+    """
+    c = Name(channel)
+    kab = Name("KAB")
+    m = Name("M")
+    z = Var("z", fresh_uid())
+    w = Var("w", fresh_uid())
+    side_a = Restriction(m, Output(Channel(c), SharedEnc((m,), kab), Nil()))
+    side_b = Input(Channel(c), z, Case(z, (w,), kab, continuation(w)))
+    return Restriction(kab, Parallel(side_a, side_b))
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — multiple sessions
+# ----------------------------------------------------------------------
+
+
+def abstract_multisession(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+) -> Process:
+    """``Pm = m_startup(***, A, lamB, B)`` — replicated specification."""
+    c = Name(channel)
+    lam_b = LocVar("lamB", fresh_uid())
+    m = Name("M")
+    z = Var("z", fresh_uid())
+    side_a = Restriction(m, Output(Channel(c), m, Nil()))
+    side_b = Input(Channel(c, lam_b), z, continuation(z))
+    return m_startup(None, side_a, lam_b, side_b)
+
+
+def crypto_multisession(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+) -> Process:
+    """``Pm2 = (nu KAB)(!A2 | !B2)`` — replicated P2; replay-broken."""
+    c = Name(channel)
+    kab = Name("KAB")
+    m = Name("M")
+    z = Var("z", fresh_uid())
+    w = Var("w", fresh_uid())
+    side_a = Replication(
+        Restriction(m, Output(Channel(c), SharedEnc((m,), kab), Nil()))
+    )
+    side_b = Replication(Input(Channel(c), z, Case(z, (w,), kab, continuation(w))))
+    return Restriction(kab, Parallel(side_a, side_b))
+
+
+def challenge_response_multisession(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+) -> Process:
+    """``Pm3 = (nu KAB)(!A3 | !B3)`` — nonce challenge-response.
+
+    ``A3 = (nu M) c(ns). c<{M, ns}KAB>`` and
+    ``B3 = (nu N) c<N>. c(x). case x of {z, w}KAB in [w = N] B0(z)``.
+    The nonce ties each message to one responder instance, restoring the
+    freshness that plain ``Pm2`` lacks (Proposition 4).
+    """
+    c = Name(channel)
+    kab = Name("KAB")
+    m = Name("M")
+    n = Name("N")
+    ns = Var("ns", fresh_uid())
+    x = Var("x", fresh_uid())
+    z = Var("z", fresh_uid())
+    w = Var("w", fresh_uid())
+    side_a = Replication(
+        Restriction(
+            m,
+            Input(
+                Channel(c),
+                ns,
+                Output(Channel(c), SharedEnc((m, ns), kab), Nil()),
+            ),
+        )
+    )
+    side_b = Replication(
+        Restriction(
+            n,
+            Output(
+                Channel(c),
+                n,
+                Input(
+                    Channel(c),
+                    x,
+                    Case(x, (z, w), kab, Match(w, n, continuation(z))),
+                ),
+            ),
+        )
+    )
+    return Restriction(kab, Parallel(side_a, side_b))

@@ -1,0 +1,127 @@
+"""The reflection attack the paper flags as future work (end of Sec. 5).
+
+    "Note that we are only considering protocols in which the roles of
+    the initiator and responder are clearly separated.  If A and B could
+    play both the two roles in parallel sessions, then the protocol
+    above would suffer of a well-known reflection attack."
+
+This module makes that remark executable.  In :func:`bidirectional_pm3`
+both principals run the initiator role *and* the responder role under
+the same long-term key.  The classic reflection then applies: the
+attacker takes the responder's challenge ``N``, feeds it to the *same*
+principal's initiator side, and reflects the answer ``{M', N}KAB`` back
+to the responder — which accepts a message that its own side created.
+
+The message-authentication tester detects this immediately: the
+delivered datum originates at ``B``'s initiator, not at ``A``.
+"""
+
+from __future__ import annotations
+
+from repro.core.processes import (
+    Case,
+    Channel,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.terms import Name, SharedEnc, Var, fresh_uid
+from repro.equivalence.testing import Configuration
+from repro.protocols.paper import Continuation, observing_continuation
+
+
+def initiator_role(channel: Name, key: Name) -> Process:
+    """``(nu M) c(ns). c<{M, ns}KAB>`` — answer any challenge."""
+    m = Name("M")
+    ns = Var("ns", fresh_uid())
+    return Restriction(
+        m,
+        Input(Channel(channel), ns, Output(Channel(channel), SharedEnc((m, ns), key), Nil())),
+    )
+
+
+def responder_role(
+    channel: Name, key: Name, continuation: Continuation = observing_continuation
+) -> Process:
+    """``(nu N) c<N>. c(x). case x of {z, w}KAB in [w = N] B0(z)``."""
+    n = Name("N")
+    x = Var("x", fresh_uid())
+    z = Var("z", fresh_uid())
+    w = Var("w", fresh_uid())
+    return Restriction(
+        n,
+        Output(
+            Channel(channel),
+            n,
+            Input(
+                Channel(channel),
+                x,
+                Case(x, (z, w), key, Match(w, n, continuation(z))),
+            ),
+        ),
+    )
+
+
+def bidirectional_pm3(
+    continuation: Continuation = observing_continuation,
+    channel: str = "c",
+    replicate: bool = False,
+) -> Configuration:
+    """Pm3 with both principals playing both roles under one key.
+
+    The tree shape is ``(nu KAB)((A_init | A_resp) | (B_init | B_resp))``;
+    role labels for all four sides are registered so testers can ask
+    about each possible origin.  Only ``B``'s responder observes.
+    """
+    c = Name(channel)
+    kab = Name("KAB")
+
+    def maybe_replicate(proc: Process) -> Process:
+        return Replication(proc) if replicate else proc
+
+    a_side = Parallel(
+        maybe_replicate(initiator_role(c, kab)),
+        maybe_replicate(responder_role(c, kab, lambda _z: Nil())),
+    )
+    b_side = Parallel(
+        maybe_replicate(initiator_role(c, kab)),
+        maybe_replicate(responder_role(c, kab, continuation)),
+    )
+    protocol = Restriction(kab, Parallel(a_side, b_side))
+    return Configuration(
+        parts=(("P", protocol),),
+        private=(c,),
+        subroles=(
+            ("P", (0, 0), "A-init"),
+            ("P", (0, 1), "A-resp"),
+            ("P", (1, 0), "B-init"),
+            ("P", (1, 1), "B-resp"),
+        ),
+    )
+
+
+def reflecting_attacker(channel: Name) -> Process:
+    """Pump the responder's own side: take the challenge, obtain an
+    answer from *some* initiator, and deliver it back.
+
+    The attacker itself is just a two-message relay — the reflection is
+    in *who* it relays between, which the scheduler resolves; the attack
+    exists because the relay CAN route the challenge to the victim's own
+    initiator.
+    """
+    n = Var("rn", fresh_uid())
+    reply = Var("rr", fresh_uid())
+    return Input(
+        Channel(channel),
+        n,
+        Output(
+            Channel(channel),
+            n,
+            Input(Channel(channel), reply, Output(Channel(channel), reply, Nil())),
+        ),
+    )

@@ -1,0 +1,86 @@
+"""The paper's ``startup`` and ``m_startup`` macros (Sections 5.1, 5.2).
+
+``startup(tA, A, tB, B)`` abbreviates::
+
+    (nu s)( s@tA<s>.A  |  s@tB(x).B )
+
+a trusted exchange of locations over a fresh channel ``s``: after the
+communication, a location-variable index ``tA`` occurring in ``A`` is
+bound to the location of ``B``'s side and vice versa, so subsequent
+localized channels of the two principals only talk to each other
+(Proposition 1).
+
+``m_startup`` replicates both sides::
+
+    (nu s)( !s@tA<s>.A  |  !s@tB(x).B )
+
+establishing many independent pairwise-hooked sessions; location
+variables are freshened per copy, so two sessions never share a partner
+binding (Proposition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.processes import (
+    Channel,
+    Input,
+    LocVar,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.terms import Name, Var, fresh_uid
+
+#: The paper writes ``startup(***, A, ...)`` for "no localization" on a
+#: side; pass ``None`` (aliased as NO_LOCALIZATION) for that.
+NO_LOCALIZATION: Optional[LocVar] = None
+
+StartupIndex = Union[LocVar, None]
+
+
+def startup(
+    index_a: StartupIndex,
+    proc_a: Process,
+    index_b: StartupIndex,
+    proc_b: Process,
+    session_channel: str = "s",
+) -> Process:
+    """Build ``startup(tA, A, tB, B)``.
+
+    ``index_a``/``index_b`` are the location variables to bind on each
+    side (``None`` for the paper's ``***`` — no localization).  The
+    startup channel is fresh by construction: the restriction guarantees
+    no environment can interfere with the exchange, which is what makes
+    Proposition 1 hold in any context.
+    """
+    s = Name(session_channel)
+    x = Var("startup_x", fresh_uid())
+    side_a = Output(Channel(s, index_a), s, proc_a)
+    side_b = Input(Channel(s, index_b), x, proc_b)
+    return Restriction(s, Parallel(side_a, side_b))
+
+
+def m_startup(
+    index_a: StartupIndex,
+    proc_a: Process,
+    index_b: StartupIndex,
+    proc_b: Process,
+    session_channel: str = "s",
+) -> Process:
+    """Build the multisession ``m_startup(tA, A, tB, B)``.
+
+    Each unfolding of the two replications creates one session; the
+    abstract machine freshens location variables per copy, so the i-th
+    instance of ``A`` is hooked to exactly one instance of ``B`` for the
+    whole run (Proposition 3) — the source of the freshness guarantee
+    that defeats cross-session replay.
+    """
+    s = Name(session_channel)
+    x = Var("startup_x", fresh_uid())
+    side_a = Replication(Output(Channel(s, index_a), s, proc_a))
+    side_b = Replication(Input(Channel(s, index_b), x, proc_b))
+    return Restriction(s, Parallel(side_a, side_b))

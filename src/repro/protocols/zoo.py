@@ -1,0 +1,228 @@
+"""A zoo of classic shared-key protocols, written as narrations.
+
+These exercise the narration compiler and the analysis toolchain on the
+protocols the literature actually studies — multi-role key transport
+with trusted servers, run identifiers and nonce handshakes.  All use
+only the calculus' primitives (names, pairs, shared-key encryption), as
+in the original formulations.
+
+Included:
+
+* :func:`needham_schroeder_sk` — the Needham-Schroeder symmetric-key
+  protocol.  The final decrement ``NB - 1`` (arithmetic the calculus
+  does not compute) is replaced by the standard pairing stand-in
+  ``{NB, NB}KAB``, which serves the same purpose: a reply that is
+  provably derived from ``NB`` yet distinct from message 4.
+* :func:`otway_rees` — Otway-Rees, with the run identifier ``M`` and
+  both principals forwarding ciphertexts they cannot open.
+* :func:`yahalom` — Yahalom, where A forwards B's ticket unopened.
+* :func:`woo_lam` — Woo-Lam Pi one-way authentication through the
+  server, exercising nested opaque forwarding.
+
+Every builder takes a ``payload`` flag: with ``payload=True`` a final
+message ``{M}KAB`` under the freshly-established session key is added,
+giving the Definition-4 observation point (B republishes ``M``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.narration import Message, NarrationSpec, enc_msg, pair_msg, ref
+
+
+def _with_payload(spec: NarrationSpec, payload: bool) -> NarrationSpec:
+    if not payload:
+        return spec
+    fresh = dict(spec.fresh)
+    fresh["A"] = tuple(fresh.get("A", ())) + ("PAYLOAD",)
+    return NarrationSpec(
+        roles=spec.roles,
+        channel=spec.channel,
+        shared_keys=spec.shared_keys,
+        fresh=fresh,
+        public=spec.public,
+        messages=spec.messages
+        + (Message("A", "B", enc_msg(ref("PAYLOAD"), key="KAB")),),
+        replicate=spec.replicate,
+    )
+
+
+def needham_schroeder_sk(payload: bool = True, replicate: bool = False) -> NarrationSpec:
+    """Needham-Schroeder symmetric-key (1978), five messages.
+
+    ::
+
+        Message 1  A -> S : (A, (B, NA))
+        Message 2  S -> A : {NA, B, KAB, {KAB, A}KBS}KAS
+        Message 3  A -> B : {KAB, A}KBS
+        Message 4  B -> A : {NB}KAB
+        Message 5  A -> B : {NB, NB}KAB         (stand-in for {NB-1})
+
+    A checks its nonce ``NA`` and the responder identity inside message
+    2; B learns the session key from the ticket and challenges A with
+    ``NB``; message 5 proves A holds ``KAB`` *now*.
+    """
+    spec = NarrationSpec(
+        roles=("A", "S", "B"),
+        channel="c",
+        shared_keys={"KAS": ("A", "S"), "KBS": ("S", "B")},
+        fresh={"A": ("NA",), "S": ("KAB",), "B": ("NB",)},
+        public=("A_id", "B_id"),
+        messages=(
+            Message("A", "S", pair_msg(ref("A_id"), pair_msg(ref("B_id"), ref("NA")))),
+            Message(
+                "S",
+                "A",
+                enc_msg(
+                    ref("NA"),
+                    ref("B_id"),
+                    ref("KAB"),
+                    enc_msg(ref("KAB"), ref("A_id"), key="KBS"),
+                    key="KAS",
+                ),
+            ),
+            Message("A", "B", enc_msg(ref("KAB"), ref("A_id"), key="KBS")),
+            Message("B", "A", enc_msg(ref("NB"), key="KAB")),
+            Message("A", "B", enc_msg(ref("NB"), ref("NB"), key="KAB")),
+        ),
+        replicate=replicate,
+    )
+    return _with_payload(spec, payload)
+
+
+def otway_rees(payload: bool = True, replicate: bool = False) -> NarrationSpec:
+    """Otway-Rees (1987), four messages plus optional payload.
+
+    ::
+
+        Message 1  A -> B : (RUN, {NA, RUN}KAS)
+        Message 2  B -> S : ((RUN, {NA, RUN}KAS), {NB, RUN}KBS)
+        Message 3  S -> B : ({NA, KAB}KAS, {NB, KAB}KBS)
+        Message 4  B -> A : {NA, KAB}KAS
+
+    ``RUN`` is the public run identifier; B forwards A's request
+    component unopened, and later forwards the server's A-ticket
+    unopened — both exercises of opaque forwarding.  (The agent-name
+    fields of the original are folded into ``RUN`` for brevity; they are
+    public data with the same information content here.)
+    """
+    spec = NarrationSpec(
+        roles=("A", "B", "S"),
+        channel="c",
+        shared_keys={"KAS": ("A", "S"), "KBS": ("B", "S")},
+        fresh={"A": ("NA",), "B": ("NB",), "S": ("KAB",)},
+        public=("RUN",),
+        messages=(
+            Message("A", "B", pair_msg(ref("RUN"), enc_msg(ref("NA"), ref("RUN"), key="KAS"))),
+            Message(
+                "B",
+                "S",
+                pair_msg(
+                    pair_msg(ref("RUN"), enc_msg(ref("NA"), ref("RUN"), key="KAS")),
+                    enc_msg(ref("NB"), ref("RUN"), key="KBS"),
+                ),
+            ),
+            Message(
+                "S",
+                "B",
+                pair_msg(
+                    enc_msg(ref("NA"), ref("KAB"), key="KAS"),
+                    enc_msg(ref("NB"), ref("KAB"), key="KBS"),
+                ),
+            ),
+            Message("B", "A", enc_msg(ref("NA"), ref("KAB"), key="KAS")),
+        ),
+        replicate=replicate,
+    )
+    return _with_payload(spec, payload)
+
+
+def yahalom(payload: bool = True, replicate: bool = False) -> NarrationSpec:
+    """Yahalom (as in Burrows-Abadi-Needham 1990), four messages.
+
+    ::
+
+        Message 1  A -> B : (A_id, NA)
+        Message 2  B -> S : (B_id, {A_id, NA, NB}KBS)
+        Message 3  S -> A : ({B_id, KAB, NA, NB}KAS, {A_id, KAB}KBS)
+        Message 4  A -> B : ({A_id, KAB}KBS, {NB}KAB)
+
+    A forwards B's ticket unopened and proves knowledge of both the
+    session key and B's nonce in one step.
+    """
+    spec = NarrationSpec(
+        roles=("A", "B", "S"),
+        channel="c",
+        shared_keys={"KAS": ("A", "S"), "KBS": ("B", "S")},
+        fresh={"A": ("NA",), "B": ("NB",), "S": ("KAB",)},
+        public=("A_id", "B_id"),
+        messages=(
+            Message("A", "B", pair_msg(ref("A_id"), ref("NA"))),
+            Message("B", "S", pair_msg(ref("B_id"), enc_msg(ref("A_id"), ref("NA"), ref("NB"), key="KBS"))),
+            Message(
+                "S",
+                "A",
+                pair_msg(
+                    enc_msg(ref("B_id"), ref("KAB"), ref("NA"), ref("NB"), key="KAS"),
+                    enc_msg(ref("A_id"), ref("KAB"), key="KBS"),
+                ),
+            ),
+            Message(
+                "A",
+                "B",
+                pair_msg(
+                    enc_msg(ref("A_id"), ref("KAB"), key="KBS"),
+                    enc_msg(ref("NB"), key="KAB"),
+                ),
+            ),
+        ),
+        replicate=replicate,
+    )
+    return _with_payload(spec, payload)
+
+
+def woo_lam(payload: bool = True, replicate: bool = False) -> NarrationSpec:
+    """Woo-Lam Pi (one-way authentication of A to B via the server).
+
+    ::
+
+        Message 1  A -> B : A_id
+        Message 2  B -> A : NB
+        Message 3  A -> B : {NB}KAS
+        Message 4  B -> S : {A_id, {NB}KAS}KBS
+        Message 5  S -> B : {NB}KBS
+
+    B forwards A's response unopened inside message 4 (it cannot read
+    ``KAS`` ciphertexts) and trusts the server's verdict in message 5,
+    checking its own nonce.  The optional payload phase transports a
+    datum under a pre-shared ``KAB`` so the configuration has the usual
+    Definition-4 observation point.
+    """
+    shared = {"KAS": ("A", "S"), "KBS": ("B", "S")}
+    fresh = {"B": ("NB",)}
+    if payload:
+        shared["KAB"] = ("A", "B")
+    spec = NarrationSpec(
+        roles=("A", "B", "S"),
+        channel="c",
+        shared_keys=shared,
+        fresh=fresh,
+        public=("A_id",),
+        messages=(
+            Message("A", "B", ref("A_id")),
+            Message("B", "A", ref("NB")),
+            Message("A", "B", enc_msg(ref("NB"), key="KAS")),
+            Message("B", "S", enc_msg(ref("A_id"), enc_msg(ref("NB"), key="KAS"), key="KBS")),
+            Message("S", "B", enc_msg(ref("NB"), key="KBS")),
+        ),
+        replicate=replicate,
+    )
+    return _with_payload(spec, payload)
+
+
+#: Name -> builder, for sweep-style tests and benchmarks.
+ZOO = {
+    "needham-schroeder-sk": needham_schroeder_sk,
+    "otway-rees": otway_rees,
+    "yahalom": yahalom,
+    "woo-lam": woo_lam,
+}

@@ -1,0 +1,120 @@
+"""Actions and transitions of the proved labelled semantics.
+
+The paper's semantics labels transitions with (a portion of) their
+deduction tree — the *proved* semantics of Degano and Priami — from
+which relative addresses are read off.  The parallel-composition tags
+accumulated by a deduction are exactly the absolute locations of the
+acting prefixes, so a :class:`Comm` label carries the locations of both
+participants: that *is* the proof part the paper needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.addresses import Location, RelativeAddress
+from repro.core.terms import Name, Term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.semantics.system import System
+
+
+@dataclass(frozen=True, slots=True)
+class Comm:
+    """A silent (tau) communication between two located prefixes.
+
+    Attributes:
+        channel: the underlying channel name.
+        value: the transmitted (localized) value.
+        sender: absolute location of the output prefix.
+        receiver: absolute location of the input prefix.
+    """
+
+    channel: Name
+    value: Term
+    sender: Location
+    receiver: Location
+
+    def sender_address(self) -> RelativeAddress:
+        """Address of the sender relative to the receiver — what the
+        paper's machine binds a receiver-side location variable to."""
+        return RelativeAddress.between(observer=self.receiver, target=self.sender)
+
+    def receiver_address(self) -> RelativeAddress:
+        """Address of the receiver relative to the sender."""
+        return RelativeAddress.between(observer=self.sender, target=self.receiver)
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One step of the machine: ``source --action--> target``."""
+
+    action: Comm
+    target: "System"
+
+    def describe(self, source: "System") -> str:
+        """One-line narration of the step, using the source's roles.
+
+        Channels print by their base spelling (the unique ids of
+        restricted channels are machine detail); payload values keep
+        their ids so that distinct nonces/messages stay distinguishable.
+        """
+        from repro.syntax.pretty import render_term
+
+        sender = source.role_at(self.action.sender)
+        receiver = source.role_at(self.action.receiver)
+        value = render_term(self.action.value)
+        return f"{sender} -> {receiver} on {self.action.channel.base} : {value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Barb:
+    """An observable commitment ``m`` (input) or ``m-bar`` (output).
+
+    A process *exhibits* a barb when one of its leaves is ready to do an
+    I/O action on a non-private channel (Section 4.1).
+    """
+
+    channel: Name
+    is_output: bool
+
+    def render(self) -> str:
+        return f"{self.channel.render()}^bar" if self.is_output else self.channel.render()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+
+def output_barb(channel: Name) -> Barb:
+    return Barb(channel, is_output=True)
+
+
+def input_barb(channel: Name) -> Barb:
+    return Barb(channel, is_output=False)
+
+
+@dataclass(frozen=True, slots=True)
+class PendingAction:
+    """An enabled prefix of one leaf, before synchronization.
+
+    ``wrap`` rebuilds the subtree replacing the whole leaf once the
+    (substituted) continuation of the prefix is known — this is how
+    replication unfolding, matches and decryptions performed on the way
+    to the prefix are folded into a single transition, exactly as the
+    SOS rules compose.
+    """
+
+    is_output: bool
+    channel_subject: Name
+    index: object  # ChannelIndex; kept loose to avoid an import cycle
+    act_loc: Location
+    leaf_loc: Location
+    continuation: object  # Process
+    wrap: object  # Callable[[Process], Process]
+    payload: Optional[Term] = None  # outputs only
+    binder: object = None  # Var; inputs only
+    new_private: frozenset[Name] = frozenset()
+
+    def barb(self) -> Barb:
+        return Barb(self.channel_subject, self.is_output)

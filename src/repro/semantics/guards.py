@@ -1,0 +1,102 @@
+"""Evaluation of the calculus' guards: ``[M = N]``, ``[M =~ N]``,
+``case ... of {...}N in``, and ``let (x, y) = M in``.
+
+Guards act on already-bound runtime values, so their evaluation is a
+pure function of the data and — for address matching and localized
+literals — of the location of the evaluating process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.addresses import AddressError, Location
+from repro.core.terms import At, Pair, SharedEnc, Succ, Term, Zero, origin, payload, values_equal
+
+
+def match_passes(left: Term, right: Term, at: Location) -> bool:
+    """Evaluate ``[M = N]`` at location ``at``.
+
+    Plain data equality ignores localization wrappers; an ``At`` literal
+    on either side additionally constrains the *origin* of the other
+    side (the paper's ``[x = l d]`` form).
+    """
+    if isinstance(left, At):
+        left, right = right, left
+    if isinstance(right, At):
+        try:
+            expected = right.address.resolve(at)
+        except AddressError:
+            return False
+        if origin(left) != expected:
+            return False
+        if right.term is None:
+            return True
+        return values_equal(left, right.term)
+    return values_equal(left, right)
+
+
+def addr_match_passes(left: Term, right: Term, at: Location) -> bool:
+    """Evaluate the address matching ``[M =~ N]`` at location ``at``.
+
+    Both sides are reduced to an origin: an ``At`` literal resolves its
+    relative address against the matcher's own location; any other value
+    contributes the location of its creator.  The match passes when the
+    two origins exist and coincide; an ``At`` literal with a payload also
+    requires the data to be equal.
+    """
+
+    def origin_of(side: Term) -> Optional[Location]:
+        if isinstance(side, At):
+            try:
+                return side.address.resolve(at)
+            except AddressError:
+                return None
+        return origin(side)
+
+    lo, ro = origin_of(left), origin_of(right)
+    if lo is None or ro is None or lo != ro:
+        return False
+    for literal, other in ((left, right), (right, left)):
+        if isinstance(literal, At) and literal.term is not None:
+            if not values_equal(other, literal.term):
+                return False
+    return True
+
+
+def decrypt(scrutinee: Term, key: Term, arity: int) -> Optional[tuple[Term, ...]]:
+    """Attempt the ``case`` decryption; ``None`` when it is stuck.
+
+    Perfect cryptography: the ciphertext opens iff the key matches
+    (up to localization) and the body has the expected arity.
+    """
+    datum = payload(scrutinee)
+    if not isinstance(datum, SharedEnc):
+        return None
+    if len(datum.body) != arity:
+        return None
+    if not values_equal(datum.key, key):
+        return None
+    return datum.body
+
+
+def int_case(scrutinee: Term) -> Optional[tuple[str, Optional[Term]]]:
+    """Evaluate the full-calculus integer case; ``None`` when stuck.
+
+    Returns ``("zero", None)`` for ``0`` and ``("succ", M)`` for
+    ``suc(M)``; any other datum is stuck.
+    """
+    datum = payload(scrutinee)
+    if isinstance(datum, Zero):
+        return ("zero", None)
+    if isinstance(datum, Succ):
+        return ("succ", datum.term)
+    return None
+
+
+def split_pair(scrutinee: Term) -> Optional[tuple[Term, Term]]:
+    """Attempt the ``let (x, y) = M`` projection; ``None`` when stuck."""
+    datum = payload(scrutinee)
+    if not isinstance(datum, Pair):
+        return None
+    return (datum.first, datum.second)

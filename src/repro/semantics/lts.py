@@ -1,0 +1,200 @@
+"""Bounded exploration of the silent-transition state space.
+
+Replication makes the transition system infinite, so every exploration
+carries an explicit :class:`Budget`.  Results always say whether they
+are *exact* (the reachable space fit in the budget) or *truncated*;
+verification verdicts built on top propagate that qualifier.
+
+States are deduplicated up to alpha-equivalence using the canonical
+rendering of :mod:`repro.syntax.pretty`, which renumbers the fresh ids
+introduced by replication unfolding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.semantics.actions import Transition
+from repro.semantics.system import System
+from repro.semantics.transitions import successors
+
+
+@dataclass(frozen=True, slots=True)
+class Budget:
+    """Limits for a state-space exploration.
+
+    Attributes:
+        max_states: maximum number of distinct states to expand.
+        max_depth: maximum length of any explored transition sequence.
+    """
+
+    max_states: int = 2000
+    max_depth: int = 64
+
+    def scaled(self, factor: float) -> "Budget":
+        return Budget(int(self.max_states * factor), self.max_depth)
+
+
+DEFAULT_BUDGET = Budget()
+
+
+@dataclass
+class Graph:
+    """An explored fragment of the labelled transition system.
+
+    Attributes:
+        states: canonical key -> representative system.
+        edges: canonical key -> list of (transition, target key).
+        initial: canonical key of the initial state.
+        truncated: True when the budget cut the exploration short; the
+            graph is then an under-approximation of the reachable space.
+    """
+
+    initial: str
+    states: dict[str, System] = field(default_factory=dict)
+    edges: dict[str, list[tuple[Transition, str]]] = field(default_factory=dict)
+    truncated: bool = False
+
+    def state_count(self) -> int:
+        return len(self.states)
+
+    def transition_count(self) -> int:
+        return sum(len(out) for out in self.edges.values())
+
+    def successors_of(self, key: str) -> list[tuple[Transition, str]]:
+        return self.edges.get(key, [])
+
+    def deadlocks(self) -> list[str]:
+        """Keys of states with no outgoing transition."""
+        return [k for k in self.states if not self.edges.get(k)]
+
+
+def explore(system: System, budget: Budget = DEFAULT_BUDGET) -> Graph:
+    """Breadth-first exploration of the tau-reachable states."""
+    initial_key = system.canonical_key()
+    graph = Graph(initial=initial_key)
+    graph.states[initial_key] = system
+    queue: deque[tuple[str, System, int]] = deque([(initial_key, system, 0)])
+    while queue:
+        key, state, depth = queue.popleft()
+        if depth >= budget.max_depth:
+            graph.truncated = True
+            continue
+        out: list[tuple[Transition, str]] = []
+        for step in successors(state):
+            target_key = step.target.canonical_key()
+            if target_key not in graph.states:
+                if len(graph.states) >= budget.max_states:
+                    # The edge's target was refused by the budget: leave
+                    # the edge out too, so the graph stays self-contained
+                    # (every recorded edge ends in a recorded state).
+                    graph.truncated = True
+                    continue
+                graph.states[target_key] = step.target
+                queue.append((target_key, step.target, depth + 1))
+            out.append((step, target_key))
+        graph.edges[key] = out
+    return graph
+
+
+def reachable(
+    system: System,
+    predicate: Callable[[System], bool],
+    budget: Budget = DEFAULT_BUDGET,
+) -> tuple[bool, bool]:
+    """Search for a reachable state satisfying ``predicate``.
+
+    Returns ``(found, exhaustive)``: when ``found`` is False and
+    ``exhaustive`` is False, the budget ran out before the search could
+    conclude (the property may still hold beyond the horizon).
+    """
+    seen: set[str] = set()
+    queue: deque[tuple[System, int]] = deque([(system, 0)])
+    seen.add(system.canonical_key())
+    truncated = False
+    while queue:
+        state, depth = queue.popleft()
+        if predicate(state):
+            return True, True
+        if depth >= budget.max_depth:
+            truncated = True
+            continue
+        for step in successors(state):
+            key = step.target.canonical_key()
+            if key in seen:
+                continue
+            if len(seen) >= budget.max_states:
+                truncated = True
+                continue
+            seen.add(key)
+            queue.append((step.target, depth + 1))
+    return False, not truncated
+
+
+def runs(
+    system: System,
+    max_length: int,
+    budget: Budget = DEFAULT_BUDGET,
+) -> Iterator[list[Transition]]:
+    """Enumerate transition sequences from ``system`` up to a length.
+
+    Depth-first, deduplicating on the *path-end* state so diverging
+    interleavings of the same trace are not repeated ad infinitum.
+    Useful for diagnostics and attack narration.
+    """
+
+    def go(state: System, prefix: list[Transition], seen: set[str]) -> Iterator[list[Transition]]:
+        if prefix:
+            yield list(prefix)
+        if len(prefix) >= max_length or len(seen) >= budget.max_states:
+            return
+        for step in successors(state):
+            key = step.target.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            prefix.append(step)
+            yield from go(step.target, prefix, seen)
+            prefix.pop()
+
+    yield from go(system, [], {system.canonical_key()})
+
+
+def narrate(system: System, trace: list[Transition]) -> list[str]:
+    """Render a transition sequence as a protocol narration."""
+    lines: list[str] = []
+    state = system
+    for i, step in enumerate(trace, start=1):
+        lines.append(f"Step {i}: {step.describe(state)}")
+        state = step.target
+    return lines
+
+
+def find_trace(
+    system: System,
+    predicate: Callable[[System], bool],
+    budget: Budget = DEFAULT_BUDGET,
+) -> Optional[list[Transition]]:
+    """Shortest transition sequence to a state satisfying ``predicate``.
+
+    Returns ``None`` when no such state is found within the budget.
+    """
+    if predicate(system):
+        return []
+    seen: set[str] = {system.canonical_key()}
+    queue: deque[tuple[System, list[Transition], int]] = deque([(system, [], 0)])
+    while queue:
+        state, path, depth = queue.popleft()
+        if depth >= budget.max_depth:
+            continue
+        for step in successors(state):
+            if predicate(step.target):
+                return path + [step]
+            key = step.target.canonical_key()
+            if key in seen or len(seen) >= budget.max_states:
+                continue
+            seen.add(key)
+            queue.append((step.target, path + [step], depth + 1))
+    return None

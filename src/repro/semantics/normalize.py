@@ -1,0 +1,73 @@
+"""Administrative normalization of states.
+
+Matching, address matching, decryption and pair splitting are *guards*:
+the SOS gives ``[M = M]P`` exactly the transitions of ``P``.  Once a
+guard's data are bound they never change, so a guard either passes now
+or is stuck forever.  Normalization therefore:
+
+* replaces a passing guard by its (substituted) continuation, which may
+  expose parallel structure — the tree of sequential processes grows
+  downward at the leaf, exactly where the instantiation pass predicted
+  restricted names would be created;
+* replaces a permanently stuck guard by ``0`` (behaviourally identical,
+  and it lets alpha-invariant deduplication merge dead states).
+
+The tree is never pruned: ``P | 0`` keeps its shape so that existing
+absolute locations — and with them every relative address already
+handed out — stay valid.
+"""
+
+from __future__ import annotations
+
+from repro.core.addresses import Location
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    IntCase,
+    Match,
+    Nil,
+    Parallel,
+    Process,
+    Restriction,
+    Split,
+)
+from repro.core.substitution import subst
+from repro.semantics import guards as _rules
+
+
+def normalize(proc: Process, at: Location = ()) -> Process:
+    """Evaluate all exposed guards and surface parallel structure."""
+    if isinstance(proc, Parallel):
+        return Parallel(normalize(proc.left, at + (0,)), normalize(proc.right, at + (1,)))
+    if isinstance(proc, Restriction):
+        # Live restrictions only exist transiently (callers instantiate
+        # before normalizing); keep them transparent for addressing.
+        return Restriction(proc.name, normalize(proc.body, at))
+    if isinstance(proc, Match):
+        if _rules.match_passes(proc.left, proc.right, at):
+            return normalize(proc.continuation, at)
+        return Nil()
+    if isinstance(proc, AddrMatch):
+        if _rules.addr_match_passes(proc.left, proc.right, at):
+            return normalize(proc.continuation, at)
+        return Nil()
+    if isinstance(proc, Case):
+        parts = _rules.decrypt(proc.scrutinee, proc.key, len(proc.binders))
+        if parts is None:
+            return Nil()
+        return normalize(subst(proc.continuation, dict(zip(proc.binders, parts))), at)
+    if isinstance(proc, IntCase):
+        branch = _rules.int_case(proc.scrutinee)
+        if branch is None:
+            return Nil()
+        kind, inner = branch
+        if kind == "zero":
+            return normalize(proc.zero_branch, at)
+        return normalize(subst(proc.succ_branch, {proc.binder: inner}), at)
+    if isinstance(proc, Split):
+        parts = _rules.split_pair(proc.scrutinee)
+        if parts is None:
+            return Nil()
+        opened = subst(proc.continuation, {proc.first: parts[0], proc.second: parts[1]})
+        return normalize(opened, at)
+    return proc

@@ -1,0 +1,276 @@
+"""The transition relation of the calculus with authentication primitives.
+
+Given a :class:`~repro.semantics.system.System`, :func:`successors`
+computes every silent transition, implementing the paper's rules:
+
+* **communication** — an output and an input on the same channel in two
+  different leaves synchronize, *provided the localization indexes
+  admit it*: a channel indexed with a relative address only talks to the
+  partner at exactly that address (partner authentication), and a
+  channel indexed with a location variable talks to anyone but binds the
+  variable to the partner's location for the rest of the session;
+* **message localization** — the transmitted value is localized at the
+  sender if it is a freshly-built composite, while forwarded values keep
+  their original creator (message authentication).  Because the machine
+  stores absolute creator locations, the paper's address-composition on
+  forwarding is performed implicitly and exactly;
+* **matching / address matching / decryption / pair splitting** — these
+  are evaluated on the way to a prefix, so a transition may discharge
+  any number of them, as in the SOS where ``[M = M]P`` has the actions
+  of ``P``;
+* **replication** — ``!P`` acts by unfolding one freshened copy whose
+  restricted names receive fresh identities created at the copy's
+  location; the residual template is kept to the right, so existing
+  locations never move (the tree only grows at leaves).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.core.addresses import AddressError, Location, RelativeAddress
+from repro.core.errors import SemanticsError
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Input,
+    IntCase,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+    Split,
+    replace_leaves,
+)
+from repro.core.substitution import freshen_bound, instantiate_locvar, subst
+from repro.core.terms import (
+    At,
+    Localized,
+    Name,
+    Pair,
+    SharedEnc,
+    Term,
+    localize,
+    origin,
+    payload,
+    values_equal,
+)
+from repro.semantics.actions import Comm, PendingAction, Transition
+from repro.semantics.guards import addr_match_passes, decrypt, int_case, match_passes, split_pair
+from repro.semantics.normalize import normalize
+from repro.semantics.system import System, instantiate_names
+
+# ----------------------------------------------------------------------
+# Commitments: the enabled prefixes of each leaf
+# ----------------------------------------------------------------------
+
+
+def _identity(p: Process) -> Process:
+    return p
+
+
+def commitments(
+    proc: Process,
+    act_loc: Location,
+    leaf_loc: Location,
+    embed: Callable[[Process], Process] = _identity,
+    new_private: frozenset[Name] = frozenset(),
+) -> Iterator[PendingAction]:
+    """Enumerate the enabled prefixes reachable inside one leaf.
+
+    ``embed`` maps the process that will replace the *currently examined*
+    subterm back to the process replacing the whole leaf; it accumulates
+    the surrounding structure created by replication unfolding and by
+    parallel compositions inside an unfolded copy.
+    """
+    if isinstance(proc, Nil):
+        return
+    if isinstance(proc, Output):
+        subject = payload(proc.channel.subject)
+        if isinstance(subject, Name):
+            yield PendingAction(
+                is_output=True,
+                channel_subject=subject,
+                index=proc.channel.index,
+                act_loc=act_loc,
+                leaf_loc=leaf_loc,
+                continuation=proc.continuation,
+                wrap=embed,
+                payload=proc.payload,
+                new_private=new_private,
+            )
+        return
+    if isinstance(proc, Input):
+        subject = payload(proc.channel.subject)
+        if isinstance(subject, Name):
+            yield PendingAction(
+                is_output=False,
+                channel_subject=subject,
+                index=proc.channel.index,
+                act_loc=act_loc,
+                leaf_loc=leaf_loc,
+                continuation=proc.continuation,
+                wrap=embed,
+                binder=proc.binder,
+                new_private=new_private,
+            )
+        return
+    if isinstance(proc, Match):
+        if match_passes(proc.left, proc.right, act_loc):
+            yield from commitments(proc.continuation, act_loc, leaf_loc, embed, new_private)
+        return
+    if isinstance(proc, AddrMatch):
+        if addr_match_passes(proc.left, proc.right, act_loc):
+            yield from commitments(proc.continuation, act_loc, leaf_loc, embed, new_private)
+        return
+    if isinstance(proc, Case):
+        parts = decrypt(proc.scrutinee, proc.key, len(proc.binders))
+        if parts is not None:
+            opened = subst(proc.continuation, dict(zip(proc.binders, parts)))
+            yield from commitments(opened, act_loc, leaf_loc, embed, new_private)
+        return
+    if isinstance(proc, Split):
+        parts = split_pair(proc.scrutinee)
+        if parts is not None:
+            opened = subst(proc.continuation, {proc.first: parts[0], proc.second: parts[1]})
+            yield from commitments(opened, act_loc, leaf_loc, embed, new_private)
+        return
+    if isinstance(proc, IntCase):
+        branch = int_case(proc.scrutinee)
+        if branch is not None:
+            kind, inner = branch
+            if kind == "zero":
+                chosen = proc.zero_branch
+            else:
+                chosen = subst(proc.succ_branch, {proc.binder: inner})
+            yield from commitments(chosen, act_loc, leaf_loc, embed, new_private)
+        return
+    if isinstance(proc, Replication):
+        # !P acts as one freshened copy in parallel with the template:
+        # the copy goes to the left (location .0), the template to the
+        # right (.1), so every pre-existing location stays valid.
+        template = proc
+        copy = freshen_bound(proc.body)
+        copy, created = instantiate_names(copy, at=act_loc + (0,))
+
+        def unfold_embed(
+            k: Process, _embed: Callable[[Process], Process] = embed
+        ) -> Process:
+            return _embed(Parallel(k, template))
+
+        yield from commitments(
+            copy, act_loc + (0,), leaf_loc, unfold_embed, new_private | created
+        )
+        return
+    if isinstance(proc, Parallel):
+        # Parallel structure inside an unfolded copy: recurse on both
+        # branches, keeping the sibling intact in the rebuilt subtree.
+        left, right = proc.left, proc.right
+
+        def left_embed(k: Process, _embed=embed, _right=right) -> Process:
+            return _embed(Parallel(k, _right))
+
+        def right_embed(k: Process, _embed=embed, _left=left) -> Process:
+            return _embed(Parallel(_left, k))
+
+        yield from commitments(left, act_loc + (0,), leaf_loc, left_embed, new_private)
+        yield from commitments(right, act_loc + (1,), leaf_loc, right_embed, new_private)
+        return
+    if isinstance(proc, Restriction):
+        # Restrictions are erased at instantiation; reaching one here
+        # means a caller skipped instantiation.
+        raise SemanticsError(
+            "live restriction encountered during commitment enumeration; "
+            "systems must be built with repro.semantics.system.instantiate"
+        )
+    raise SemanticsError(f"unknown process {proc!r}")
+
+
+def pending_actions(system: System) -> list[PendingAction]:
+    """All enabled prefixes of the system, leaf by leaf."""
+    actions: list[PendingAction] = []
+    for loc, leaf in system.leaves():
+        actions.extend(commitments(leaf, loc, loc))
+    return actions
+
+
+# ----------------------------------------------------------------------
+# Synchronization
+# ----------------------------------------------------------------------
+
+
+def _admits(index: object, own_loc: Location, partner_loc: Location) -> bool:
+    """Does a channel localization admit this partner?
+
+    ``None`` admits anyone; a location variable admits anyone (it will
+    be bound); an absolute location or a relative address admits exactly
+    the partner it denotes.
+    """
+    if index is None or isinstance(index, LocVar):
+        return True
+    if isinstance(index, RelativeAddress):
+        try:
+            return index.resolve(own_loc) == partner_loc
+        except AddressError:
+            return False
+    if isinstance(index, tuple):  # machine-level absolute location
+        return index == partner_loc
+    raise SemanticsError(f"unknown channel index {index!r}")
+
+
+def synchronize(out: PendingAction, inp: PendingAction, system: System) -> Optional[Transition]:
+    """Build the transition for one output/input pair, if admissible."""
+    if out.leaf_loc == inp.leaf_loc:
+        # Both prefixes come from the same leaf (a replication whose body
+        # contains both ends).  Their rebuild closures would conflict;
+        # the protocols the calculus targets never need this shape.
+        return None
+    if out.channel_subject != inp.channel_subject:
+        return None
+    if not _admits(out.index, out.act_loc, inp.act_loc):
+        return None
+    if not _admits(inp.index, inp.act_loc, out.act_loc):
+        return None
+
+    value = localize(out.payload, out.act_loc)
+
+    sender_cont: Process = out.continuation
+    if isinstance(out.index, LocVar):
+        sender_cont = instantiate_locvar(sender_cont, out.index, inp.act_loc)
+    receiver_cont: Process = subst(inp.continuation, {inp.binder: value})
+    if isinstance(inp.index, LocVar):
+        receiver_cont = instantiate_locvar(receiver_cont, inp.index, out.act_loc)
+
+    new_root = replace_leaves(
+        system.root,
+        {out.leaf_loc: out.wrap(sender_cont), inp.leaf_loc: inp.wrap(receiver_cont)},
+    )
+    # Administrative normalization: discharge the guards the communication
+    # just enabled and expose freshly-created parallel structure.
+    new_root = normalize(new_root)
+    target = system.with_root(new_root, out.new_private | inp.new_private)
+    action = Comm(
+        channel=out.channel_subject,
+        value=value,
+        sender=out.act_loc,
+        receiver=inp.act_loc,
+    )
+    return Transition(action=action, target=target)
+
+
+def successors(system: System) -> list[Transition]:
+    """Every silent transition enabled in ``system``."""
+    actions = pending_actions(system)
+    outputs = [a for a in actions if a.is_output]
+    inputs = [a for a in actions if not a.is_output]
+    transitions: list[Transition] = []
+    for out in outputs:
+        for inp in inputs:
+            step = synchronize(out, inp, system)
+            if step is not None:
+                transitions.append(step)
+    return transitions

@@ -1,0 +1,117 @@
+"""Tokenizer for the concrete syntax of the calculus.
+
+The token stream feeds :mod:`repro.syntax.parser`.  The syntax is the
+ASCII form emitted by :mod:`repro.syntax.pretty` (the paper's unicode
+glyphs are accepted as aliases): ``nu``/``ν``, ``=~``/``≅``, ``*``/``•``
+as the address separator, and ``||0`` / ``||1`` as address tags.
+
+Lexical subtleties:
+
+* ``||0`` is a single address-tag token, while a lone ``|`` is the
+  parallel operator — the lexer resolves this greedily with lookahead;
+* identifiers may carry a unique id suffix (``M#12``), so states printed
+  during execution can be parsed back for debugging;
+* ``0`` is its own token (the nil process).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from repro.core.errors import ParseError
+
+#: Token kinds, used by the parser to dispatch.
+KEYWORDS = frozenset({"nu", "case", "of", "in", "let"})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<addrtag>\|\|[01])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(\#\d+)?)
+  | (?P<zero>0)
+  | (?P<simeq>=~|≅)
+  | (?P<punct><|>|\(|\)|\{|\}|\[|\]|,|\.|\||!|=|@|\*|:|•|ν)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "ident" and self.text == word
+
+
+#: Sentinel kind for the end of input.
+EOF = "eof"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens; raises :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, column)
+        column = pos - line_start + 1
+        text = match.group(0)
+        if match.lastgroup == "ws":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rfind("\n") + 1
+        else:
+            kind = match.lastgroup or "punct"
+            if kind == "punct":
+                kind = _punct_kind(text)
+            elif kind == "ident" and text in KEYWORDS:
+                kind = text
+            tokens.append(Token(kind, text, line, column))
+        pos = match.end()
+    tokens.append(Token(EOF, "", line, pos - line_start + 1))
+    return tokens
+
+
+_PUNCT_KINDS = {
+    "<": "langle",
+    ">": "rangle",
+    "(": "lparen",
+    ")": "rparen",
+    "{": "lbrace",
+    "}": "rbrace",
+    "[": "lbrack",
+    "]": "rbrack",
+    ",": "comma",
+    ".": "dot",
+    "|": "pipe",
+    "!": "bang",
+    "=": "eq",
+    "@": "at",
+    "*": "bullet",
+    ":": "colon",
+    "•": "bullet",
+    "ν": "nu",
+}
+
+
+def _punct_kind(text: str) -> str:
+    return _PUNCT_KINDS[text]
+
+
+def split_ident(text: str) -> tuple[str, int | None]:
+    """Split ``M#12`` into ``("M", 12)``; plain idents get ``None``."""
+    if "#" in text:
+        base, _, uid = text.partition("#")
+        return base, int(uid)
+    return text, None

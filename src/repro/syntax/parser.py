@@ -1,0 +1,330 @@
+"""Recursive-descent parser for the concrete syntax of the calculus.
+
+Grammar (ASCII form; the pretty-printer's output parses back)::
+
+    process  := seq ( '|' seq )*                      (left-associated)
+    seq      := '0'
+              | '!' '(' process ')'
+              | '(' 'nu' NAME ')' '(' process ')'
+              | '(' process ')'
+              | channel '<' term '>' '.' seq          (output)
+              | channel '(' IDENT ')' '.' seq         (input)
+              | '[' term '=' term ']' seq             (match)
+              | '[' term '=~' term ']' seq            (address match)
+              | 'case' term 'of' '{' idents '}' term 'in' seq
+              | 'let' '(' IDENT ',' IDENT ')' '=' term 'in' seq
+    channel  := IDENT ( '@' index )?
+    index    := address | IDENT                       (literal / loc-var)
+    term     := IDENT
+              | '(' term ',' term ')'                 (pair)
+              | '{' terms '}' term                    (encryption)
+              | '[' address ']' term?                 (localized literal)
+              | '<' tags '>' term                     (runtime localized)
+    address  := tags? ('*'|'•') tags?     with tags := ('||0'|'||1')+
+
+Identifier classification follows binding: an identifier bound by an
+enclosing input, ``case`` or ``let`` is a variable; anything else is a
+name.  This matches the paper's convention (``x, y, z, w`` variables vs.
+``a, b, c, k, m, n`` names) without reserving letters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.addresses import RelativeAddress
+from repro.core.errors import ParseError
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    ChannelIndex,
+    Input,
+    IntCase,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+    Split,
+)
+from repro.core.terms import At, Localized, Name, Pair, SharedEnc, Succ, Term, Var, Zero
+from repro.syntax.lexer import EOF, Token, split_ident, tokenize
+
+
+def parse_process(source: str) -> Process:
+    """Parse a process from its concrete syntax."""
+    parser = _Parser(tokenize(source))
+    proc = parser.process(bound=frozenset())
+    parser.expect(EOF)
+    return proc
+
+
+def parse_term(source: str) -> Term:
+    """Parse a closed term (identifiers become names)."""
+    parser = _Parser(tokenize(source))
+    term = parser.term(bound=frozenset())
+    parser.expect(EOF)
+    return term
+
+
+def parse_address(source: str) -> RelativeAddress:
+    """Parse a relative address such as ``||0||1*||1``."""
+    return RelativeAddress.parse(source)
+
+
+@dataclass
+class _Parser:
+    tokens: list[Token]
+    pos: int = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def check(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def accept(self, kind: str) -> Token | None:
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    # -- processes -------------------------------------------------------
+
+    def process(self, bound: frozenset[str]) -> Process:
+        left = self.seq(bound)
+        while self.accept("pipe"):
+            right = self.seq(bound)
+            left = Parallel(left, right)
+        return left
+
+    def seq(self, bound: frozenset[str]) -> Process:
+        token = self.peek()
+        if token.kind == "zero":
+            self.advance()
+            return Nil()
+        if token.kind == "bang":
+            self.advance()
+            self.expect("lparen")
+            body = self.process(bound)
+            self.expect("rparen")
+            return Replication(body)
+        if token.kind == "lparen":
+            # Either a restriction '(nu n)(P)' or a parenthesized process.
+            if self.peek(1).kind == "nu":
+                self.advance()
+                self.advance()
+                name_tok = self.expect("ident")
+                base, uid = split_ident(name_tok.text)
+                self.expect("rparen")
+                self.expect("lparen")
+                body = self.process(bound - {base})
+                self.expect("rparen")
+                return Restriction(Name(base, uid), body)
+            self.advance()
+            inner = self.process(bound)
+            self.expect("rparen")
+            return inner
+        if token.kind == "lbrack":
+            return self.match_process(bound)
+        if token.kind == "case":
+            return self.case_process(bound)
+        if token.kind == "let":
+            return self.let_process(bound)
+        if token.kind == "ident":
+            return self.prefix(bound)
+        raise ParseError(
+            f"expected a process, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def prefix(self, bound: frozenset[str]) -> Process:
+        subject_tok = self.expect("ident")
+        base, uid = split_ident(subject_tok.text)
+        subject: Term = Var(base, uid) if base in bound else Name(base, uid)
+        index = self.channel_index()
+        channel = Channel(subject, index)
+        if self.accept("langle"):
+            payload = self.term(bound)
+            self.expect("rangle")
+            self.expect("dot")
+            continuation = self.seq(bound)
+            return Output(channel, payload, continuation)
+        self.expect("lparen")
+        binder_tok = self.expect("ident")
+        binder_base, binder_uid = split_ident(binder_tok.text)
+        self.expect("rparen")
+        self.expect("dot")
+        continuation = self.seq(bound | {binder_base})
+        return Input(channel, Var(binder_base, binder_uid), continuation)
+
+    def channel_index(self) -> ChannelIndex:
+        if not self.accept("at"):
+            return None
+        token = self.peek()
+        if token.kind == "ident":
+            self.advance()
+            base, uid = split_ident(token.text)
+            return LocVar(base, uid)
+        if token.kind in ("addrtag", "bullet"):
+            return self.address()
+        raise ParseError(
+            f"expected a channel index, found {token.text!r}", token.line, token.column
+        )
+
+    def match_process(self, bound: frozenset[str]) -> Process:
+        self.expect("lbrack")
+        left = self.term(bound)
+        if self.accept("simeq"):
+            right = self.term(bound)
+            self.expect("rbrack")
+            continuation = self.seq(bound)
+            return AddrMatch(left, right, continuation)
+        self.expect("eq")
+        right = self.term(bound)
+        self.expect("rbrack")
+        continuation = self.seq(bound)
+        return Match(left, right, continuation)
+
+    def case_process(self, bound: frozenset[str]) -> Process:
+        self.expect("case")
+        scrutinee = self.term(bound)
+        self.expect("of")
+        if self.peek().is_keyword("zero") or self.peek().kind == "zero":
+            return self.int_case_tail(bound, scrutinee)
+        self.expect("lbrace")
+        binders: list[Var] = []
+        while True:
+            token = self.expect("ident")
+            base, uid = split_ident(token.text)
+            binders.append(Var(base, uid))
+            if not self.accept("comma"):
+                break
+        self.expect("rbrace")
+        key = self.term(bound)
+        self.expect("in")
+        continuation = self.seq(bound | {v.ident for v in binders})
+        return Case(scrutinee, tuple(binders), key, continuation)
+
+    def int_case_tail(self, bound: frozenset[str], scrutinee: Term) -> Process:
+        """``... of zero: P suc(x): Q`` (the keyword ``zero`` or the
+        digit ``0`` are both accepted for the zero pattern)."""
+        self.advance()  # the zero pattern
+        self.expect("colon")
+        zero_branch = self.seq(bound)
+        suc_tok = self.expect("ident")
+        if suc_tok.text != "suc":
+            raise ParseError("expected 'suc' branch", suc_tok.line, suc_tok.column)
+        self.expect("lparen")
+        binder_tok = self.expect("ident")
+        self.expect("rparen")
+        self.expect("colon")
+        base, uid = split_ident(binder_tok.text)
+        succ_branch = self.seq(bound | {base})
+        return IntCase(scrutinee, zero_branch, Var(base, uid), succ_branch)
+
+    def let_process(self, bound: frozenset[str]) -> Process:
+        self.expect("let")
+        self.expect("lparen")
+        first_tok = self.expect("ident")
+        self.expect("comma")
+        second_tok = self.expect("ident")
+        self.expect("rparen")
+        self.expect("eq")
+        scrutinee = self.term(bound)
+        self.expect("in")
+        first_base, first_uid = split_ident(first_tok.text)
+        second_base, second_uid = split_ident(second_tok.text)
+        continuation = self.seq(bound | {first_base, second_base})
+        return Split(
+            scrutinee, Var(first_base, first_uid), Var(second_base, second_uid), continuation
+        )
+
+    # -- terms -----------------------------------------------------------
+
+    def term(self, bound: frozenset[str]) -> Term:
+        token = self.peek()
+        if token.kind == "ident":
+            # "zero" and "suc" are reserved term spellings (naturals of
+            # the full calculus); they cannot be used as names.
+            if token.text == "zero":
+                self.advance()
+                return Zero()
+            if token.text == "suc" and self.peek(1).kind == "lparen":
+                self.advance()
+                self.expect("lparen")
+                inner = self.term(bound)
+                self.expect("rparen")
+                return Succ(inner)
+            self.advance()
+            base, uid = split_ident(token.text)
+            return Var(base, uid) if base in bound else Name(base, uid)
+        if token.kind == "lparen":
+            self.advance()
+            first = self.term(bound)
+            self.expect("comma")
+            second = self.term(bound)
+            self.expect("rparen")
+            return Pair(first, second)
+        if token.kind == "lbrace":
+            self.advance()
+            body: list[Term] = [self.term(bound)]
+            while self.accept("comma"):
+                body.append(self.term(bound))
+            self.expect("rbrace")
+            key = self.term(bound)
+            return SharedEnc(tuple(body), key)
+        if token.kind == "lbrack":
+            self.advance()
+            address = self.address()
+            self.expect("rbrack")
+            inner = None
+            if self.peek().kind in ("ident", "lparen", "lbrace", "langle"):
+                inner = self.term(bound)
+            return At(address, inner)
+        if token.kind == "langle":
+            self.advance()
+            tags: list[int] = []
+            while self.check("addrtag"):
+                tags.append(int(self.advance().text[-1]))
+            self.expect("rangle")
+            inner = self.term(bound)
+            return Localized(tuple(tags), inner)
+        raise ParseError(
+            f"expected a term, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def address(self) -> RelativeAddress:
+        observer: list[int] = []
+        while self.check("addrtag"):
+            observer.append(int(self.advance().text[-1]))
+        self.expect("bullet")
+        target: list[int] = []
+        while self.check("addrtag"):
+            target.append(int(self.advance().text[-1]))
+        return RelativeAddress(tuple(observer), tuple(target))

@@ -1,0 +1,227 @@
+"""Pretty-printing of terms and processes.
+
+Two renderings are provided:
+
+* :func:`render_term` / :func:`render_process` — a human-readable ASCII
+  form that the parser in :mod:`repro.syntax.parser` accepts back
+  (round-trip property, tested), with an optional ``unicode`` flag that
+  switches to the paper's notation (ν, τ, •, ∥);
+* :func:`canonical_process` — a canonical form in which every bound
+  identity (name/variable uid) is renumbered in traversal order.  Two
+  alpha-equivalent states render identically, which the state-space
+  exploration uses for deduplication.
+"""
+
+from __future__ import annotations
+
+from repro.core.addresses import RelativeAddress, location_str
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    IntCase,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+    Split,
+)
+from repro.core.terms import At, Localized, Name, Pair, SharedEnc, Succ, Term, Var, Zero
+
+
+def render_term(term: Term, unicode: bool = False) -> str:
+    """Render a term in concrete syntax."""
+    if isinstance(term, Name):
+        return term.render()
+    if isinstance(term, Var):
+        return term.render()
+    if isinstance(term, Pair):
+        return f"({render_term(term.first, unicode)}, {render_term(term.second, unicode)})"
+    if isinstance(term, Zero):
+        return "zero"
+    if isinstance(term, Succ):
+        return f"suc({render_term(term.term, unicode)})"
+    if isinstance(term, SharedEnc):
+        body = ", ".join(render_term(part, unicode) for part in term.body)
+        return f"{{{body}}}{render_term(term.key, unicode)}"
+    if isinstance(term, Localized):
+        return f"{location_str(term.creator)}{render_term(term.term, unicode)}"
+    if isinstance(term, At):
+        addr = term.address.render(unicode=unicode)
+        if term.term is None:
+            return f"[{addr}]"
+        return f"[{addr}]{render_term(term.term, unicode)}"
+    raise TypeError(f"unknown term {term!r}")
+
+
+def render_channel(ch: Channel, unicode: bool = False) -> str:
+    subject = render_term(ch.subject, unicode)
+    if ch.index is None:
+        return subject
+    if isinstance(ch.index, RelativeAddress):
+        return f"{subject}@{ch.index.render(unicode=unicode)}"
+    if isinstance(ch.index, LocVar):
+        return f"{subject}@{ch.index.render()}"
+    return f"{subject}@{location_str(ch.index)}"
+
+
+def render_process(proc: Process, unicode: bool = False) -> str:
+    """Render a process in concrete syntax (parseable when ASCII)."""
+    return _render(proc, unicode, top=True)
+
+
+def _render(proc: Process, unicode: bool, top: bool = False) -> str:
+    nu = "ν" if unicode else "nu"
+    bang = "!"
+    if isinstance(proc, Nil):
+        return "0"
+    if isinstance(proc, Output):
+        head = f"{render_channel(proc.channel, unicode)}<{render_term(proc.payload, unicode)}>"
+        return _with_continuation(head, proc.continuation, unicode)
+    if isinstance(proc, Input):
+        head = f"{render_channel(proc.channel, unicode)}({proc.binder.render()})"
+        return _with_continuation(head, proc.continuation, unicode)
+    if isinstance(proc, Restriction):
+        return f"({nu} {proc.name.render()})({_render(proc.body, unicode)})"
+    if isinstance(proc, Parallel):
+        inner = f"{_render(proc.left, unicode)} | {_render(proc.right, unicode)}"
+        return inner if top else f"({inner})"
+    if isinstance(proc, Match):
+        head = f"[{render_term(proc.left, unicode)} = {render_term(proc.right, unicode)}]"
+        return f"{head} {_render(proc.continuation, unicode)}"
+    if isinstance(proc, AddrMatch):
+        op = "≅" if unicode else "=~"
+        head = f"[{render_term(proc.left, unicode)} {op} {render_term(proc.right, unicode)}]"
+        return f"{head} {_render(proc.continuation, unicode)}"
+    if isinstance(proc, Replication):
+        return f"{bang}({_render(proc.body, unicode)})"
+    if isinstance(proc, Case):
+        binders = ", ".join(b.render() for b in proc.binders)
+        head = (
+            f"case {render_term(proc.scrutinee, unicode)} of "
+            f"{{{binders}}}{render_term(proc.key, unicode)} in"
+        )
+        return f"{head} {_render(proc.continuation, unicode)}"
+    if isinstance(proc, IntCase):
+        return (
+            f"case {render_term(proc.scrutinee, unicode)} of "
+            f"zero: {_render(proc.zero_branch, unicode)} "
+            f"suc({proc.binder.render()}): {_render(proc.succ_branch, unicode)}"
+        )
+    if isinstance(proc, Split):
+        head = (
+            f"let ({proc.first.render()}, {proc.second.render()}) = "
+            f"{render_term(proc.scrutinee, unicode)} in"
+        )
+        return f"{head} {_render(proc.continuation, unicode)}"
+    raise TypeError(f"unknown process {proc!r}")
+
+
+def _with_continuation(head: str, continuation: Process, unicode: bool) -> str:
+    if isinstance(continuation, Nil):
+        return f"{head}.0"
+    return f"{head}.{_render(continuation, unicode)}"
+
+
+# ----------------------------------------------------------------------
+# Canonical rendering (alpha-invariant)
+# ----------------------------------------------------------------------
+
+
+def canonical_process(proc: Process) -> str:
+    """Render ``proc`` with uids renumbered in first-occurrence order.
+
+    The result is identical for alpha-equivalent processes that differ
+    only in the fresh uids chosen during execution, so it serves as a
+    deduplication key for explored states.
+    """
+    renumber: dict[tuple[str, str, int | None], int] = {}
+
+    def canon_id(kind: str, ident: str, uid: int | None) -> str:
+        # Free names (uid None) keep their spelling: it is their identity.
+        # Every bound identity — instantiated names, variables, location
+        # variables — renames positionally so alpha-variants coincide.
+        # (Degenerate shadowing of two raw same-spelled uid-less binders
+        # would share a number; instantiated systems never produce it.)
+        if kind == "n" and uid is None:
+            return ident
+        key = (kind, ident, uid)
+        if key not in renumber:
+            renumber[key] = len(renumber) + 1
+        return f"{kind}{renumber[key]}"
+
+    def term(t: Term) -> str:
+        if isinstance(t, Name):
+            # The creator location is part of a name's identity, so it
+            # must survive canonicalization (uids alone are renumbered).
+            rendered = canon_id("n", t.base, t.uid)
+            return rendered if t.creator is None else rendered + location_str(t.creator)
+        if isinstance(t, Var):
+            return canon_id("v", t.ident, t.uid)
+        if isinstance(t, Pair):
+            return f"({term(t.first)}, {term(t.second)})"
+        if isinstance(t, Zero):
+            return "zero"
+        if isinstance(t, Succ):
+            return f"suc({term(t.term)})"
+        if isinstance(t, SharedEnc):
+            return "{" + ", ".join(term(p) for p in t.body) + "}" + term(t.key)
+        if isinstance(t, Localized):
+            return f"{location_str(t.creator)}{term(t.term)}"
+        if isinstance(t, At):
+            addr = t.address.render()
+            return f"[{addr}]" + ("" if t.term is None else term(t.term))
+        raise TypeError(f"unknown term {t!r}")
+
+    def channel(ch: Channel) -> str:
+        subject = term(ch.subject)
+        if ch.index is None:
+            return subject
+        if isinstance(ch.index, RelativeAddress):
+            return f"{subject}@{ch.index.render()}"
+        if isinstance(ch.index, LocVar):
+            return f"{subject}@{canon_id('l', ch.index.ident, ch.index.uid)}"
+        return f"{subject}@{location_str(ch.index)}"
+
+    def go(p: Process) -> str:
+        if isinstance(p, Nil):
+            return "0"
+        if isinstance(p, Output):
+            return f"{channel(p.channel)}<{term(p.payload)}>.{go(p.continuation)}"
+        if isinstance(p, Input):
+            binder = canon_id("v", p.binder.ident, p.binder.uid)
+            return f"{channel(p.channel)}({binder}).{go(p.continuation)}"
+        if isinstance(p, Restriction):
+            return f"(nu {canon_id('n', p.name.base, p.name.uid)})({go(p.body)})"
+        if isinstance(p, Parallel):
+            return f"({go(p.left)} | {go(p.right)})"
+        if isinstance(p, Match):
+            return f"[{term(p.left)} = {term(p.right)}] {go(p.continuation)}"
+        if isinstance(p, AddrMatch):
+            return f"[{term(p.left)} =~ {term(p.right)}] {go(p.continuation)}"
+        if isinstance(p, Replication):
+            return f"!({go(p.body)})"
+        if isinstance(p, Case):
+            binders = ", ".join(canon_id("v", b.ident, b.uid) for b in p.binders)
+            return (
+                f"case {term(p.scrutinee)} of {{{binders}}}{term(p.key)} in "
+                f"{go(p.continuation)}"
+            )
+        if isinstance(p, IntCase):
+            binder = canon_id("v", p.binder.ident, p.binder.uid)
+            return (
+                f"case {term(p.scrutinee)} of zero: {go(p.zero_branch)} "
+                f"suc({binder}): {go(p.succ_branch)}"
+            )
+        if isinstance(p, Split):
+            first = canon_id("v", p.first.ident, p.first.uid)
+            second = canon_id("v", p.second.ident, p.second.uid)
+            return f"let ({first}, {second}) = {term(p.scrutinee)} in {go(p.continuation)}"
+        raise TypeError(f"unknown process {p!r}")
+
+    return go(proc)

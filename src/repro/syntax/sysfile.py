@@ -1,0 +1,149 @@
+"""System files: a declarative format for whole configurations.
+
+A *system file* describes a :class:`~repro.equivalence.testing.Configuration`
+— labelled principals plus the private protocol channels — so that
+complete verification scenarios can live on disk and drive the CLI::
+
+    # the paper's P2
+    channels: c
+
+    role P = (nu KAB)(
+        (nu M)(c<{M}KAB>.0)
+        | c(z). case z of {w}KAB in observe<w>.0
+    )
+
+    subrole P ||0 A
+    subrole P ||1 B
+
+Grammar (line-oriented; ``#`` starts a comment):
+
+* ``channels: n1 n2 ...`` — the private channel spellings (the set
+  ``C`` of Definition 4);
+* ``observe: name`` — the observation channel (optional; default
+  ``observe``);
+* ``role LABEL = PROCESS`` — a principal; the process source extends
+  over following lines until the next directive or end of file, so
+  multi-line processes need no escaping;
+* ``subrole PARENT PATH LABEL`` — register a role label inside a part,
+  with ``PATH`` a location suffix in address-tag notation (``||0||1``).
+
+Roles compose left-associatively in declaration order, matching
+:func:`~repro.equivalence.testing.compose`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ParseError
+from repro.core.terms import Name
+from repro.equivalence.testing import Configuration
+from repro.syntax.parser import parse_process
+
+_DIRECTIVE_RE = re.compile(
+    r"^\s*(channels\s*:|observe\s*:|role\s+[A-Za-z_][A-Za-z0-9_]*\s*=|subrole\s)"
+)
+_ROLE_RE = re.compile(r"^\s*role\s+([A-Za-z_][A-Za-z0-9_]*)\s*=(.*)$", re.DOTALL)
+_TAG_RE = re.compile(r"\|\|([01])")
+
+
+@dataclass(frozen=True, slots=True)
+class SystemFile:
+    """A parsed system file."""
+
+    configuration: Configuration
+    observe: Name
+
+    def labels(self) -> tuple[str, ...]:
+        return self.configuration.labels()
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        line = line[: line.index("#")]
+    return line.rstrip()
+
+
+def _split_directives(source: str) -> list[tuple[int, str]]:
+    """Group the file into directive blocks.
+
+    Returns ``(starting line number, full block text)`` pairs; lines
+    that do not start a directive attach to the preceding block (they
+    are continuation lines of a ``role`` process).
+    """
+    blocks: list[tuple[int, list[str]]] = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line.strip():
+            continue
+        if _DIRECTIVE_RE.match(line):
+            blocks.append((line_no, [line]))
+        else:
+            if not blocks:
+                raise ParseError(f"unexpected content {line.strip()!r}", line_no)
+            blocks[-1][1].append(line)
+    return [(line_no, "\n".join(lines)) for line_no, lines in blocks]
+
+
+def parse_system_file(source: str) -> SystemFile:
+    """Parse a system file into a configuration.
+
+    Raises :class:`ParseError` (with the directive's line number) on
+    malformed input.
+    """
+    channels: list[Name] = []
+    observe = Name("observe")
+    parts: list[tuple[str, object]] = []
+    subroles: list[tuple[str, tuple[int, ...], str]] = []
+
+    for line_no, block in _split_directives(source):
+        head = block.strip()
+        if head.startswith("channels"):
+            _, _, rest = block.partition(":")
+            channels.extend(Name(part) for part in rest.split())
+            continue
+        if head.startswith("observe"):
+            _, _, rest = block.partition(":")
+            names = rest.split()
+            if len(names) != 1:
+                raise ParseError("observe: expects exactly one channel", line_no)
+            observe = Name(names[0])
+            continue
+        if head.startswith("subrole"):
+            fields = block.split()
+            if len(fields) != 4:
+                raise ParseError("subrole expects: subrole PARENT PATH LABEL", line_no)
+            _, parent, path_text, label = fields
+            if not all(label != existing for existing, _, _ in subroles):
+                raise ParseError(f"duplicate subrole {label!r}", line_no)
+            if parent not in [p for p, _ in parts]:
+                raise ParseError(f"subrole parent {parent!r} not declared", line_no)
+            path = tuple(int(m.group(1)) for m in _TAG_RE.finditer(path_text))
+            rebuilt = "".join(f"||{t}" for t in path)
+            if rebuilt != path_text:
+                raise ParseError(f"bad subrole path {path_text!r}", line_no)
+            subroles.append((parent, path, label))
+            continue
+        match = _ROLE_RE.match(block)
+        if match is None:
+            raise ParseError(f"malformed directive {head.splitlines()[0]!r}", line_no)
+        label, body = match.group(1), match.group(2)
+        if label in [p for p, _ in parts]:
+            raise ParseError(f"duplicate role {label!r}", line_no)
+        if not body.strip():
+            raise ParseError(f"role {label!r} has an empty process", line_no)
+        parts.append((label, parse_process(body)))
+
+    if not parts:
+        raise ParseError("a system file needs at least one role", 1)
+    configuration = Configuration(
+        parts=tuple(parts), private=tuple(channels), subroles=tuple(subroles)
+    )
+    return SystemFile(configuration=configuration, observe=observe)
+
+
+def load_system_file(path: str) -> SystemFile:
+    """Read and parse a system file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_system_file(handle.read())

@@ -1,0 +1,62 @@
+"""Tests for actions, transitions and their narration rendering."""
+
+from __future__ import annotations
+
+from repro.core.addresses import RelativeAddress
+from repro.core.processes import Channel, Input, Nil, Output, Parallel, Restriction
+from repro.core.terms import Name, Var
+from repro.semantics.actions import Barb, Comm, input_barb, output_barb
+from repro.semantics.system import instantiate
+from repro.semantics.transitions import successors
+
+a, k = Name("a"), Name("k")
+
+
+class TestComm:
+    def test_sender_address_is_what_a_locvar_would_bind(self):
+        comm = Comm(channel=a, value=k, sender=(0, 0), receiver=(1,))
+        assert comm.sender_address() == RelativeAddress.between(
+            observer=(1,), target=(0, 0)
+        )
+
+    def test_receiver_address_is_the_inverse(self):
+        comm = Comm(channel=a, value=k, sender=(0, 0), receiver=(1,))
+        assert comm.receiver_address() == comm.sender_address().inverse()
+
+
+class TestBarbs:
+    def test_equality_and_hash(self):
+        assert output_barb(a) == Barb(a, is_output=True)
+        assert output_barb(a) != input_barb(a)
+        assert len({output_barb(a), output_barb(a), input_barb(a)}) == 2
+
+    def test_render(self):
+        assert str(output_barb(a)) == "a^bar"
+        assert str(input_barb(a)) == "a"
+
+
+class TestDescribe:
+    def test_roles_and_base_channel_names(self):
+        m = Name("m")
+        system = instantiate(
+            Restriction(
+                Name("priv"),
+                Parallel(
+                    Output(Channel(Name("priv")), m, Nil()),
+                    Input(Channel(Name("priv")), Var("x"), Nil()),
+                ),
+            ),
+            roles=[((0,), "Alice"), ((1,), "Bob")],
+        )
+        (step,) = successors(system)
+        text = step.describe(system)
+        assert text.startswith("Alice -> Bob on priv : ")
+        assert "#" not in text.split(" on ")[1].split(" : ")[0]  # channel shows base
+
+    def test_unregistered_roles_render_locations(self):
+        system = instantiate(
+            Parallel(Output(Channel(a), k, Nil()), Input(Channel(a), Var("x"), Nil()))
+        )
+        (step,) = successors(system)
+        assert "<||0>" in step.describe(system)
+        assert "<||1>" in step.describe(system)

@@ -1,0 +1,204 @@
+"""Tests for the relative-address algebra (Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.addresses import (
+    RelativeAddress,
+    SELF,
+    all_locations,
+    common_ancestor,
+    is_prefix,
+    location_str,
+)
+from repro.core.errors import AddressError
+
+# Figure 1 of the paper: (P0|P1)|(P2|(P3|P4))
+P0, P1, P2, P3, P4 = (0, 0), (0, 1), (1, 0), (1, 1, 0), (1, 1, 1)
+
+
+class TestFigure1:
+    """The paper's running example of relative addresses."""
+
+    def test_p3_relative_to_p1(self):
+        # "the address of P3 relative to P1 is l = ||0||1 * ||1||1||0"
+        addr = RelativeAddress.between(observer=P1, target=P3)
+        assert addr == RelativeAddress.parse("||0||1*||1||1||0")
+
+    def test_p1_relative_to_p3_is_inverse(self):
+        # "the relative address of P3 wrt P1 is ||1||1||0*||0||1 ... l^-1"
+        addr = RelativeAddress.between(observer=P3, target=P1)
+        assert addr == RelativeAddress.parse("||1||1||0*||0||1")
+        assert addr == RelativeAddress.between(observer=P1, target=P3).inverse()
+
+    def test_all_pairs_are_mutually_inverse(self):
+        leaves = [P0, P1, P2, P3, P4]
+        for a in leaves:
+            for b in leaves:
+                fwd = RelativeAddress.between(observer=a, target=b)
+                bwd = RelativeAddress.between(observer=b, target=a)
+                assert fwd.inverse() == bwd
+                assert fwd.is_compatible(bwd)
+
+    def test_self_address_is_empty(self):
+        assert RelativeAddress.between(observer=P2, target=P2) == SELF
+
+    def test_siblings(self):
+        addr = RelativeAddress.between(observer=P3, target=P4)
+        assert addr == RelativeAddress(((0,)), (1,))
+
+
+class TestWellFormedness:
+    """Definition 1: components must diverge at their first tag."""
+
+    def test_diverging_components_accepted(self):
+        RelativeAddress((0, 1), (1, 0))
+        RelativeAddress((1,), (0, 0, 1))
+
+    def test_common_first_tag_rejected(self):
+        with pytest.raises(AddressError):
+            RelativeAddress((0, 1), (0, 0))
+        with pytest.raises(AddressError):
+            RelativeAddress((1,), (1, 1))
+
+    def test_empty_components_always_fine(self):
+        RelativeAddress((), (1, 1))
+        RelativeAddress((0,), ())
+        RelativeAddress((), ())
+
+    def test_invalid_tags_rejected(self):
+        with pytest.raises(AddressError):
+            RelativeAddress((2,), ())
+
+
+class TestResolve:
+    def test_resolve_recovers_target(self):
+        addr = RelativeAddress.between(observer=P1, target=P3)
+        assert addr.resolve(P1) == P3
+
+    def test_resolve_elsewhere_fails(self):
+        addr = RelativeAddress.between(observer=P1, target=P3)
+        with pytest.raises(AddressError):
+            addr.resolve(P2)
+
+    def test_resolve_too_shallow_fails(self):
+        addr = RelativeAddress((0, 0, 0), (1,))
+        with pytest.raises(AddressError):
+            addr.resolve((0, 0))
+
+    def test_self_resolves_anywhere(self):
+        assert SELF.resolve(P3) == P3
+
+    def test_resolution_is_translation_invariant(self):
+        addr = RelativeAddress.between(observer=P1, target=P3)
+        for prefix in [(0,), (1, 0), (1, 1, 0, 1)]:
+            assert addr.resolve(prefix + P1) == prefix + P3
+
+
+class TestCompose:
+    """The address update applied when a localized datum is forwarded."""
+
+    def test_forwarding_example_from_section_3_2(self):
+        # P3 creates n, sends to P1, which forwards to P2: the name must
+        # end up referring to P3 from P2's point of view.
+        creator_wrt_sender = RelativeAddress.between(observer=P1, target=P3)
+        sender_wrt_receiver = RelativeAddress.between(observer=P2, target=P1)
+        composed = creator_wrt_sender.compose(sender_wrt_receiver)
+        assert composed == RelativeAddress.between(observer=P2, target=P3)
+
+    def test_compose_matches_absolute_computation_everywhere(self):
+        leaves = [P0, P1, P2, P3, P4]
+        for creator in leaves:
+            for sender in leaves:
+                for receiver in leaves:
+                    left = RelativeAddress.between(observer=sender, target=creator)
+                    right = RelativeAddress.between(observer=receiver, target=sender)
+                    expected = RelativeAddress.between(observer=receiver, target=creator)
+                    assert left.compose(right) == expected
+
+    def test_compose_with_self_is_identity(self):
+        addr = RelativeAddress.between(observer=P1, target=P3)
+        assert addr.compose(SELF) == addr
+        assert SELF.compose(addr) == addr
+
+    def test_incompatible_composition_rejected(self):
+        # carrier says the sender sits at ||1... but self says ||0...
+        left = RelativeAddress((0, 0), (1,))
+        right = RelativeAddress((0,), (1, 1))
+        with pytest.raises(AddressError):
+            left.compose(right)
+
+
+class TestParseRender:
+    def test_parse_round_trip(self):
+        for text in ["||0||1*||1||1||0", "*", "||0*", "*||1", "||1*||0||0||1"]:
+            assert RelativeAddress.parse(text).render() == text
+
+    def test_unicode_bullet_accepted(self):
+        assert RelativeAddress.parse("||0•||1") == RelativeAddress((0,), (1,))
+
+    def test_unicode_render(self):
+        assert RelativeAddress((0,), (1,)).render(unicode=True) == "||0•||1"
+
+    def test_garbage_rejected(self):
+        for text in ["||2*", "||0||1", "0*1", "", "||0**||1"]:
+            with pytest.raises(AddressError):
+                RelativeAddress.parse(text)
+
+
+class TestLocationHelpers:
+    def test_common_ancestor(self):
+        assert common_ancestor(P3, P4) == (1, 1)
+        assert common_ancestor(P0, P3) == ()
+        assert common_ancestor(P2, P2) == P2
+
+    def test_is_prefix(self):
+        assert is_prefix((), P3)
+        assert is_prefix((1, 1), P3)
+        assert not is_prefix((0,), P3)
+        assert is_prefix(P3, P3)
+
+    def test_location_str(self):
+        assert location_str((1, 0)) == "<||1||0>"
+        assert location_str(()) == "<>"
+
+    def test_all_locations_count(self):
+        # a full binary tree of depth d has 2^(d+1) - 1 nodes
+        assert len(all_locations(3)) == 15
+
+
+locations = st.lists(st.integers(min_value=0, max_value=1), max_size=6).map(tuple)
+
+
+class TestProperties:
+    """Hypothesis property tests over arbitrary tree locations."""
+
+    @given(locations, locations)
+    def test_between_is_well_formed(self, a, b):
+        addr = RelativeAddress.between(observer=a, target=b)
+        if addr.observer_path and addr.target_path:
+            assert addr.observer_path[0] != addr.target_path[0]
+
+    @given(locations, locations)
+    def test_inverse_is_involutive(self, a, b):
+        addr = RelativeAddress.between(observer=a, target=b)
+        assert addr.inverse().inverse() == addr
+
+    @given(locations, locations)
+    def test_resolve_after_between(self, a, b):
+        addr = RelativeAddress.between(observer=a, target=b)
+        assert addr.resolve(a) == b
+
+    @given(locations, locations, locations)
+    def test_compose_associates_with_absolute_semantics(self, creator, sender, receiver):
+        left = RelativeAddress.between(observer=sender, target=creator)
+        right = RelativeAddress.between(observer=receiver, target=sender)
+        expected = RelativeAddress.between(observer=receiver, target=creator)
+        assert left.compose(right) == expected
+
+    @given(locations, locations)
+    def test_render_parse_round_trip(self, a, b):
+        addr = RelativeAddress.between(observer=a, target=b)
+        assert RelativeAddress.parse(addr.render()) == addr

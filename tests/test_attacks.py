@@ -1,0 +1,155 @@
+"""Tests for the Definition-4 driver: testers, verdicts, narration."""
+
+from __future__ import annotations
+
+from repro.analysis.attacks import (
+    SUCCESS,
+    Attack,
+    ImplementationVerdict,
+    find_attack,
+    origin_tester,
+    same_origin_tester,
+    securely_implements,
+    standard_testers,
+)
+from repro.analysis.intruder import impersonator, standard_attackers
+from repro.core.addresses import RelativeAddress
+from repro.core.processes import AddrMatch, Input, Nil, Output
+from repro.core.terms import At, Name
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget
+
+from tests.conftest import MEDIUM_BUDGET, impl_crypto, impl_plaintext, spec_single
+
+C = Name("c")
+OBSERVE = Name("observe")
+
+
+class TestTesterBuilders:
+    def test_origin_tester_shape(self):
+        addr = RelativeAddress((1,), (0, 1))
+        tester = origin_tester(OBSERVE, addr)
+        assert isinstance(tester, Input)
+        check = tester.continuation
+        assert isinstance(check, AddrMatch)
+        assert check.right == At(addr)
+        assert isinstance(check.continuation, Output)
+        assert check.continuation.channel.subject == SUCCESS
+
+    def test_same_origin_tester_shape(self):
+        tester = same_origin_tester(OBSERVE)
+        assert isinstance(tester, Input)
+        assert isinstance(tester.continuation, Input)
+        check = tester.continuation.continuation
+        assert isinstance(check, AddrMatch)
+        assert check.left == tester.binder
+        assert check.right == tester.continuation.binder
+
+    def test_custom_success_channel(self):
+        won = Name("won")
+        tester = origin_tester(OBSERVE, RelativeAddress((1,), (0,)), success=won)
+        assert tester.continuation.continuation.channel.subject == won
+
+    def test_standard_testers_one_per_role_plus_replay(self):
+        cfg = spec_single().with_part("E", impersonator(C))
+        tests = standard_testers(cfg, OBSERVE, roles=("A", "B", "E"))
+        names = [t.name for t in tests]
+        assert names == [
+            "origin-is-A",
+            "origin-is-B",
+            "origin-is-E",
+            "same-origin-twice",
+        ]
+        assert all(t.barb == output_barb(SUCCESS) for t in tests)
+
+
+class TestVerdicts:
+    def test_secure_describe(self):
+        verdict = ImplementationVerdict(
+            secure=True, attackers_checked=3, tests_checked=4, exhaustive=True
+        )
+        assert "securely implements" in verdict.describe()
+        assert "3 attackers" in verdict.describe()
+
+    def test_budget_limited_describe(self):
+        verdict = ImplementationVerdict(
+            secure=True, attackers_checked=1, tests_checked=1, exhaustive=False
+        )
+        assert "budget-limited" in verdict.describe()
+
+    def test_insecure_describe_includes_narration(self):
+        verdict = securely_implements(
+            impl_plaintext(), spec_single(), [("impersonate(c)", impersonator(C))],
+            budget=MEDIUM_BUDGET,
+        )
+        text = verdict.describe()
+        assert "NOT a secure implementation" in text
+        assert "Step 1" in text
+
+    def test_attack_describe(self):
+        attack = Attack(
+            attacker_name="X", attacker=Nil(), test=None.__class__ and _dummy_test(),
+            narration=("Step 1: boom",),
+        )
+        text = attack.describe()
+        assert "X" in text and "Step 1: boom" in text
+
+
+def _dummy_test():
+    from repro.equivalence.testing import Test
+
+    return Test("t", Nil(), output_barb(SUCCESS))
+
+
+class TestSecurelyImplements:
+    def test_attack_search_stops_at_first_hit(self):
+        # with the impersonator first, the verdict must name it
+        attackers = [("impersonate(c)", impersonator(C))] + standard_attackers([C])
+        verdict = securely_implements(
+            impl_plaintext(), spec_single(), attackers, budget=MEDIUM_BUDGET
+        )
+        assert verdict.attack.attacker_name == "impersonate(c)"
+
+    def test_find_attack_wrapper(self):
+        attack = find_attack(
+            impl_plaintext(), spec_single(), standard_attackers([C]),
+            budget=MEDIUM_BUDGET,
+        )
+        assert attack is not None
+        assert attack.test.name == "origin-is-E"
+
+    def test_find_attack_none_for_secure_impl(self):
+        attack = find_attack(
+            impl_crypto(), spec_single(), standard_attackers([C]),
+            budget=MEDIUM_BUDGET,
+        )
+        assert attack is None
+
+    def test_explicit_test_suite_respected(self):
+        from repro.equivalence.testing import Test
+
+        never = Test("never", Nil(), output_barb(Name("nope")))
+        verdict = securely_implements(
+            impl_plaintext(), spec_single(), standard_attackers([C]),
+            tests=[never], budget=MEDIUM_BUDGET,
+        )
+        # the impersonation is invisible to a tester that tests nothing
+        assert verdict.secure
+
+    def test_simulations_collected_when_requested(self):
+        verdict = securely_implements(
+            impl_crypto(), spec_single(), standard_attackers([C])[:2],
+            budget=MEDIUM_BUDGET, check_simulation=True,
+        )
+        assert len(verdict.simulations) == 2
+        assert all(s.holds for s in verdict.simulations)
+
+    def test_simulation_catches_what_testers_miss(self):
+        from repro.equivalence.testing import Test
+
+        # empty tester suite, but simulation still vets the implementation
+        verdict = securely_implements(
+            impl_plaintext(), spec_single(), [("impersonate(c)", impersonator(C))],
+            tests=[], budget=MEDIUM_BUDGET, check_simulation=True,
+        )
+        assert not verdict.secure or not all(s.holds for s in verdict.simulations)

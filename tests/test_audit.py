@@ -1,0 +1,63 @@
+"""Tests for the one-call audit API."""
+
+from __future__ import annotations
+
+from repro.analysis.audit import audit
+from repro.semantics.lts import Budget
+
+from tests.conftest import impl_crypto, impl_plaintext, spec_single
+
+BUDGET = Budget(max_states=3000, max_depth=18)
+
+
+class TestAudit:
+    def test_crypto_protocol_passes_everything(self):
+        report = audit(
+            impl_crypto(),
+            sender_role="A",
+            secrets=("M", "KAB"),
+            spec=spec_single(),
+            budget=BUDGET,
+        )
+        assert report.passed
+        assert report.delivers
+        assert report.authentication.holds
+        assert report.freshness.holds
+        assert all(v.holds for _, v in report.secrecy)
+        assert report.implementation.secure
+
+    def test_plaintext_fails_loudly(self):
+        report = audit(
+            impl_plaintext(),
+            sender_role="A",
+            secrets=("M",),
+            spec=spec_single(),
+            budget=BUDGET,
+        )
+        assert not report.passed
+        assert report.delivers  # honest delivery still works
+        assert not report.authentication.holds
+        assert not dict(report.secrecy)["M"].holds
+        assert not report.implementation.secure
+
+    def test_minimal_audit(self):
+        report = audit(impl_crypto(), budget=BUDGET)
+        assert report.authentication is None
+        assert report.implementation is None
+        assert report.secrecy == ()
+        assert report.passed  # only delivery + freshness checked
+
+    def test_describe_renders_all_sections(self):
+        report = audit(
+            impl_crypto(), sender_role="A", secrets=("M",), spec=spec_single(),
+            budget=BUDGET,
+        )
+        text = report.describe()
+        assert text.startswith("audit: PASS")
+        for fragment in ("delivery", "authentication", "freshness",
+                         "secrecy(M)", "Definition 4"):
+            assert fragment in text
+
+    def test_failed_describe(self):
+        report = audit(impl_plaintext(), sender_role="A", budget=BUDGET)
+        assert report.describe().startswith("audit: FAIL")

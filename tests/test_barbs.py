@@ -1,0 +1,87 @@
+"""Tests for barbs, exhibition and convergence."""
+
+from __future__ import annotations
+
+from repro.core.processes import (
+    Channel,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+)
+from repro.core.terms import Name, Var
+from repro.equivalence.barbs import barbs, converges, converges_any, exhibits, observable_channels
+from repro.semantics.actions import Barb, input_barb, output_barb
+from repro.semantics.lts import Budget
+from repro.semantics.system import instantiate
+
+a, b, k = Name("a"), Name("b"), Name("k")
+x = Var("x")
+
+
+class TestBarbs:
+    def test_output_and_input_barbs(self):
+        system = instantiate(Parallel(Output(Channel(a), k, Nil()), Input(Channel(b), x, Nil())))
+        assert barbs(system) == {output_barb(a), input_barb(b)}
+
+    def test_private_channels_give_no_barbs(self):
+        system = instantiate(Restriction(a, Output(Channel(a), k, Nil())))
+        assert barbs(system) == frozenset()
+
+    def test_replication_barbs_visible(self):
+        system = instantiate(Replication(Output(Channel(a), k, Nil())))
+        assert output_barb(a) in barbs(system)
+
+    def test_guard_blocked_barb_invisible(self):
+        system = instantiate(Match(a, b, Output(Channel(a), k, Nil())))
+        assert barbs(system) == frozenset()
+
+    def test_barb_rendering(self):
+        assert output_barb(a).render() == "a^bar"
+        assert input_barb(a).render() == "a"
+
+
+class TestExhibitsConverges:
+    def test_exhibits_now(self):
+        system = instantiate(Output(Channel(a), k, Nil()))
+        assert exhibits(system, output_barb(a))
+        assert not exhibits(system, input_barb(a))
+
+    def test_converges_after_steps(self):
+        # b-bar only after the a-rendezvous
+        A = Output(Channel(a), k, Output(Channel(b), k, Nil()))
+        B = Input(Channel(a), x, Nil())
+        system = instantiate(Parallel(A, B))
+        assert not exhibits(system, output_barb(b))
+        found, exhaustive = converges(system, output_barb(b))
+        assert found and exhaustive
+
+    def test_converges_respects_privacy(self):
+        system = instantiate(Restriction(b, Parallel(
+            Output(Channel(a), k, Output(Channel(b), k, Nil())),
+            Input(Channel(a), x, Nil()),
+        )))
+        found, exhaustive = converges(system, output_barb(b))
+        assert not found and exhaustive
+
+    def test_converges_budget_qualifier(self):
+        system = instantiate(Parallel(
+            Replication(Output(Channel(a), k, Nil())),
+            Replication(Input(Channel(a), x, Nil())),
+        ))
+        found, exhaustive = converges(system, output_barb(b), Budget(4, 50))
+        assert not found and not exhaustive
+
+    def test_converges_any_picks_a_hit(self):
+        A = Output(Channel(a), k, Output(Channel(b), k, Nil()))
+        B = Input(Channel(a), x, Nil())
+        system = instantiate(Parallel(A, B))
+        hit, exhaustive = converges_any(system, [output_barb(b), input_barb(Name("zz"))])
+        assert hit == output_barb(b)
+
+    def test_observable_channels(self):
+        system = instantiate(Parallel(Output(Channel(a), k, Nil()), Input(Channel(b), x, Nil())))
+        assert observable_channels(system) == {a, b}

@@ -1,0 +1,88 @@
+"""Tests for barbed weak bisimulation."""
+
+from __future__ import annotations
+
+from repro.analysis.narration import compile_narration
+from repro.core.processes import Channel, Input, Nil, Output, Parallel, Restriction
+from repro.core.terms import Name, Var, fresh_uid
+from repro.equivalence.bisimulation import weakly_bisimilar
+from repro.equivalence.simulation import weakly_simulated
+from repro.equivalence.testing import Configuration, compose
+from repro.protocols.library import encrypted_transport, observer
+from repro.protocols.paper import crypto_protocol
+from repro.semantics.lts import Budget
+from repro.semantics.system import instantiate
+
+a, b, k = Name("a"), Name("b"), Name("k")
+C = Name("c")
+BUDGET = Budget(max_states=1500, max_depth=24)
+
+
+def tau_then(announce: Name):
+    ch = Name("internal")
+    x = Var("x", fresh_uid())
+    return Restriction(
+        ch,
+        Parallel(
+            Output(Channel(ch), k, Nil()),
+            Input(Channel(ch), x, Output(Channel(announce), k, Nil())),
+        ),
+    )
+
+
+class TestBasics:
+    def test_reflexive(self):
+        left = instantiate(tau_then(b))
+        right = instantiate(tau_then(b))
+        assert weakly_bisimilar(left, right).holds
+
+    def test_weak_tau_absorption(self):
+        # a direct output is bisimilar to tau-then-output
+        x = Var("x", fresh_uid())
+        consume = lambda: Input(Channel(b), Var("y", fresh_uid()), Nil())
+        left = instantiate(Parallel(Output(Channel(b), k, Nil()), consume()))
+        right = instantiate(Parallel(tau_then(b), consume()))
+        assert weakly_bisimilar(left, right).holds
+
+    def test_asymmetric_pairs_rejected(self):
+        quiet = instantiate(Nil())
+        noisy = instantiate(Output(Channel(b), k, Nil()))
+        # simulation holds one way, bisimulation in neither packaging
+        assert weakly_simulated(quiet, noisy).holds
+        assert not weakly_bisimilar(quiet, noisy).holds
+        assert not weakly_bisimilar(noisy, quiet).holds
+
+    def test_different_channels_not_bisimilar(self):
+        left = instantiate(Output(Channel(a), k, Nil()))
+        right = instantiate(Output(Channel(b), k, Nil()))
+        assert not weakly_bisimilar(left, right).holds
+
+    def test_describe(self):
+        left = instantiate(Nil())
+        assert "bisimilar" in weakly_bisimilar(left, left).describe()
+
+
+class TestProtocolFormulations:
+    def test_handwritten_p2_bisimilar_to_compiled_narration(self):
+        """The hand-written P2 and the narration compiler's output of
+        'A -> B : {M}KAB' are the same protocol."""
+        handwritten = Configuration(
+            parts=(("P", crypto_protocol()),),
+            private=(C,),
+            subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+        )
+        roles = compile_narration(
+            encrypted_transport(), continuations={"B": observer("M")}
+        )
+        # wrap the compiled roles under a shared key restriction to get
+        # the same scoping as the handwritten version
+        compiled_proc = Restriction(
+            Name("KAB"), Parallel(roles["A"], roles["B"])
+        )
+        compiled = Configuration(
+            parts=(("P", compiled_proc),),
+            private=(C,),
+            subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+        )
+        result = weakly_bisimilar(compose(handwritten), compose(compiled), BUDGET)
+        assert result.holds and not result.truncated

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLE = "a<{M}k>.0 | a(x). case x of {y}k in b<y>.0 | b(r).0"
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestParse:
+    def test_inline_expression(self):
+        status, output = run_cli("parse", "-e", "a<M>.0")
+        assert status == 0
+        assert output.strip() == "a<M>.0"
+
+    def test_unicode_flag(self):
+        status, output = run_cli("parse", "--unicode", "-e", "(nu m)(c@||0*||1<m>.0)")
+        assert status == 0
+        assert "ν" in output and "•" in output
+
+    def test_tree_flag(self):
+        status, output = run_cli("parse", "--tree", "-e", EXAMPLE)
+        assert status == 0
+        assert "tree of sequential processes" in output
+        assert "<||0||0>" in output
+
+    def test_file_input(self, tmp_path):
+        source = tmp_path / "proc.spi"
+        source.write_text("a<M>.0")
+        status, output = run_cli("parse", str(source))
+        assert status == 0 and "a<M>.0" in output
+
+    def test_parse_error_is_reported(self, capsys):
+        status, _ = run_cli("parse", "-e", "a<M>.")
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        status, _ = run_cli("parse", "/nonexistent/path.spi")
+        assert status == 1
+
+
+class TestRun:
+    def test_example1_runs_two_steps(self):
+        status, output = run_cli("run", "-e", EXAMPLE)
+        assert status == 0
+        assert "step 1" in output and "step 2" in output
+        assert "stuck after 2 steps" in output
+
+    def test_step_budget(self):
+        status, output = run_cli("run", "--steps", "1", "-e", EXAMPLE)
+        assert status == 0
+        assert "stopped after 1 steps (budget)" in output
+
+    def test_inert_system(self):
+        status, output = run_cli("run", "-e", "0")
+        assert status == 0
+        assert "stuck after 0 steps" in output
+
+
+class TestExplore:
+    def test_statistics_printed(self):
+        status, output = run_cli("explore", "-e", EXAMPLE)
+        assert status == 0
+        assert "states" in output and "transitions" in output
+
+    def test_dot_to_stdout(self):
+        status, output = run_cli("explore", "--dot", "-", "-e", EXAMPLE)
+        assert status == 0
+        assert "digraph lts {" in output
+
+    def test_dot_to_file(self, tmp_path):
+        target = tmp_path / "graph.dot"
+        status, output = run_cli("explore", "--dot", str(target), "-e", EXAMPLE)
+        assert status == 0
+        assert target.read_text().startswith("digraph lts {")
+        assert str(target) in output
+
+    def test_budget_flags(self):
+        status, output = run_cli(
+            "explore", "--max-states", "2", "--max-depth", "1", "-e", EXAMPLE
+        )
+        assert status == 0
+        assert "(truncated)" in output
+
+
+class TestUsage:
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,101 @@
+"""Tests for the LTS diagnostics (stats, networkx, dot export)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis.intruder import replayer
+from repro.core.processes import Channel, Input, Nil, Output, Parallel
+from repro.core.terms import Name, Var, fresh_uid
+from repro.equivalence.testing import compose
+from repro.semantics.diagnostics import statistics, to_dot, to_networkx
+from repro.semantics.lts import Budget, explore
+from repro.semantics.system import instantiate
+
+from tests.conftest import spec_multi
+
+a, b, k, m = Name("a"), Name("b"), Name("k"), Name("m")
+
+
+def diamond_system():
+    """Two independent rendezvous: a 4-state diamond."""
+    return instantiate(
+        Parallel(
+            Parallel(Output(Channel(a), k, Nil()), Input(Channel(a), Var("x", fresh_uid()), Nil())),
+            Parallel(Output(Channel(b), m, Nil()), Input(Channel(b), Var("y", fresh_uid()), Nil())),
+        ),
+        roles=[((0, 0), "A"), ((0, 1), "B"), ((1, 0), "C"), ((1, 1), "D")],
+    )
+
+
+class TestStatistics:
+    def test_diamond_metrics(self):
+        graph = explore(diamond_system())
+        stats = statistics(graph)
+        assert stats.states == 4
+        assert stats.transitions == 4
+        assert stats.deadlocks == 1
+        assert stats.max_out_degree == 2
+        assert stats.depth == 2
+        assert not stats.truncated
+
+    def test_acyclic_graph_has_trivial_sccs(self):
+        graph = explore(diamond_system())
+        stats = statistics(graph)
+        assert stats.strongly_connected_components == stats.states
+
+    def test_describe(self):
+        graph = explore(diamond_system())
+        text = statistics(graph).describe()
+        assert "4 states" in text and "deadlocks" in text
+
+    def test_truncation_reported(self):
+        cfg = spec_multi().with_part("E", replayer(Name("c")))
+        graph = explore(compose(cfg), Budget(max_states=10, max_depth=50))
+        assert "(truncated)" in statistics(graph).describe()
+
+
+class TestNetworkx:
+    def test_shape_preserved(self):
+        graph = explore(diamond_system())
+        g = to_networkx(graph)
+        assert g.number_of_nodes() == graph.state_count()
+        assert g.number_of_edges() == graph.transition_count()
+
+    def test_edges_carry_transitions(self):
+        graph = explore(diamond_system())
+        g = to_networkx(graph)
+        for _, _, data in g.edges(data=True):
+            assert "transition" in data
+
+    def test_initial_reaches_everything(self):
+        graph = explore(diamond_system())
+        g = to_networkx(graph)
+        reachable = nx.descendants(g, graph.initial) | {graph.initial}
+        assert reachable == set(g.nodes)
+
+
+class TestDot:
+    def test_dot_structure(self):
+        import re
+
+        graph = explore(diamond_system())
+        dot = to_dot(graph)
+        assert dot.startswith("digraph lts {")
+        assert dot.rstrip().endswith("}")
+        edges = re.findall(r"^\s*s\d+ -> s\d+", dot, flags=re.MULTILINE)
+        assert len(edges) == graph.transition_count()
+        assert "doublecircle" in dot  # the initial state
+
+    def test_edge_labels_use_roles(self):
+        graph = explore(diamond_system())
+        dot = to_dot(graph)
+        assert "A -> B on a" in dot
+
+    def test_long_labels_truncated(self):
+        graph = explore(diamond_system())
+        dot = to_dot(graph, max_label_length=10)
+        for line in dot.splitlines():
+            if "label=" in line and "->" in line:
+                label = line.split('label="')[1].rstrip('"];')
+                assert len(label) <= 10

@@ -1,0 +1,164 @@
+"""Failure-injection tests: every advertised error path actually fires."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.addresses import RelativeAddress
+from repro.core.errors import (
+    AddressError,
+    InstantiationError,
+    NarrationError,
+    ParseError,
+    ProcessError,
+    ReproError,
+    SemanticsError,
+    TermError,
+)
+from repro.core.processes import (
+    Case,
+    Channel,
+    Input,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+    Split,
+    replace_leaves,
+    subprocess_at,
+)
+from repro.core.terms import At, Localized, Name, SharedEnc, Var, localize, nat
+from repro.semantics.system import System, instantiate
+from repro.semantics.transitions import commitments
+from repro.syntax.parser import parse_process, parse_term
+
+a, k, m = Name("a"), Name("k"), Name("m")
+x = Var("x")
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (
+            AddressError,
+            InstantiationError,
+            NarrationError,
+            ParseError,
+            ProcessError,
+            SemanticsError,
+            TermError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(ReproError):
+            RelativeAddress((0,), (0,))
+
+
+class TestAddressErrors:
+    def test_malformed_literal(self):
+        with pytest.raises(AddressError):
+            RelativeAddress.parse("||0||0")
+
+    def test_resolve_off_tree(self):
+        addr = RelativeAddress((0, 1), (1,))
+        with pytest.raises(AddressError):
+            addr.resolve((1, 1))
+
+    def test_incompatible_compose(self):
+        with pytest.raises(AddressError):
+            RelativeAddress((0, 0), (1,)).compose(RelativeAddress((0,), (1, 1)))
+
+
+class TestTermErrors:
+    def test_empty_ciphertext(self):
+        with pytest.raises(TermError):
+            SharedEnc((), k)
+
+    def test_nested_localized(self):
+        with pytest.raises(TermError):
+            Localized((0,), Localized((1,), m))
+
+    def test_localize_open_term(self):
+        with pytest.raises(TermError):
+            localize(x, (0,))
+
+    def test_negative_numeral(self):
+        with pytest.raises(TermError):
+            nat(-3)
+
+
+class TestProcessErrors:
+    def test_case_without_binders(self):
+        with pytest.raises(ProcessError):
+            Case(x, (), k, Nil())
+
+    def test_split_duplicate_binders(self):
+        with pytest.raises(ProcessError):
+            Split(x, x, x, Nil())
+
+    def test_subprocess_at_bad_path(self):
+        with pytest.raises(ProcessError):
+            subprocess_at(Nil(), (0,))
+
+    def test_replace_leaves_bad_path(self):
+        with pytest.raises(ProcessError):
+            replace_leaves(Parallel(Nil(), Nil()), {(0, 0): Nil()})
+
+
+class TestInstantiationErrors:
+    def test_open_process(self):
+        with pytest.raises(InstantiationError) as err:
+            instantiate(Output(Channel(a), x, Nil()))
+        assert "free" in str(err.value)
+
+    def test_live_restriction_in_commitments(self):
+        # bypassing instantiate and feeding a raw restriction leaf to the
+        # transition machinery is a usage error the semantics rejects
+        raw = Restriction(m, Output(Channel(a), m, Nil()))
+        with pytest.raises(SemanticsError):
+            list(commitments(raw, (), ()))
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a<M>.",          # missing continuation
+            "a<M.0",          # unclosed angle
+            "case x of {y k in 0",  # unclosed braces
+            "(nu )(0)",       # missing name
+            "[x = ] 0",       # missing term
+            "a(x",            # unclosed input
+            "!a<M>.0",        # replication needs parentheses
+            "let (x) = m in 0",  # split needs two binders
+        ],
+    )
+    def test_rejected_sources(self, source):
+        with pytest.raises(ParseError):
+            parse_process(source)
+
+    def test_position_information(self):
+        with pytest.raises(ParseError) as err:
+            parse_process("a<M>.0 |\n  case")
+        assert err.value.line == 2
+
+    def test_term_junk(self):
+        with pytest.raises(ParseError):
+            parse_term("{}k")
+
+
+class TestBudgetQualifiers:
+    def test_truncated_results_never_claim_exhaustive(self):
+        from repro.equivalence.barbs import converges
+        from repro.semantics.actions import output_barb
+        from repro.semantics.lts import Budget
+
+        busy = instantiate(
+            Parallel(
+                Replication(Output(Channel(a), k, Nil())),
+                Replication(Input(Channel(a), Var("x", 999), Nil())),
+            )
+        )
+        found, exhaustive = converges(busy, output_barb(Name("never")), Budget(3, 50))
+        assert not found and not exhaustive

@@ -1,0 +1,111 @@
+"""Tests for guard evaluation: matching, address matching, decryption."""
+
+from __future__ import annotations
+
+from repro.core.addresses import RelativeAddress
+from repro.core.terms import At, Localized, Name, Pair, SharedEnc
+from repro.semantics.guards import addr_match_passes, decrypt, match_passes, split_pair
+
+K = Name("k", 1, creator=(0,))
+M = Name("M", 2, creator=(0, 0))
+
+
+class TestMatch:
+    def test_equal_names(self):
+        assert match_passes(M, M, at=(1,))
+
+    def test_unequal_names(self):
+        assert not match_passes(M, K, at=(1,))
+
+    def test_localization_is_transparent(self):
+        cipher = SharedEnc((M,), K)
+        assert match_passes(Localized((0, 0), cipher), cipher, at=(1,))
+
+    def test_at_literal_checks_origin_and_payload(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        assert match_passes(M, At(addr, M), at=(1,))
+        assert not match_passes(K, At(addr, K), at=(1,))  # K created at (0,)
+
+    def test_at_literal_payload_mismatch(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        other = Name("M", 9, creator=(0, 0))
+        assert not match_passes(M, At(addr, other), at=(1,))
+
+    def test_at_literal_without_payload_checks_origin_only(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        assert match_passes(M, At(addr, None), at=(1,))
+
+    def test_unresolvable_literal_fails_closed(self):
+        addr = RelativeAddress((0, 0, 0, 0), (1,))
+        assert not match_passes(M, At(addr, None), at=(1,))
+
+    def test_literal_on_left_side(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        assert match_passes(At(addr, None), M, at=(1,))
+
+
+class TestAddrMatch:
+    def test_same_origin_values(self):
+        v1 = Localized((0, 0), Pair(M, K))
+        v2 = M  # also created at (0, 0)
+        assert addr_match_passes(v1, v2, at=(1,))
+
+    def test_different_origins(self):
+        assert not addr_match_passes(M, K, at=(1,))
+
+    def test_origin_against_literal(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        assert addr_match_passes(M, At(addr, None), at=(1,))
+        assert not addr_match_passes(K, At(addr, None), at=(1,))
+
+    def test_originless_values_never_match(self):
+        free = Name("a")
+        assert not addr_match_passes(free, free, at=(1,))
+
+    def test_literal_with_payload_also_compares_data(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        other = Name("X", 5, creator=(0, 0))
+        assert addr_match_passes(M, At(addr, M), at=(1,))
+        assert not addr_match_passes(M, At(addr, other), at=(1,))
+
+    def test_two_literals(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        assert addr_match_passes(At(addr, None), At(addr, None), at=(1,))
+
+
+class TestDecrypt:
+    def test_successful_decryption(self):
+        cipher = SharedEnc((M, K), K)
+        assert decrypt(cipher, K, arity=2) == (M, K)
+
+    def test_wrong_key(self):
+        cipher = SharedEnc((M,), K)
+        assert decrypt(cipher, M, arity=1) is None
+
+    def test_wrong_arity(self):
+        cipher = SharedEnc((M, K), K)
+        assert decrypt(cipher, K, arity=1) is None
+
+    def test_non_ciphertext(self):
+        assert decrypt(M, K, arity=1) is None
+        assert decrypt(Pair(M, K), K, arity=2) is None
+
+    def test_localized_ciphertext_opens(self):
+        cipher = Localized((0, 0), SharedEnc((M,), K))
+        assert decrypt(cipher, K, arity=1) == (M,)
+
+    def test_localized_key_matches(self):
+        cipher = SharedEnc((M,), K)
+        assert decrypt(cipher, Localized((0,), K), arity=1) == (M,)
+
+
+class TestSplit:
+    def test_pair_splits(self):
+        assert split_pair(Pair(M, K)) == (M, K)
+
+    def test_localized_pair_splits(self):
+        assert split_pair(Localized((0,), Pair(M, K))) == (M, K)
+
+    def test_non_pair_is_stuck(self):
+        assert split_pair(M) is None
+        assert split_pair(SharedEnc((M,), K)) is None

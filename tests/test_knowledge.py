@@ -1,0 +1,137 @@
+"""Tests for Dolev-Yao knowledge analysis and synthesis."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.knowledge import Knowledge, synthesizable
+from repro.core.terms import Localized, Name, Pair, SharedEnc
+
+a, b, k, k2, m, n = (Name(s) for s in ("a", "b", "k", "k2", "m", "n"))
+
+
+class TestAnalysis:
+    def test_pairs_decompose(self):
+        kn = Knowledge.from_terms([Pair(a, b)])
+        assert kn.can_derive(a) and kn.can_derive(b)
+
+    def test_ciphertext_without_key_is_opaque(self):
+        kn = Knowledge.from_terms([SharedEnc((m,), k)])
+        assert not kn.can_derive(m)
+        assert kn.can_derive(SharedEnc((m,), k))  # can forward it
+
+    def test_ciphertext_with_key_opens(self):
+        kn = Knowledge.from_terms([SharedEnc((m,), k), k])
+        assert kn.can_derive(m)
+
+    def test_key_learned_later_in_closure(self):
+        # the key itself arrives encrypted under a known key
+        kn = Knowledge.from_terms([SharedEnc((m,), k), SharedEnc((k,), k2), k2])
+        assert kn.can_derive(k) and kn.can_derive(m)
+
+    def test_nested_pairs_fully_decompose(self):
+        kn = Knowledge.from_terms([Pair(Pair(a, b), Pair(m, n))])
+        for atom in (a, b, m, n):
+            assert kn.can_derive(atom)
+
+    def test_localization_is_transparent(self):
+        kn = Knowledge.from_terms([Localized((0, 0), Pair(a, b))])
+        assert kn.can_derive(a)
+
+    def test_localized_subterms_are_stripped(self):
+        inner = Localized((0,), m)
+        kn = Knowledge.from_terms([Pair(inner, k)])
+        assert kn.can_derive(m)
+
+
+class TestSynthesis:
+    def test_composition(self):
+        kn = Knowledge.from_terms([a, k])
+        assert kn.can_derive(Pair(a, k))
+        assert kn.can_derive(SharedEnc((a,), k))
+        assert kn.can_derive(SharedEnc((Pair(a, a),), k))
+
+    def test_underivable(self):
+        kn = Knowledge.from_terms([a])
+        assert not kn.can_derive(m)
+        assert not kn.can_derive(SharedEnc((a,), k))  # unknown key
+
+    def test_contains_operator(self):
+        kn = Knowledge.from_terms([a, k])
+        assert Pair(a, k) in kn
+        assert m not in kn
+
+    def test_adding_extends(self):
+        kn = Knowledge.from_terms([a])
+        kn2 = kn.adding(SharedEnc((m,), k), k)
+        assert not kn.can_derive(m)
+        assert kn2.can_derive(m)
+
+    def test_names_helper(self):
+        kn = Knowledge.from_terms([a, Pair(b, m)])
+        assert kn.names() == {a, b, m}
+
+    def test_len(self):
+        kn = Knowledge.from_terms([Pair(a, b)])
+        assert len(kn) == 3  # the pair and both components
+
+
+class TestSynthesizable:
+    def test_depth_zero_is_atoms(self):
+        kn = Knowledge.from_terms([a, k])
+        atoms = set(synthesizable(kn, depth=0))
+        assert atoms == {a, k}
+
+    def test_depth_one_adds_compositions(self):
+        kn = Knowledge.from_terms([a, k])
+        level1 = set(synthesizable(kn, depth=1))
+        assert Pair(a, k) in level1
+        assert SharedEnc((a,), k) in level1
+
+    def test_no_duplicates(self):
+        kn = Knowledge.from_terms([a, k])
+        out = list(synthesizable(kn, depth=2))
+        assert len(out) == len(set(out))
+
+    def test_everything_enumerated_is_derivable(self):
+        kn = Knowledge.from_terms([a, k, Pair(b, m)])
+        for term in synthesizable(kn, depth=2):
+            assert kn.can_derive(term)
+
+    def test_deterministic_order(self):
+        kn = Knowledge.from_terms([a, k, m])
+        first = list(synthesizable(kn, depth=1))
+        second = list(synthesizable(kn, depth=1))
+        assert first == second
+
+
+atom = st.sampled_from([a, b, k, m, n])
+terms = st.recursive(
+    atom,
+    lambda sub: st.one_of(
+        st.tuples(sub, sub).map(lambda t: Pair(*t)),
+        st.tuples(sub, atom).map(lambda t: SharedEnc((t[0],), t[1])),
+    ),
+    max_leaves=6,
+)
+
+
+class TestProperties:
+    @given(st.lists(terms, max_size=5))
+    def test_everything_heard_is_derivable(self, heard):
+        kn = Knowledge.from_terms(heard)
+        for term in heard:
+            assert kn.can_derive(term)
+
+    @given(st.lists(terms, max_size=4), terms)
+    def test_adding_is_monotone(self, heard, extra):
+        kn = Knowledge.from_terms(heard)
+        kn2 = kn.adding(extra)
+        for atom_ in kn.atoms:
+            assert kn2.can_derive(atom_)
+
+    @given(st.lists(terms, max_size=4))
+    def test_closure_is_idempotent(self, heard):
+        kn = Knowledge.from_terms(heard)
+        again = Knowledge.from_terms(kn.atoms)
+        assert kn.atoms == again.atoms

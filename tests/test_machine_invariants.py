@@ -1,0 +1,175 @@
+"""Property tests on abstract-machine invariants.
+
+These check the two facts the whole design rests on (see DESIGN.md):
+
+1. **The tree only grows downward at leaves** — absolute locations of
+   existing leaves never change across transitions, which is what makes
+   stored absolute creator locations (and handed-out addresses) stable.
+2. **Origins are preserved by forwarding** — the creator recorded on a
+   value never changes as the value moves around, which is the paper's
+   message-authentication property.
+
+Random systems are generated from a small combinator pool and driven
+through the semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.processes import (
+    Channel,
+    Input,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+    walk_leaves,
+)
+from repro.core.terms import Name, Var, fresh_uid, origin, payload
+from repro.semantics.system import instantiate
+from repro.semantics.transitions import successors
+
+CHANNELS = [Name("a"), Name("b"), Name("c")]
+
+
+@st.composite
+def leaf_processes(draw, depth: int = 0) -> Process:
+    """A random sequential process over the shared channel pool."""
+    choice = draw(st.integers(min_value=0, max_value=5))
+    ch = draw(st.sampled_from(CHANNELS))
+    if choice == 0 or depth > 2:
+        return Nil()
+    if choice == 1:
+        cont = draw(leaf_processes(depth + 1))  # type: ignore[call-arg]
+        return Output(Channel(ch), draw(st.sampled_from(CHANNELS)), cont)
+    if choice == 2:
+        m = Name("m")
+        cont = draw(leaf_processes(depth + 1))  # type: ignore[call-arg]
+        return Restriction(m, Output(Channel(ch), m, cont))
+    if choice == 3:
+        x = Var("x", fresh_uid())
+        cont = draw(leaf_processes(depth + 1))  # type: ignore[call-arg]
+        return Input(Channel(ch), x, cont)
+    if choice == 4:
+        x = Var("x", fresh_uid())
+        fwd = draw(st.sampled_from(CHANNELS))
+        return Input(Channel(ch), x, Output(Channel(fwd), x, Nil()))
+    return Replication(draw(leaf_processes(depth + 1)))  # type: ignore[call-arg]
+
+
+@st.composite
+def systems(draw):
+    leaves = draw(st.lists(leaf_processes(), min_size=2, max_size=4))
+    proc: Process = leaves[0]
+    for leaf in leaves[1:]:
+        proc = Parallel(proc, leaf)
+    return instantiate(proc)
+
+
+def drive(system, steps: int, rng: random.Random):
+    """Follow a random run of at most ``steps`` transitions."""
+    trace = []
+    state = system
+    for _ in range(steps):
+        options = successors(state)
+        if not options:
+            break
+        step = rng.choice(options)
+        trace.append(step)
+        state = step.target
+    return trace
+
+
+class TestTreeGrowth:
+    @settings(max_examples=30, deadline=None)
+    @given(systems(), st.integers(min_value=0, max_value=2**31))
+    def test_locations_are_stable_across_transitions(self, system, seed):
+        rng = random.Random(seed)
+        state = system
+        for _ in range(4):
+            before = {loc for loc, _ in state.leaves()}
+            options = successors(state)
+            if not options:
+                break
+            step = rng.choice(options)
+            after = {loc for loc, _ in step.target.leaves()}
+            # every pre-existing leaf location is still a location (leaf
+            # or interior point) of the new tree: no location ever moves.
+            for loc in before:
+                assert any(
+                    new[: len(loc)] == loc or loc[: len(new)] == new for new in after
+                )
+            state = step.target
+
+    @settings(max_examples=30, deadline=None)
+    @given(systems(), st.integers(min_value=0, max_value=2**31))
+    def test_private_set_only_grows(self, system, seed):
+        rng = random.Random(seed)
+        state = system
+        for _ in range(4):
+            options = successors(state)
+            if not options:
+                break
+            step = rng.choice(options)
+            assert state.private <= step.target.private
+            state = step.target
+
+
+class TestOriginPreservation:
+    @settings(max_examples=30, deadline=None)
+    @given(systems(), st.integers(min_value=0, max_value=2**31))
+    def test_forwarded_values_keep_their_creator(self, system, seed):
+        rng = random.Random(seed)
+        # remember the origin of each datum when first transmitted; if
+        # the same datum is transmitted again, the origin must coincide.
+        seen: dict[str, object] = {}
+        state = system
+        for _ in range(6):
+            options = successors(state)
+            if not options:
+                break
+            step = rng.choice(options)
+            value = step.action.value
+            from repro.syntax.pretty import render_term
+
+            key = render_term(payload(value))
+            if key in seen:
+                assert seen[key] == origin(value)
+            else:
+                seen[key] = origin(value)
+            state = step.target
+
+    @settings(max_examples=30, deadline=None)
+    @given(systems(), st.integers(min_value=0, max_value=2**31))
+    def test_origins_point_inside_the_tree(self, system, seed):
+        rng = random.Random(seed)
+        state = system
+        for _ in range(5):
+            options = successors(state)
+            if not options:
+                break
+            step = rng.choice(options)
+            value_origin = origin(step.action.value)
+            if value_origin is not None:
+                assert all(tag in (0, 1) for tag in value_origin)
+            state = step.target
+
+
+class TestDeterminismOfCanonicalKeys:
+    @settings(max_examples=30, deadline=None)
+    @given(systems())
+    def test_key_is_stable(self, system):
+        assert system.canonical_key() == system.canonical_key()
+
+    @settings(max_examples=30, deadline=None)
+    @given(systems(), st.integers(min_value=0, max_value=2**31))
+    def test_successors_of_equal_states_have_equal_keys(self, system, seed):
+        # exploring the same state twice yields the same canonical keys
+        first = sorted(t.target.canonical_key() for t in successors(system))
+        second = sorted(t.target.canonical_key() for t in successors(system))
+        assert first == second

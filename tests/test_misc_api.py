@@ -1,0 +1,106 @@
+"""Tests for small public API surfaces not exercised elsewhere."""
+
+from __future__ import annotations
+
+from repro.analysis.intruder import idle
+from repro.analysis.properties import Activation
+from repro.core.addresses import RelativeAddress
+from repro.core.errors import BudgetExceededError
+from repro.core.processes import (
+    Case,
+    Channel,
+    GUARD_TYPES,
+    Input,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Split,
+    term_parts,
+)
+from repro.core.substitution import rename_vars_term
+from repro.core.terms import Name, Pair, Var
+from repro.semantics.lts import Budget
+from repro.semantics.system import instantiate
+from repro.syntax.pretty import render_channel
+
+a, k = Name("a"), Name("k")
+x, y = Var("x"), Var("y")
+
+
+class TestTermParts:
+    def test_output_exposes_channel_and_payload(self):
+        proc = Output(Channel(a), k, Nil())
+        assert term_parts(proc) == (a, k)
+
+    def test_match_exposes_both_sides(self):
+        assert term_parts(Match(a, k, Nil())) == (a, k)
+
+    def test_case_exposes_scrutinee_and_key(self):
+        assert term_parts(Case(x, (y,), k, Nil())) == (x, k)
+
+    def test_split_exposes_scrutinee(self):
+        assert term_parts(Split(x, y, Var("z"), Nil())) == (x,)
+
+    def test_nil_exposes_nothing(self):
+        assert term_parts(Nil()) == ()
+
+
+class TestRenderChannel:
+    def test_plain(self):
+        assert render_channel(Channel(a)) == "a"
+
+    def test_relative_address_index(self):
+        ch = Channel(a, RelativeAddress((0,), (1,)))
+        assert render_channel(ch) == "a@||0*||1"
+
+    def test_locvar_index(self):
+        assert render_channel(Channel(a, LocVar("lam"))) == "a@lam"
+
+    def test_machine_location_index(self):
+        assert render_channel(Channel(a, (1, 0))) == "a@<||1||0>"
+
+
+class TestSmallPieces:
+    def test_idle_attacker_is_nil(self):
+        assert isinstance(idle(), Nil)
+
+    def test_budget_scaled(self):
+        budget = Budget(max_states=100, max_depth=8)
+        scaled = budget.scaled(2.5)
+        assert scaled.max_states == 250 and scaled.max_depth == 8
+
+    def test_budget_exceeded_error_carries_partial(self):
+        error = BudgetExceededError("out of states", partial={"states": 7})
+        assert error.partial == {"states": 7}
+
+    def test_guard_types_cover_sequential_constructors(self):
+        from repro.core.processes import IntCase, Replication
+
+        assert Match in GUARD_TYPES
+        assert IntCase in GUARD_TYPES
+        assert Replication in GUARD_TYPES
+
+    def test_activation_describe(self):
+        act = Activation(
+            receiver=(0, 1),
+            creator=(0, 0),
+            address=RelativeAddress.between(observer=(0, 1), target=(0, 0)),
+        )
+        text = act.describe()
+        assert "<||0||1>" in text and "||1*||0" in text
+
+    def test_activation_describe_unlocalized(self):
+        act = Activation(receiver=(0,), creator=None, address=None)
+        assert "unlocalized" in act.describe()
+
+    def test_rename_vars_term(self):
+        fresh = Var("x", 9)
+        assert rename_vars_term(Pair(x, k), {x: fresh}) == Pair(fresh, k)
+
+    def test_system_unicode_pretty(self):
+        from repro.core.processes import Restriction
+
+        m = Name("m")
+        system = instantiate(Restriction(m, Output(Channel(a), m, Nil())))
+        assert "#" in system.pretty()  # instantiated name id shows

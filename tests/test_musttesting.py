@@ -1,0 +1,115 @@
+"""Tests for must-testing."""
+
+from __future__ import annotations
+
+from repro.core.processes import Channel, Input, Nil, Output, Parallel, Replication
+from repro.core.terms import Name, Var, fresh_uid
+from repro.equivalence.musttesting import (
+    avoiding_states,
+    must_pass_system,
+    must_passes,
+    must_preorder,
+)
+from repro.equivalence.testing import Configuration, Test
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget, explore
+from repro.semantics.system import instantiate
+
+a, b, k, m, win = Name("a"), Name("b"), Name("k"), Name("m"), Name("win")
+
+
+def out(ch, val, cont=None):
+    return Output(Channel(ch), val, cont or Nil())
+
+
+def inp(ch, cont=None):
+    return Input(Channel(ch), Var("x", fresh_uid()), cont or Nil())
+
+
+class TestMustPassSystem:
+    def test_deterministic_success(self):
+        system = instantiate(Parallel(out(a, k, out(win, k)), inp(a)))
+        verdict = must_pass_system(system, output_barb(win))
+        assert verdict.passes and verdict.exhaustive
+
+    def test_unavoidable_via_both_branches(self):
+        # two competing receivers, both of which announce
+        system = instantiate(
+            Parallel(out(a, k), Parallel(inp(a, out(win, k)), inp(a, out(win, m))))
+        )
+        verdict = must_pass_system(system, output_barb(win))
+        assert verdict.passes
+
+    def test_one_losing_branch_defeats_must(self):
+        # one receiver announces, the other swallows the message
+        system = instantiate(
+            Parallel(out(a, k), Parallel(inp(a, out(win, k)), inp(a)))
+        )
+        assert not must_pass_system(system, output_barb(win)).passes
+        # ... but may-testing would accept: the barb is reachable
+        from repro.equivalence.barbs import converges
+
+        found, _ = converges(system, output_barb(win))
+        assert found
+
+    def test_immediate_exhibition(self):
+        system = instantiate(out(win, k))
+        assert must_pass_system(system, output_barb(win)).passes
+
+    def test_deadlock_without_barb_fails(self):
+        system = instantiate(Nil())
+        assert not must_pass_system(system, output_barb(win)).passes
+
+    def test_divergence_counts_as_avoidance(self):
+        # a tau-loop that never announces: !a<k> | !a(x)
+        loop = Parallel(Replication(out(a, k)), Replication(inp(a)))
+        system = instantiate(Parallel(loop, out(win, k, out(b, k))))
+        # 'win' is exhibited immediately here, so pick a barb only
+        # reachable after consuming win — the loop lets runs avoid it
+        system2 = instantiate(
+            Parallel(loop, Parallel(out(win, k), inp(win, out(b, m))))
+        )
+        verdict = must_pass_system(system2, output_barb(b), Budget(200, 20))
+        assert not verdict.passes
+
+
+class TestAvoidingStates:
+    def test_exhibiting_states_never_avoid(self):
+        system = instantiate(out(win, k))
+        graph = explore(system)
+        assert graph.initial not in avoiding_states(graph, output_barb(win))
+
+    def test_all_states_avoid_missing_barb(self):
+        system = instantiate(out(a, k))
+        graph = explore(system)
+        assert avoiding_states(graph, output_barb(win)) == frozenset(graph.states)
+
+
+class TestMustPreorder:
+    def setup_method(self):
+        self.test = Test("sees", inp(Name("observe"), out(Name("omega"), k)),
+                         output_barb(Name("omega")))
+        self.reliable = Configuration(
+            parts=(("A", out(a, k)), ("B", inp(a, out(Name("observe"), m)))),
+            private=(a,),
+        )
+        self.flaky = Configuration(
+            parts=(
+                ("A", out(a, k)),
+                ("B", inp(a, out(Name("observe"), m))),
+                ("Sink", inp(a)),
+            ),
+            private=(a,),
+        )
+
+    def test_reliable_must_passes(self):
+        assert must_passes(self.reliable, self.test).passes
+
+    def test_flaky_does_not(self):
+        assert not must_passes(self.flaky, self.test).passes
+
+    def test_preorder_direction(self):
+        holds, _ = must_preorder(self.flaky, self.reliable, [self.test])
+        assert holds
+        holds, witness = must_preorder(self.reliable, self.flaky, [self.test])
+        assert not holds and witness is self.test

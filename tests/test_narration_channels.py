@@ -1,0 +1,62 @@
+"""Tests for per-message channel overrides in narrations."""
+
+from __future__ import annotations
+
+from repro.analysis.narration import Message, NarrationSpec, compile_narration, ref
+from repro.core.processes import Input, Output, walk
+from repro.core.terms import Name
+from repro.equivalence.barbs import converges
+from repro.equivalence.testing import compose
+from repro.protocols.library import narration_configuration
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget
+
+
+def two_wire_spec() -> NarrationSpec:
+    """A -> B on the default wire, B -> A on a dedicated back channel."""
+    return NarrationSpec(
+        roles=("A", "B"),
+        channel="c",
+        fresh={"A": ("M",), "B": ("ACK",)},
+        messages=(
+            Message("A", "B", ref("M")),
+            Message("B", "A", ref("ACK"), channel="back"),
+        ),
+    )
+
+
+class TestChannelOverrides:
+    def test_channels_helper_lists_all_wires(self):
+        spec = two_wire_spec()
+        assert spec.channels() == (Name("c"), Name("back"))
+
+    def test_compiled_prefixes_use_the_right_wires(self):
+        roles = compile_narration(two_wire_spec())
+        a_outputs = [p for p in walk(roles["A"]) if isinstance(p, Output)]
+        a_inputs = [p for p in walk(roles["A"]) if isinstance(p, Input)]
+        assert a_outputs[0].channel.subject == Name("c")
+        assert a_inputs[0].channel.subject == Name("back")
+
+    def test_render_shows_the_wire(self):
+        text = two_wire_spec().render()
+        assert "[back]" in text
+
+    def test_configuration_restricts_all_wires(self):
+        cfg = narration_configuration(two_wire_spec(), observed_role="A",
+                                      observed_datum="ACK")
+        assert set(cfg.private) == {Name("c"), Name("back")}
+
+    def test_round_trip_delivery_over_both_wires(self):
+        cfg = narration_configuration(two_wire_spec(), observed_role="A",
+                                      observed_datum="ACK")
+        found, exhaustive = converges(
+            compose(cfg), output_barb(Name("observe")), Budget(500, 16)
+        )
+        assert found and exhaustive
+
+    def test_default_channel_unchanged_when_no_override(self):
+        spec = NarrationSpec(
+            roles=("A", "B"), channel="c", fresh={"A": ("M",)},
+            messages=(Message("A", "B", ref("M")),),
+        )
+        assert spec.channels() == (Name("c"),)

@@ -1,0 +1,149 @@
+"""Tests for the Alice&Bob narration compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.narration import (
+    Message,
+    NarrationSpec,
+    compile_narration,
+    enc_msg,
+    pair_msg,
+    ref,
+)
+from repro.core.errors import NarrationError
+from repro.core.processes import Case, Input, Match, Output, Replication, Restriction, Split
+from repro.core.terms import Name
+from repro.equivalence.barbs import converges
+from repro.equivalence.testing import Configuration, compose
+from repro.protocols.library import (
+    narration_configuration,
+    nonce_handshake,
+    observer,
+    plain_transport,
+    wide_mouthed_frog,
+)
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget
+
+OBSERVE = output_barb(Name("observe"))
+BUDGET = Budget(max_states=2000, max_depth=30)
+
+
+def delivers(spec, observed_role="B", observed_datum="M") -> bool:
+    cfg = narration_configuration(spec, observed_role, observed_datum)
+    found, _ = converges(compose(cfg), OBSERVE, BUDGET)
+    return found
+
+
+class TestCompilation:
+    def test_plain_transport_shapes(self):
+        roles = compile_narration(plain_transport())
+        a = roles["A"]
+        assert isinstance(a, Restriction)  # (nu M)
+        assert isinstance(a.body, Output)
+        assert isinstance(roles["B"], Input)
+
+    def test_challenge_response_matches_paper_pm3(self):
+        roles = compile_narration(nonce_handshake(), continuations={"B": observer("M")})
+        b = roles["B"]
+        assert isinstance(b, Restriction)  # (nu N)
+        chain = b.body
+        assert isinstance(chain, Output)  # send challenge
+        assert isinstance(chain.continuation, Input)
+        case = chain.continuation.continuation
+        assert isinstance(case, Case)
+        assert isinstance(case.continuation, Match)  # nonce check
+
+    def test_replication_flag(self):
+        roles = compile_narration(nonce_handshake(replicate=True))
+        assert isinstance(roles["A"], Replication)
+        assert isinstance(roles["B"], Replication)
+
+    def test_pair_patterns_compile_to_split(self):
+        spec = NarrationSpec(
+            roles=("A", "B"),
+            channel="c",
+            fresh={"A": ("M", "N")},
+            messages=(Message("A", "B", pair_msg(ref("M"), ref("N"))),),
+        )
+        roles = compile_narration(spec)
+        b = roles["B"]
+        assert isinstance(b, Input)
+        assert isinstance(b.continuation, Split)
+
+    def test_sender_must_know_what_it_sends(self):
+        spec = NarrationSpec(
+            roles=("A", "B"),
+            channel="c",
+            messages=(Message("A", "B", ref("SECRET")),),
+        )
+        with pytest.raises(NarrationError):
+            compile_narration(spec)
+
+    def test_unknown_role_in_message(self):
+        spec = NarrationSpec(
+            roles=("A",),
+            channel="c",
+            fresh={"A": ("M",)},
+            messages=(Message("A", "Z", ref("M")),),
+        )
+        with pytest.raises(NarrationError):
+            compile_narration(spec)
+
+    def test_unknown_continuation_role(self):
+        with pytest.raises(NarrationError):
+            compile_narration(plain_transport(), continuations={"Z": observer("M")})
+
+    def test_opaque_ciphertext_stored_wholesale(self):
+        # B cannot open {M}KAS but can still forward it
+        spec = NarrationSpec(
+            roles=("A", "B", "S"),
+            channel="c",
+            shared_keys={"KAS": ("A", "S")},
+            fresh={"A": ("M",)},
+            messages=(
+                Message("A", "B", enc_msg(ref("M"), key="KAS")),
+                Message("B", "S", enc_msg(ref("M"), key="KAS")),
+            ),
+        )
+        roles = compile_narration(spec, continuations={"S": observer("M")})
+        cfg = Configuration(
+            parts=tuple((r, roles[r]) for r in spec.roles), private=(Name("c"),)
+        )
+        found, _ = converges(compose(cfg), OBSERVE, BUDGET)
+        assert found
+
+    def test_render(self):
+        text = nonce_handshake().render()
+        assert "Message 1  B -> A : N" in text
+        assert "Message 2  A -> B : {M, N}KAB" in text
+
+
+class TestHonestExecution:
+    def test_plain_transport_delivers(self):
+        assert delivers(plain_transport())
+
+    def test_nonce_handshake_delivers(self):
+        assert delivers(nonce_handshake())
+
+    def test_wide_mouthed_frog_delivers(self):
+        assert delivers(wide_mouthed_frog())
+
+    def test_learned_key_decrypts(self):
+        # the WMF responder decrypts the payload with a key it only
+        # learned from the server — the compiler must thread it through
+        spec = wide_mouthed_frog()
+        roles = compile_narration(spec, continuations={"B": observer("M")})
+        b_source = roles["B"]
+        # B's process contains two cases: one under KBS, one under the
+        # learned session key (a variable at compile time)
+        cases = [p for p in _walk(b_source) if isinstance(p, Case)]
+        assert len(cases) == 2
+
+
+def _walk(proc):
+    from repro.core.processes import walk
+
+    return walk(proc)

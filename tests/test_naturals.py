@@ -1,0 +1,173 @@
+"""Tests for the full-calculus naturals: zero, successor, integer case.
+
+The paper works in a simplified calculus and notes "in the full
+calculus, terms can also be pairs, zero and successors of terms.
+Extending our proposal to the full calculus is easy" — this is that
+extension, end to end: terms, substitution, guards, semantics, syntax
+and attacker knowledge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.knowledge import Knowledge
+from repro.core.errors import TermError
+from repro.core.processes import Channel, Input, IntCase, Nil, Output, Parallel, free_variables
+from repro.core.substitution import subst, subst_term
+from repro.core.terms import Localized, Name, Succ, Var, Zero, nat, nat_value
+from repro.semantics.guards import int_case
+from repro.semantics.normalize import normalize
+from repro.semantics.system import instantiate
+from repro.semantics.transitions import successors
+from repro.syntax.parser import parse_process, parse_term
+from repro.syntax.pretty import canonical_process, render_process, render_term
+
+a, b, k = Name("a"), Name("b"), Name("k")
+x, y = Var("x"), Var("y")
+
+
+class TestNumerals:
+    def test_nat_round_trip(self):
+        for value in (0, 1, 2, 7):
+            assert nat_value(nat(value)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(TermError):
+            nat(-1)
+
+    def test_non_numerals_have_no_value(self):
+        assert nat_value(a) is None
+        assert nat_value(Succ(a)) is None
+
+    def test_localized_numerals_count(self):
+        assert nat_value(Localized((0,), nat(2))) == 2
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_nat_value_inverts_nat(self, n):
+        assert nat_value(nat(n)) == n
+
+
+class TestSubstitution:
+    def test_subst_through_succ(self):
+        assert subst_term(Succ(x), {x: nat(1)}) == nat(2)
+
+    def test_intcase_binder_scoped(self):
+        proc = IntCase(x, Nil(), y, Output(Channel(a), y, Nil()))
+        opened = subst(proc, {x: nat(3)})
+        assert opened.scrutinee == nat(3)
+        assert free_variables(opened) == frozenset()
+
+    def test_intcase_capture_avoidance(self):
+        proc = IntCase(x, Nil(), y, Output(Channel(a), Succ(y), Nil()))
+        opened = subst(proc, {x: Succ(y)})
+        # the bound y must have been renamed away from the free y
+        assert opened.binder != y
+        assert opened.scrutinee == Succ(y)
+
+
+class TestGuardEvaluation:
+    def test_zero_branch(self):
+        assert int_case(Zero()) == ("zero", None)
+
+    def test_succ_branch(self):
+        assert int_case(nat(2)) == ("succ", nat(1))
+
+    def test_stuck_on_names(self):
+        assert int_case(a) is None
+
+    def test_localized_scrutinee(self):
+        assert int_case(Localized((0,), Zero())) == ("zero", None)
+
+
+class TestNormalization:
+    def test_zero_picks_zero_branch(self):
+        proc = IntCase(Zero(), Output(Channel(a), k, Nil()), y, Nil())
+        assert isinstance(normalize(proc), Output)
+
+    def test_succ_picks_succ_branch_and_binds(self):
+        proc = IntCase(nat(2), Nil(), y, Output(Channel(a), y, Nil()))
+        result = normalize(proc)
+        assert isinstance(result, Output)
+        assert result.payload == nat(1)
+
+    def test_stuck_becomes_nil(self):
+        proc = IntCase(a, Output(Channel(a), k, Nil()), y, Nil())
+        assert isinstance(normalize(proc), Nil)
+
+
+class TestSemantics:
+    def test_counter_protocol(self):
+        """A counting responder: replies with the predecessor until 0."""
+        source = """
+        a<suc(suc(zero))>.0
+        | a(n). case n of zero: done<zero>.0 suc(p): b<p>.0
+        """
+        system = instantiate(parse_process(source))
+        step1 = successors(system)
+        assert len(step1) == 1
+        # after receiving 2, the responder offers pred = suc(zero) on b
+        from repro.semantics.transitions import pending_actions
+
+        offers = pending_actions(step1[0].target)
+        values = [o.payload for o in offers if o.is_output]
+        assert any(nat_value(v) == 1 for v in values)
+
+    def test_numeral_messages_are_localized(self):
+        system = instantiate(
+            Parallel(Output(Channel(a), nat(1), Nil()), Input(Channel(a), x, Nil()))
+        )
+        (step,) = successors(system)
+        assert isinstance(step.action.value, Localized)
+        assert step.action.value.creator == (0,)
+
+
+class TestSyntax:
+    ROUND_TRIPS = [
+        "a<zero>.0",
+        "a<suc(zero)>.0",
+        "a<suc(suc(suc(zero)))>.0",
+        "a(x). case x of zero: 0 suc(y): b<y>.0",
+        "case zero of zero: a<zero>.0 suc(w): 0",
+    ]
+
+    @pytest.mark.parametrize("source", ROUND_TRIPS)
+    def test_round_trip(self, source):
+        proc = parse_process(source)
+        assert parse_process(render_process(proc)) == proc
+
+    def test_zero_is_reserved(self):
+        assert parse_term("zero") == Zero()
+
+    def test_suc_requires_parens_to_be_special(self):
+        # bare 'suc' with no parenthesis is just a name
+        assert parse_term("suc") == Name("suc")
+
+    def test_digit_zero_also_accepted_as_pattern(self):
+        proc = parse_process("case x of 0: 0 suc(y): 0")
+        assert isinstance(proc, IntCase)
+
+    def test_canonical_includes_numerals(self):
+        p1 = parse_process("a<suc(zero)>.0")
+        p2 = parse_process("a<suc(zero)>.0")
+        assert canonical_process(p1) == canonical_process(p2)
+        assert "suc" in canonical_process(p1)
+
+    def test_render_term(self):
+        assert render_term(nat(2)) == "suc(suc(zero))"
+
+
+class TestAttackerKnowledge:
+    def test_numerals_are_public(self):
+        kn = Knowledge.from_terms([])
+        assert kn.can_derive(nat(5))
+
+    def test_predecessors_of_heard_numerals_known(self):
+        kn = Knowledge.from_terms([Succ(Succ(a))])
+        assert kn.can_derive(a)
+
+    def test_successors_of_secrets_guarded(self):
+        kn = Knowledge.from_terms([k])
+        assert kn.can_derive(Succ(k))
+        assert not kn.can_derive(Succ(a))

@@ -1,0 +1,101 @@
+"""Tests for administrative normalization of states."""
+
+from __future__ import annotations
+
+from repro.core.addresses import RelativeAddress
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Split,
+)
+from repro.core.terms import At, Name, Pair, SharedEnc, Var
+from repro.semantics.normalize import normalize
+
+a, b, k = Name("a"), Name("b"), Name("k")
+m = Name("m", 1, creator=(0,))
+x, y = Var("x"), Var("y")
+
+
+class TestGuardDischarge:
+    def test_passing_match_removed(self):
+        proc = Match(k, k, Output(Channel(a), k, Nil()))
+        assert isinstance(normalize(proc), Output)
+
+    def test_failing_match_becomes_nil(self):
+        proc = Match(k, b, Output(Channel(a), k, Nil()))
+        assert isinstance(normalize(proc), Nil)
+
+    def test_passing_addr_match(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0,))
+        proc = AddrMatch(m, At(addr), Output(Channel(a), m, Nil()))
+        assert isinstance(normalize(proc, at=(1,)), Output)
+
+    def test_failing_addr_match(self):
+        addr = RelativeAddress.between(observer=(1,), target=(0, 0))
+        proc = AddrMatch(m, At(addr), Output(Channel(a), m, Nil()))
+        assert isinstance(normalize(proc, at=(1,)), Nil)
+
+    def test_case_opens_and_substitutes(self):
+        proc = Case(SharedEnc((m,), k), (y,), k, Output(Channel(a), y, Nil()))
+        result = normalize(proc)
+        assert isinstance(result, Output) and result.payload == m
+
+    def test_stuck_case_becomes_nil(self):
+        proc = Case(SharedEnc((m,), k), (y,), b, Output(Channel(a), y, Nil()))
+        assert isinstance(normalize(proc), Nil)
+
+    def test_split_opens(self):
+        proc = Split(Pair(m, k), x, y, Output(Channel(a), Pair(y, x), Nil()))
+        result = normalize(proc)
+        assert result.payload == Pair(k, m)
+
+    def test_chains_discharge_fully(self):
+        proc = Match(k, k, Case(SharedEnc((m,), k), (y,), k, Match(y, m, Nil())))
+        assert isinstance(normalize(proc), Nil)  # all passed, down to 0
+
+
+class TestStructure:
+    def test_exposed_parallel_gets_locations(self):
+        inner = Parallel(
+            AddrMatch(m, At(RelativeAddress.between(observer=(0,), target=(0,))), Nil()),
+            Nil(),
+        )
+        # the left child sits at (0,): its addr-match literal refers to
+        # itself and must be evaluated at that location
+        result = normalize(inner)
+        assert isinstance(result, Parallel)
+
+    def test_match_exposing_parallel(self):
+        proc = Match(k, k, Parallel(Output(Channel(a), k, Nil()), Input(Channel(a), x, Nil())))
+        result = normalize(proc)
+        assert isinstance(result, Parallel)
+
+    def test_replication_untouched(self):
+        proc = Replication(Match(k, b, Nil()))
+        assert normalize(proc) is proc
+
+    def test_prefixes_untouched(self):
+        proc = Output(Channel(a), k, Match(k, b, Nil()))
+        # the guard is behind a prefix: normalization must not evaluate it
+        assert normalize(proc) is proc
+
+    def test_nil_leaves_preserved_for_location_stability(self):
+        proc = Parallel(Match(k, b, Nil()), Output(Channel(a), k, Nil()))
+        result = normalize(proc)
+        # the dead left leaf stays as a leaf; the tree shape is unchanged
+        assert isinstance(result, Parallel)
+        assert isinstance(result.left, Nil)
+
+    def test_guard_location_tracks_parallel_position(self):
+        # an addr-match in the right branch evaluates at (1,)
+        addr = RelativeAddress.between(observer=(1,), target=(0,))
+        proc = Parallel(Nil(), AddrMatch(m, At(addr), Output(Channel(a), m, Nil())))
+        result = normalize(proc)
+        assert isinstance(result.right, Output)

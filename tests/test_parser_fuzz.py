@@ -1,0 +1,158 @@
+"""Property-based round-trip tests: random ASTs survive render -> parse.
+
+The generator builds arbitrary *source* processes (the constructs a user
+can write: no runtime ``Localized`` values, binder spellings distinct
+from the free-name pool) and checks that pretty-printing followed by
+parsing is the identity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.addresses import RelativeAddress
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    IntCase,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+    Split,
+)
+from repro.core.terms import At, Name, Pair, SharedEnc, Succ, Term, Var, Zero
+from repro.syntax.parser import parse_process
+from repro.syntax.pretty import render_process
+
+NAMES = [Name(s) for s in ("a", "b", "c", "k", "m")]
+
+
+@st.composite
+def addresses(draw) -> RelativeAddress:
+    left = tuple(draw(st.lists(st.integers(0, 1), max_size=2)))
+    right = tuple(draw(st.lists(st.integers(0, 1), max_size=2)))
+    if left and right and left[0] == right[0]:
+        right = (1 - left[0],) + right[1:]
+    return RelativeAddress(left, right)
+
+
+@st.composite
+def terms(draw, scope: tuple[Var, ...], depth: int = 0, allow_at: bool = True) -> Term:
+    options = ["name", "zero"]
+    if scope:
+        options.append("var")
+    if depth < 2:
+        options.extend(["pair", "enc", "suc"])
+        if allow_at:
+            options.append("at")
+    choice = draw(st.sampled_from(options))
+    if choice == "name":
+        return draw(st.sampled_from(NAMES))
+    if choice == "var":
+        return draw(st.sampled_from(list(scope)))
+    if choice == "zero":
+        return Zero()
+    if choice == "suc":
+        return Succ(draw(terms(scope, depth + 1)))
+    if choice == "pair":
+        return Pair(draw(terms(scope, depth + 1)), draw(terms(scope, depth + 1)))
+    if choice == "enc":
+        body = draw(st.lists(terms(scope, depth + 1), min_size=1, max_size=2))
+        return SharedEnc(tuple(body), draw(st.sampled_from(NAMES)))
+    # an At literal's payload is a datum, never another literal
+    return At(
+        draw(addresses()),
+        draw(st.none() | terms(scope, depth + 1, allow_at=False)),
+    )
+
+
+@st.composite
+def processes(draw, scope: tuple[Var, ...] = (), depth: int = 0) -> Process:
+    options = ["nil", "out"]
+    if depth < 3:
+        options.extend(["in", "par", "nu", "match", "addrmatch", "bang",
+                        "case", "intcase", "split"])
+    choice = draw(st.sampled_from(options))
+    fresh_index = len(scope)
+    if choice == "nil":
+        return Nil()
+    if choice == "out":
+        index = draw(st.none() | st.just(LocVar("lam")) | addresses())
+        return Output(
+            Channel(draw(st.sampled_from(NAMES)), index),
+            draw(terms(scope)),
+            draw(processes(scope, depth + 1)),
+        )
+    if choice == "in":
+        binder = Var(f"v{fresh_index}")
+        index = draw(st.none() | st.just(LocVar("lam")))
+        return Input(
+            Channel(draw(st.sampled_from(NAMES)), index),
+            binder,
+            draw(processes(scope + (binder,), depth + 1)),
+        )
+    if choice == "par":
+        return Parallel(
+            draw(processes(scope, depth + 1)), draw(processes(scope, depth + 1))
+        )
+    if choice == "nu":
+        return Restriction(Name("fresh"), draw(processes(scope, depth + 1)))
+    if choice == "match":
+        return Match(
+            draw(terms(scope)), draw(terms(scope)), draw(processes(scope, depth + 1))
+        )
+    if choice == "addrmatch":
+        return AddrMatch(
+            draw(terms(scope)), draw(terms(scope)), draw(processes(scope, depth + 1))
+        )
+    if choice == "bang":
+        return Replication(draw(processes(scope, depth + 1)))
+    if choice == "case":
+        binder = Var(f"v{fresh_index}")
+        return Case(
+            draw(terms(scope)),
+            (binder,),
+            draw(st.sampled_from(NAMES)),
+            draw(processes(scope + (binder,), depth + 1)),
+        )
+    if choice == "intcase":
+        binder = Var(f"v{fresh_index}")
+        return IntCase(
+            draw(terms(scope)),
+            draw(processes(scope, depth + 1)),
+            binder,
+            draw(processes(scope + (binder,), depth + 1)),
+        )
+    first = Var(f"v{fresh_index}")
+    second = Var(f"v{fresh_index + 1}")
+    return Split(
+        draw(terms(scope)),
+        first,
+        second,
+        draw(processes(scope + (first, second), depth + 1)),
+    )
+
+
+class TestRoundTripFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(processes())
+    def test_render_parse_identity(self, proc):
+        assert parse_process(render_process(proc)) == proc
+
+    @settings(max_examples=100, deadline=None)
+    @given(processes())
+    def test_render_is_stable(self, proc):
+        once = render_process(proc)
+        assert render_process(parse_process(once)) == once
+
+    @settings(max_examples=100, deadline=None)
+    @given(processes())
+    def test_unicode_rendering_never_crashes(self, proc):
+        assert isinstance(render_process(proc, unicode=True), str)

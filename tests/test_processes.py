@@ -1,0 +1,213 @@
+"""Tests for the process AST: structure, traversal, free names/vars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProcessError
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+    Split,
+    bound_names,
+    chan,
+    children,
+    free_locvars,
+    free_names,
+    free_variables,
+    parallel,
+    process_size,
+    replace_leaves,
+    restrict,
+    seq_outputs,
+    subprocess_at,
+    walk,
+    walk_leaves,
+)
+from repro.core.terms import Name, Pair, SharedEnc, Var
+
+a, b, c, k, m = Name("a"), Name("b"), Name("c"), Name("k"), Name("m")
+x, y = Var("x"), Var("y")
+
+
+def out(channel: Name, value, cont=None) -> Output:
+    return Output(Channel(channel), value, cont or Nil())
+
+
+class TestConstruction:
+    def test_case_requires_binders(self):
+        with pytest.raises(ProcessError):
+            Case(x, (), k, Nil())
+
+    def test_case_rejects_duplicate_binders(self):
+        with pytest.raises(ProcessError):
+            Case(x, (y, y), k, Nil())
+
+    def test_split_rejects_equal_binders(self):
+        with pytest.raises(ProcessError):
+            Split(x, y, y, Nil())
+
+    def test_parallel_helper_left_associates(self):
+        p = parallel(Nil(), out(a, m), Nil())
+        assert isinstance(p, Parallel)
+        assert isinstance(p.left, Parallel)
+
+    def test_parallel_helper_degenerate_cases(self):
+        assert parallel() == Nil()
+        single = out(a, m)
+        assert parallel(single) is single
+
+    def test_restrict_multiple(self):
+        p = restrict((m, k), Nil())
+        assert isinstance(p, Restriction) and p.name == m
+        assert isinstance(p.body, Restriction) and p.body.name == k
+
+    def test_restrict_single_name(self):
+        p = restrict(m, Nil())
+        assert isinstance(p, Restriction)
+
+    def test_seq_outputs(self):
+        p = seq_outputs(Channel(a), [m, k], Nil())
+        assert isinstance(p, Output) and p.payload == m
+        assert isinstance(p.continuation, Output) and p.continuation.payload == k
+
+    def test_chan_helper(self):
+        ch = chan(a, LocVar("lam"))
+        assert ch.subject == a and isinstance(ch.index, LocVar)
+        assert ch.localized()
+        assert not chan(a).localized()
+
+
+class TestTraversal:
+    def setup_method(self):
+        # (P0 | P1) | (P2 | (P3 | P4)) — Figure 1's shape
+        self.leaves = [out(a, m), Input(Channel(a), x, Nil()), Nil(),
+                       out(b, k), Replication(out(c, m))]
+        self.tree = Parallel(
+            Parallel(self.leaves[0], self.leaves[1]),
+            Parallel(self.leaves[2], Parallel(self.leaves[3], self.leaves[4])),
+        )
+
+    def test_walk_visits_everything(self):
+        nodes = list(walk(self.tree))
+        for leaf in self.leaves:
+            assert leaf in nodes
+
+    def test_walk_leaves_locations_match_figure_1(self):
+        locs = [loc for loc, _ in walk_leaves(self.tree)]
+        assert locs == [(0, 0), (0, 1), (1, 0), (1, 1, 0), (1, 1, 1)]
+
+    def test_restrictions_are_transparent_for_leaves(self):
+        tree = Restriction(m, Parallel(out(a, m), Restriction(k, Nil())))
+        locs = [loc for loc, _ in walk_leaves(tree)]
+        assert locs == [(0,), (1,)]
+
+    def test_subprocess_at(self):
+        assert subprocess_at(self.tree, (1, 1, 0)) is self.leaves[3]
+        assert subprocess_at(self.tree, ()) is self.tree
+
+    def test_subprocess_at_through_restriction(self):
+        tree = Restriction(m, self.tree)
+        assert subprocess_at(tree, (0, 0)) is self.leaves[0]
+
+    def test_subprocess_at_bad_location(self):
+        with pytest.raises(ProcessError):
+            subprocess_at(self.tree, (0, 0, 0))
+
+    def test_children(self):
+        assert children(self.tree) == (self.tree.left, self.tree.right)
+        assert children(Nil()) == ()
+        assert children(Replication(Nil())) == (Nil(),)
+
+    def test_process_size(self):
+        assert process_size(Nil()) == 1
+        assert process_size(out(a, m)) == 2
+
+
+class TestReplaceLeaves:
+    def setup_method(self):
+        self.tree = Parallel(out(a, m), Parallel(out(b, k), Nil()))
+
+    def test_single_replacement(self):
+        new = replace_leaves(self.tree, {(0,): Nil()})
+        assert isinstance(new.left, Nil)
+        assert new.right is self.tree.right
+
+    def test_double_replacement(self):
+        new = replace_leaves(self.tree, {(0,): Nil(), (1, 0): Nil()})
+        assert isinstance(new.left, Nil)
+        assert isinstance(new.right.left, Nil)
+        assert new.right.right is self.tree.right.right
+
+    def test_replacement_preserves_restrictions(self):
+        tree = Restriction(m, self.tree)
+        new = replace_leaves(tree, {(1, 0): Nil()})
+        assert isinstance(new, Restriction) and new.name == m
+
+    def test_bad_location_raises(self):
+        with pytest.raises(ProcessError):
+            replace_leaves(self.tree, {(1, 0, 0): Nil()})
+
+    def test_nested_replacements_raise(self):
+        with pytest.raises(ProcessError):
+            replace_leaves(self.tree, {(1,): Nil(), (1, 0): Nil()})
+
+
+class TestFreeNames:
+    def test_restriction_binds(self):
+        p = Restriction(m, out(a, m))
+        assert free_names(p) == {a}
+
+    def test_output_names(self):
+        p = out(a, SharedEnc((m,), k))
+        assert free_names(p) == {a, m, k}
+
+    def test_match_and_case_names(self):
+        p = Match(m, k, Case(x, (y,), k, Nil()))
+        assert free_names(p) == {m, k}
+
+    def test_bound_names(self):
+        p = Restriction(m, Parallel(Restriction(k, Nil()), Nil()))
+        assert bound_names(p) == {m, k}
+
+
+class TestFreeVariables:
+    def test_input_binds(self):
+        p = Input(Channel(a), x, out(b, x))
+        assert free_variables(p) == frozenset()
+
+    def test_unbound_variable_is_free(self):
+        p = out(b, x)
+        assert free_variables(p) == {x}
+
+    def test_case_binds_all(self):
+        p = Case(x, (y,), k, out(a, y))
+        assert free_variables(p) == {x}
+
+    def test_split_binds_both(self):
+        z = Var("z")
+        p = Split(x, y, z, out(a, Pair(y, z)))
+        assert free_variables(p) == {x}
+
+    def test_shadowing(self):
+        p = Input(Channel(a), x, Input(Channel(b), x, out(c, x)))
+        assert free_variables(p) == frozenset()
+
+
+class TestLocVars:
+    def test_channel_index_locvars_found(self):
+        lam = LocVar("lam")
+        p = Input(Channel(a, lam), x, Output(Channel(b, lam), x, Nil()))
+        assert free_locvars(p) == {lam}
+
+    def test_no_locvars(self):
+        assert free_locvars(out(a, m)) == frozenset()

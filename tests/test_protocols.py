@@ -1,0 +1,152 @@
+"""Tests for the protocol builders: startup macros and Section 5 processes."""
+
+from __future__ import annotations
+
+from repro.core.processes import (
+    Case,
+    Input,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+    free_locvars,
+    free_names,
+    walk,
+)
+from repro.core.terms import Name, SharedEnc, Var
+from repro.equivalence.barbs import converges
+from repro.equivalence.testing import Configuration, compose
+from repro.protocols.paper import (
+    OBSERVE,
+    abstract_multisession,
+    abstract_protocol,
+    challenge_response_multisession,
+    crypto_multisession,
+    crypto_protocol,
+    observing_continuation,
+    plaintext_protocol,
+)
+from repro.protocols.startup import m_startup, startup
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget
+
+C = Name("c")
+DELIVERY = output_barb(OBSERVE)
+
+
+def honest_delivery(proc_or_cfg, budget=Budget(800, 16)) -> bool:
+    if isinstance(proc_or_cfg, Configuration):
+        cfg = proc_or_cfg
+    else:
+        cfg = Configuration(parts=(("P", proc_or_cfg),), private=(C,))
+    found, _ = converges(compose(cfg), DELIVERY, budget)
+    return found
+
+
+class TestStartupMacro:
+    def test_shape(self):
+        lam = LocVar("t")
+        proc = startup(None, Nil(), lam, Nil())
+        assert isinstance(proc, Restriction)
+        assert isinstance(proc.body, Parallel)
+        assert isinstance(proc.body.left, Output)
+        assert isinstance(proc.body.right, Input)
+
+    def test_session_channel_is_restricted(self):
+        proc = startup(None, Nil(), LocVar("t"), Nil())
+        assert free_names(proc) == frozenset()
+
+    def test_output_sends_the_channel_itself(self):
+        proc = startup(None, Nil(), LocVar("t"), Nil())
+        out = proc.body.left
+        assert out.payload == out.channel.subject == proc.name
+
+    def test_indexes_placed_on_the_right_sides(self):
+        ta, tb = LocVar("ta"), LocVar("tb")
+        proc = startup(ta, Nil(), tb, Nil())
+        assert proc.body.left.channel.index == ta
+        assert proc.body.right.channel.index == tb
+
+    def test_m_startup_replicates_both_sides(self):
+        proc = m_startup(None, Nil(), LocVar("t"), Nil())
+        assert isinstance(proc.body.left, Replication)
+        assert isinstance(proc.body.right, Replication)
+
+
+class TestPaperProtocols:
+    def test_abstract_protocol_localizes_only_b(self):
+        proc = abstract_protocol()
+        locvars = free_locvars(proc)
+        assert len(locvars) == 1
+        # A's message output is unlocalized
+        outputs = [p for p in walk(proc) if isinstance(p, Output)]
+        message_out = [o for o in outputs if o.channel.subject == C]
+        assert all(o.channel.index is None for o in message_out)
+
+    def test_plaintext_has_no_protection(self):
+        pair = plaintext_protocol()
+        for proc in (pair.initiator, pair.responder):
+            assert free_locvars(proc) == frozenset()
+            assert not any(isinstance(p, Case) for p in walk(proc))
+        assert pair.channels == (C,)
+        assert dict(pair.parts())["A"] is pair.initiator
+
+    def test_crypto_protocol_encrypts_under_shared_key(self):
+        proc = crypto_protocol()
+        assert isinstance(proc, Restriction) and proc.name.base == "KAB"
+        outputs = [p for p in walk(proc) if isinstance(p, Output)]
+        enc_out = [o for o in outputs if isinstance(o.payload, SharedEnc)]
+        assert len(enc_out) == 1
+        assert enc_out[0].payload.key.base == "KAB"
+
+    def test_challenge_response_checks_the_nonce(self):
+        proc = challenge_response_multisession()
+        matches = [p for p in walk(proc) if isinstance(p, Match)]
+        assert len(matches) == 1
+        assert matches[0].right.base == "N"
+
+    def test_custom_continuation(self):
+        marker = Name("done")
+
+        def continuation(z):
+            return Output(__import__("repro").Channel(marker), z, Nil())
+
+        proc = crypto_protocol(continuation=continuation)
+        outputs = [p for p in walk(proc) if isinstance(p, Output)]
+        assert any(o.channel.subject == marker for o in outputs)
+
+    def test_custom_channel_name(self):
+        proc = crypto_protocol(channel="net")
+        assert Name("net") in free_names(proc)
+        assert C not in free_names(proc)
+
+
+class TestHonestRuns:
+    def test_abstract_protocol_delivers(self):
+        assert honest_delivery(abstract_protocol())
+
+    def test_plaintext_delivers(self):
+        pair = plaintext_protocol()
+        cfg = Configuration(
+            parts=(("A", pair.initiator), ("B", pair.responder)), private=(C,)
+        )
+        assert honest_delivery(cfg)
+
+    def test_crypto_delivers(self):
+        assert honest_delivery(crypto_protocol())
+
+    def test_abstract_multisession_delivers(self):
+        assert honest_delivery(abstract_multisession())
+
+    def test_crypto_multisession_delivers(self):
+        assert honest_delivery(crypto_multisession())
+
+    def test_challenge_response_delivers(self):
+        assert honest_delivery(challenge_response_multisession())
+
+    def test_observing_continuation_publishes(self):
+        proc = observing_continuation(Name("v"))
+        assert isinstance(proc, Output) and proc.channel.subject == OBSERVE

@@ -1,0 +1,87 @@
+"""Tests for the reflection-attack extension (the paper's future-work note)."""
+
+from __future__ import annotations
+
+from repro.core.addresses import RelativeAddress
+from repro.core.terms import Name
+from repro.analysis.attacks import SUCCESS, origin_tester
+from repro.equivalence.testing import Test, compose, part_locations, passes
+from repro.protocols.reflection import (
+    bidirectional_pm3,
+    initiator_role,
+    reflecting_attacker,
+    responder_role,
+)
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget
+
+C = Name("c")
+BUDGET = Budget(max_states=6000, max_depth=24)
+
+
+def origin_test(cfg, target_role: str) -> Test:
+    locs = part_locations(cfg, with_tester=True)
+    addr = RelativeAddress.between(observer=locs["T"], target=locs[target_role])
+    return Test(
+        f"origin-is-{target_role}",
+        origin_tester(Name("observe"), addr),
+        output_barb(SUCCESS),
+    )
+
+
+class TestRoles:
+    def test_initiator_answers_challenge(self):
+        from repro.core.processes import Input, Output, Restriction
+
+        proc = initiator_role(C, Name("KAB"))
+        assert isinstance(proc, Restriction)
+        assert isinstance(proc.body, Input)
+        assert isinstance(proc.body.continuation, Output)
+
+    def test_responder_checks_nonce(self):
+        from repro.core.processes import Case, Match
+
+        proc = responder_role(C, Name("KAB"))
+        case = proc.body.continuation.continuation
+        assert isinstance(case, Case)
+        assert isinstance(case.continuation, Match)
+
+
+class TestReflectionAttack:
+    def test_reflection_possible_when_roles_are_mixed(self):
+        # E can route B's challenge to B's own initiator: the responder
+        # then accepts a message that originated on B's side.
+        cfg = bidirectional_pm3().with_part("E", reflecting_attacker(C))
+        test = origin_test(cfg, "B-init")
+        passed, exhaustive = passes(cfg, test, BUDGET)
+        assert passed
+
+    def test_honest_origin_also_possible(self):
+        cfg = bidirectional_pm3().with_part("E", reflecting_attacker(C))
+        test = origin_test(cfg, "A-init")
+        passed, _ = passes(cfg, test, BUDGET)
+        assert passed
+
+    def test_separated_roles_have_no_reflection(self):
+        # with only A's initiator and B's responder (the paper's Pm3
+        # shape), the B-init origin does not even exist; the message can
+        # only come from A's initiator.
+        from repro.core.processes import Nil, Parallel, Restriction
+        from repro.equivalence.testing import Configuration
+
+        kab = Name("KAB")
+        protocol = Restriction(
+            kab, Parallel(initiator_role(C, kab), responder_role(C, kab))
+        )
+        cfg = Configuration(
+            parts=(("P", protocol),),
+            private=(C,),
+            subroles=(("P", (0,), "A-init"), ("P", (1,), "B-resp")),
+        ).with_part("E", reflecting_attacker(C))
+        test = origin_test(cfg, "A-init")
+        passed, _ = passes(cfg, test, BUDGET)
+        assert passed
+        # and nothing else can be the origin: check the B-resp origin
+        bad = origin_test(cfg, "B-resp")
+        passed_bad, exhaustive = passes(cfg, bad, BUDGET)
+        assert not passed_bad and exhaustive

@@ -1,0 +1,66 @@
+"""Tests for origin-enriched barbs (the simulation's observation power)."""
+
+from __future__ import annotations
+
+from repro.core.processes import Channel, Input, Nil, Output, Parallel, Restriction
+from repro.core.terms import Name, SharedEnc, Var, fresh_uid
+from repro.equivalence.barbs import barbs, rich_barbs
+from repro.semantics.actions import input_barb, output_barb
+from repro.semantics.system import instantiate
+
+a, b, k = Name("a"), Name("b"), Name("k")
+
+
+class TestRichBarbs:
+    def test_output_of_restricted_name_carries_creator(self):
+        m = Name("m")
+        system = instantiate(Restriction(m, Output(Channel(a), m, Nil())))
+        (entry,) = rich_barbs(system)
+        barb, origin_loc = entry
+        assert barb == output_barb(a)
+        assert origin_loc == ()
+
+    def test_output_of_free_name_has_no_origin(self):
+        system = instantiate(Output(Channel(a), k, Nil()))
+        ((barb, origin_loc),) = rich_barbs(system)
+        assert origin_loc is None
+
+    def test_composite_payload_originates_at_sender(self):
+        payload = SharedEnc((k,), b)
+        system = instantiate(
+            Parallel(Output(Channel(a), payload, Nil()), Nil())
+        )
+        entries = dict(rich_barbs(system))
+        assert entries[output_barb(a)] == (0,)
+
+    def test_inputs_have_no_origin(self):
+        system = instantiate(Input(Channel(a), Var("x", fresh_uid()), Nil()))
+        ((barb, origin_loc),) = rich_barbs(system)
+        assert barb == input_barb(a) and origin_loc is None
+
+    def test_private_channels_excluded(self):
+        system = instantiate(Restriction(a, Output(Channel(a), k, Nil())))
+        assert rich_barbs(system) == frozenset()
+
+    def test_plain_barbs_are_the_projection(self):
+        m = Name("m")
+        system = instantiate(
+            Parallel(
+                Restriction(m, Output(Channel(a), m, Nil())),
+                Input(Channel(b), Var("x", fresh_uid()), Nil()),
+            )
+        )
+        assert {barb for barb, _ in rich_barbs(system)} == barbs(system)
+
+    def test_same_channel_different_origins_distinguished(self):
+        # two senders offering on the same channel from different scopes:
+        # plain barbs conflate them, rich barbs do not.
+        m1, m2 = Name("m"), Name("m")
+        system = instantiate(
+            Parallel(
+                Restriction(m1, Output(Channel(a), m1, Nil())),
+                Restriction(m2, Output(Channel(a), m2, Nil())),
+            )
+        )
+        assert len(barbs(system)) == 1
+        assert len(rich_barbs(system)) == 2

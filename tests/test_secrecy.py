@@ -1,0 +1,96 @@
+"""Tests for the secrecy analysis (Section 5.1's localization remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.intruder import eavesdropper, standard_attackers
+from repro.analysis.secrecy import keeps_secret, secrecy_protocol
+from repro.core.terms import Name
+from repro.equivalence.testing import Configuration
+from repro.protocols.paper import abstract_protocol, crypto_protocol, plaintext_protocol
+from repro.semantics.lts import Budget
+
+C = Name("c")
+BUDGET = Budget(max_states=1500, max_depth=20)
+
+
+def cfg_for(protocol, attacker) -> Configuration:
+    return Configuration(
+        parts=(("P", protocol), ("E", attacker)),
+        private=(C,),
+        subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+    )
+
+
+class TestPlainProtocolsLeak:
+    def test_plaintext_leaks_to_eavesdropper(self):
+        pair = plaintext_protocol()
+        cfg = Configuration(
+            parts=(("A", pair.initiator), ("B", pair.responder), ("E", eavesdropper(C))),
+            private=(C,),
+        )
+        verdict = keeps_secret(cfg, "M", budget=BUDGET)
+        assert not verdict.holds
+        assert verdict.leak is not None and verdict.leak.base == "M"
+
+    def test_abstract_protocol_output_is_interceptable(self):
+        # partner authentication protects B's *input*; A's output is
+        # unlocalized, so E can still swallow M — the paper's motivation
+        # for also localizing the output.
+        cfg = cfg_for(abstract_protocol(), eavesdropper(C))
+        verdict = keeps_secret(cfg, "M", budget=BUDGET)
+        assert not verdict.holds
+
+    def test_crypto_protocol_keeps_the_payload(self):
+        # E hears only {M}KAB and never the key
+        cfg = cfg_for(crypto_protocol(), eavesdropper(C))
+        verdict = keeps_secret(cfg, "M", budget=BUDGET)
+        assert verdict.holds and verdict.exhaustive
+        assert verdict.heard >= 1  # it did intercept the ciphertext
+
+
+class TestLocalizedOutputKeepsSecret:
+    @pytest.mark.parametrize("attacker_name,attacker", standard_attackers([C]))
+    def test_secrecy_protocol_never_leaks(self, attacker_name, attacker):
+        cfg = cfg_for(secrecy_protocol(), attacker)
+        verdict = keeps_secret(cfg, "M", budget=BUDGET)
+        assert verdict.holds, attacker_name
+        assert verdict.exhaustive, attacker_name
+
+    def test_spy_hears_nothing_at_all(self):
+        cfg = cfg_for(secrecy_protocol(), eavesdropper(C, messages=3))
+        verdict = keeps_secret(cfg, "M", budget=BUDGET)
+        assert verdict.heard == 0
+
+    def test_message_still_delivered_to_b(self):
+        from repro.equivalence.barbs import converges
+        from repro.equivalence.testing import compose
+        from repro.semantics.actions import output_barb
+
+        cfg = cfg_for(secrecy_protocol(), eavesdropper(C))
+        found, _ = converges(compose(cfg), output_barb(Name("observe")), BUDGET)
+        assert found
+
+
+class TestVerdictRendering:
+    def test_describe_kept(self):
+        cfg = cfg_for(secrecy_protocol(), eavesdropper(C))
+        text = keeps_secret(cfg, "M", budget=BUDGET).describe()
+        assert "secret kept" in text
+
+    def test_describe_leak(self):
+        pair = plaintext_protocol()
+        cfg = Configuration(
+            parts=(("A", pair.initiator), ("B", pair.responder), ("E", eavesdropper(C))),
+            private=(C,),
+        )
+        text = keeps_secret(cfg, "M", budget=BUDGET).describe()
+        assert "LEAKED" in text and "M#" in text
+
+    def test_predicate_form(self):
+        cfg = cfg_for(secrecy_protocol(), eavesdropper(C))
+        verdict = keeps_secret(
+            cfg, lambda n: n.base in ("M", "N"), budget=BUDGET
+        )
+        assert verdict.holds

@@ -1,0 +1,72 @@
+"""Tests for the session-hooking analysis."""
+
+from __future__ import annotations
+
+from repro.analysis.intruder import eavesdropper, replayer
+from repro.analysis.sessions import communication_partners, hooking_report
+from repro.core.terms import Name
+from repro.semantics.lts import Budget
+
+from tests.conftest import impl_crypto_multi, spec_multi, spec_single
+
+C = Name("c")
+BUDGET = Budget(max_states=600, max_depth=14)
+
+
+class TestHookingReport:
+    def test_abstract_multisession_is_pairwise(self):
+        cfg = spec_multi().with_part("E", eavesdropper(C))
+        report = hooking_report(cfg, budget=BUDGET)
+        assert report.exclusive
+        assert len(report.pairs) >= 2  # several sessions materialize
+
+    def test_unlocated_multisession_is_not_pairwise(self):
+        # Pm2's channels carry no localization: within the explored
+        # space, responder copies accept from several sender copies.
+        cfg = impl_crypto_multi().with_part("E", eavesdropper(C))
+        report = hooking_report(cfg, budget=BUDGET)
+        assert not report.exclusive
+
+    def test_single_session_trivially_pairwise(self):
+        cfg = spec_single().with_part("E", eavesdropper(C))
+        report = hooking_report(cfg, budget=Budget(400, 16))
+        assert report.exclusive
+        assert len(report.pairs) == 1
+
+    def test_attacker_traffic_excluded(self):
+        cfg = spec_single().with_part("E", replayer(C))
+        report = hooking_report(cfg, budget=Budget(400, 16))
+        e_loc = None
+        # attacker locations never appear among the pairs
+        from repro.equivalence.testing import compose
+
+        e_loc = compose(cfg).location_of("E")
+        for sender, receiver in report.pairs:
+            assert sender[: len(e_loc)] != e_loc
+            assert receiver[: len(e_loc)] != e_loc
+
+    def test_describe_lists_pairs(self):
+        cfg = spec_single().with_part("E", eavesdropper(C))
+        text = hooking_report(cfg, budget=Budget(400, 16)).describe()
+        assert "pairwise-exclusive" in text
+        assert "<->" in text
+
+    def test_missing_exclude_role_tolerated(self):
+        cfg = spec_single()
+        report = hooking_report(cfg, exclude_role="nobody", budget=Budget(300, 12))
+        assert report.exclusive
+
+
+class TestCommunicationPartners:
+    def test_startup_channel_pairs(self):
+        cfg = spec_multi().with_part("E", eavesdropper(C))
+        pairs, exhaustive = communication_partners(cfg, "s", budget=BUDGET)
+        # the startup handshake happens between the two replications
+        assert pairs
+        for sender, receiver in pairs:
+            assert sender != receiver
+
+    def test_unknown_channel_yields_nothing(self):
+        cfg = spec_single()
+        pairs, exhaustive = communication_partners(cfg, "nope", budget=Budget(300, 12))
+        assert pairs == frozenset() and exhaustive

@@ -1,0 +1,127 @@
+"""Tests for barbed weak simulation."""
+
+from __future__ import annotations
+
+from repro.core.processes import Channel, Input, Match, Nil, Output, Parallel, Restriction
+from repro.core.terms import Name, Var, fresh_uid
+from repro.equivalence.simulation import (
+    find_unsimulated_state,
+    largest_simulation,
+    tau_closure,
+    weak_barb_table,
+    weakly_simulated,
+)
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget, explore
+from repro.semantics.system import instantiate
+
+a, b, d, k, m = Name("a"), Name("b"), Name("d"), Name("k"), Name("m")
+
+
+def rendezvous_then(channel: Name, announce: Name):
+    """tau step (private rendezvous) then a visible output."""
+    x = Var("x", fresh_uid())
+    return Restriction(
+        channel,
+        Parallel(
+            Output(Channel(channel), k, Nil()),
+            Input(Channel(channel), x, Output(Channel(announce), k, Nil())),
+        ),
+    )
+
+
+class TestInfrastructure:
+    def test_weak_barb_table_propagates_backwards(self):
+        system = instantiate(rendezvous_then(a, b))
+        graph = explore(system)
+        table = weak_barb_table(graph)
+        # the initial state has no immediate barb but weakly has b-bar
+        assert any(barb == output_barb(b) for barb, _ in table[graph.initial])
+
+    def test_tau_closure_reflexive_transitive(self):
+        system = instantiate(rendezvous_then(a, b))
+        graph = explore(system)
+        closure = tau_closure(graph)
+        assert graph.initial in closure[graph.initial]
+        assert len(closure[graph.initial]) == graph.state_count()
+
+
+class TestWeaklySimulated:
+    def test_identical_systems_simulate(self):
+        left = instantiate(rendezvous_then(a, b))
+        right = instantiate(rendezvous_then(a, b))
+        result = weakly_simulated(left, right)
+        assert result.holds and not result.truncated
+
+    def test_direct_output_simulated_by_tau_then_output(self):
+        left = instantiate(Output(Channel(b), k, Nil()))
+        right = instantiate(rendezvous_then(a, b))
+        assert weakly_simulated(left, right).holds
+
+    def test_missing_barb_not_simulated(self):
+        left = instantiate(Output(Channel(b), k, Nil()))
+        right = instantiate(Output(Channel(d), k, Nil()))
+        result = weakly_simulated(left, right)
+        assert not result.holds
+
+    def test_extra_behaviour_not_simulated(self):
+        # left can do b-bar then d-bar; right only b-bar
+        left = instantiate(Output(Channel(b), k, Output(Channel(d), k, Nil())))
+        right = instantiate(Output(Channel(b), k, Nil()))
+        # immediate barbs: left {b}, right {b}: ok.  But after the b
+        # output... our tau-only LTS never fires visible outputs, so both
+        # are inert.  Compose with a consumer to create tau steps.
+        x = Var("x", fresh_uid())
+        consumer = lambda: Input(Channel(b), Var("x", fresh_uid()),
+                                 Input(Channel(d), Var("y", fresh_uid()), Nil()))
+        left_sys = instantiate(Parallel(Output(Channel(b), k, Output(Channel(d), k, Nil())), consumer()))
+        right_sys = instantiate(Parallel(Output(Channel(b), k, Nil()), consumer()))
+        result = weakly_simulated(left_sys, right_sys)
+        assert not result.holds
+
+    def test_simulation_is_not_symmetric(self):
+        quiet = instantiate(Nil())
+        noisy = instantiate(Output(Channel(b), k, Nil()))
+        assert weakly_simulated(quiet, noisy).holds
+        assert not weakly_simulated(noisy, quiet).holds
+
+    def test_truncation_reported(self):
+        from repro.core.processes import Replication
+
+        x = Var("x", fresh_uid())
+        busy = instantiate(
+            Parallel(Replication(Output(Channel(a), k, Nil())),
+                     Replication(Input(Channel(a), x, Nil())))
+        )
+        result = weakly_simulated(busy, busy, Budget(4, 8))
+        assert result.truncated
+
+    def test_describe_mentions_verdict(self):
+        left = instantiate(Nil())
+        right = instantiate(Nil())
+        text = weakly_simulated(left, right).describe()
+        assert "simulated" in text
+
+
+class TestDiagnostics:
+    def test_unsimulated_state_found(self):
+        x = Var("x", fresh_uid())
+        consumer = Input(Channel(b), x, Nil())
+        left = instantiate(Parallel(Output(Channel(b), k, Nil()), consumer))
+        right = instantiate(Nil())
+        state = find_unsimulated_state(left, right)
+        assert state is not None
+
+    def test_no_unsimulated_state_when_holds(self):
+        left = instantiate(Nil())
+        right = instantiate(Nil())
+        assert find_unsimulated_state(left, right) is None
+
+
+class TestLargestSimulation:
+    def test_relation_contains_identity_pairs(self):
+        system = instantiate(rendezvous_then(a, b))
+        graph = explore(system)
+        relation = largest_simulation(graph, graph)
+        for key in graph.states:
+            assert (key, key) in relation

@@ -1,0 +1,258 @@
+"""Tests for the lexer, parser and pretty-printer (round-trip included)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.addresses import RelativeAddress
+from repro.core.errors import ParseError
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+    Split,
+)
+from repro.core.terms import At, Localized, Name, Pair, SharedEnc, Var
+from repro.syntax.lexer import Token, split_ident, tokenize
+from repro.syntax.parser import parse_address, parse_process, parse_term
+from repro.syntax.pretty import canonical_process, render_process, render_term
+
+
+class TestLexer:
+    def test_address_tags_vs_parallel(self):
+        kinds = [t.kind for t in tokenize("P | ||0")]
+        assert kinds[:3] == ["ident", "pipe", "addrtag"]
+
+    def test_ident_with_uid(self):
+        (tok, _) = tokenize("M#12")
+        assert tok.kind == "ident" and split_ident(tok.text) == ("M", 12)
+
+    def test_keywords(self):
+        kinds = [t.kind for t in tokenize("case x of nu let in")]
+        assert kinds == ["case", "ident", "of", "nu", "let", "in", "eof"]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_junk_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_unicode_aliases(self):
+        kinds = [t.kind for t in tokenize("ν • ≅")]
+        assert kinds == ["nu", "bullet", "simeq", "eof"]
+
+
+class TestTermParsing:
+    def test_name(self):
+        assert parse_term("a") == Name("a")
+
+    def test_uid(self):
+        assert parse_term("M#3") == Name("M", 3)
+
+    def test_pair(self):
+        assert parse_term("(a, b)") == Pair(Name("a"), Name("b"))
+
+    def test_encryption(self):
+        assert parse_term("{M, N}K") == SharedEnc((Name("M"), Name("N")), Name("K"))
+
+    def test_nested(self):
+        term = parse_term("{(a, {b}k)}K")
+        assert term == SharedEnc((Pair(Name("a"), SharedEnc((Name("b"),), Name("k"))),), Name("K"))
+
+    def test_at_literal(self):
+        term = parse_term("[||0*||1]n")
+        assert term == At(RelativeAddress((0,), (1,)), Name("n"))
+
+    def test_bare_at_literal(self):
+        term = parse_term("[||0*||1]")
+        assert term == At(RelativeAddress((0,), (1,)), None)
+
+    def test_localized(self):
+        term = parse_term("<||1||0>{M}k")
+        assert term == Localized((1, 0), SharedEnc((Name("M"),), Name("k")))
+
+    def test_error_position(self):
+        with pytest.raises(ParseError):
+            parse_term("{M")
+
+
+class TestProcessParsing:
+    def test_nil(self):
+        assert parse_process("0") == Nil()
+
+    def test_output(self):
+        p = parse_process("a<M>.0")
+        assert p == Output(Channel(Name("a")), Name("M"), Nil())
+
+    def test_input_binds_variable(self):
+        p = parse_process("a(x).b<x>.0")
+        assert isinstance(p, Input)
+        assert p.continuation.payload == Var("x")
+
+    def test_unbound_ident_is_name(self):
+        p = parse_process("a<x>.0")
+        assert p.payload == Name("x")
+
+    def test_restriction(self):
+        p = parse_process("(nu m)(a<m>.0)")
+        assert isinstance(p, Restriction) and p.name == Name("m")
+
+    def test_parallel_left_associates(self):
+        p = parse_process("0 | 0 | a<m>.0")
+        assert isinstance(p, Parallel)
+        assert isinstance(p.left, Parallel)
+
+    def test_replication(self):
+        p = parse_process("!(a<m>.0)")
+        assert isinstance(p, Replication)
+
+    def test_match(self):
+        p = parse_process("[a = b] 0")
+        assert p == Match(Name("a"), Name("b"), Nil())
+
+    def test_addr_match(self):
+        p = parse_process("[a =~ b] 0")
+        assert p == AddrMatch(Name("a"), Name("b"), Nil())
+
+    def test_case(self):
+        p = parse_process("case x of {y, z}k in a<y>.0")
+        assert isinstance(p, Case)
+        assert p.binders == (Var("y"), Var("z"))
+        assert p.scrutinee == Name("x")  # free ident: a name
+
+    def test_let(self):
+        p = parse_process("let (u, v) = m in a<u>.0")
+        assert isinstance(p, Split)
+        assert p.continuation.payload == Var("u")
+
+    def test_localized_channel_with_locvar(self):
+        p = parse_process("c@lam(x).0")
+        assert p.channel.index == LocVar("lam")
+
+    def test_localized_channel_with_address(self):
+        p = parse_process("c@||0*||1<m>.0")
+        assert p.channel.index == RelativeAddress((0,), (1,))
+
+    def test_scoping_of_case_binders(self):
+        p = parse_process("case x of {y}k in [y = m] 0")
+        inner = p.continuation
+        assert inner.left == Var("y")
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_process("a<M>.")
+        assert "expected" in str(err.value)
+
+
+class TestRoundTrip:
+    CASES = [
+        "0",
+        "a<M>.0",
+        "a(x).b<x>.0",
+        "(nu m)(a<m>.0)",
+        "(a<M>.0 | a(x).0)",
+        "!(a<M>.0)",
+        "[a = b] a<M>.0",
+        "[x =~ y] 0",
+        "case x of {y, z}k in a<(y, z)>.0",
+        "let (u, v) = m in a<u>.0",
+        "c@lam(x).c@lam(y).0",
+        "c@||0*||1<m>.0",
+        "a<{M, N}K>.0",
+        "a<[||0*||1]n>.0",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_render_fixpoint(self, source):
+        p = parse_process(source)
+        rendered = render_process(p)
+        assert parse_process(rendered) == p
+
+    def test_paper_protocols_round_trip(self):
+        from repro.protocols.paper import (
+            abstract_multisession,
+            abstract_protocol,
+            challenge_response_multisession,
+            crypto_multisession,
+            crypto_protocol,
+        )
+
+        for build in (
+            abstract_protocol,
+            crypto_protocol,
+            abstract_multisession,
+            crypto_multisession,
+            challenge_response_multisession,
+        ):
+            p = build()
+            assert parse_process(render_process(p)) == p
+
+
+class TestUnicodeRendering:
+    def test_nu_and_bullet(self):
+        p = parse_process("(nu m)(c@||0*||1<m>.0)")
+        pretty = render_process(p, unicode=True)
+        assert "ν" in pretty and "•" in pretty
+
+    def test_addr_match_glyph(self):
+        p = parse_process("[x =~ y] 0")
+        assert "≅" in render_process(p, unicode=True)
+
+
+class TestCanonical:
+    def test_alpha_variants_agree(self):
+        p1 = parse_process("a(x).b<x>.0")
+        p2 = parse_process("a(w#7).b<w#7>.0")
+        assert canonical_process(p1) == canonical_process(p2)
+
+    def test_different_uids_same_canonical(self):
+        p1 = parse_process("(nu m)(a<m>.0)")
+        p2 = parse_process("(nu m)(a<m>.0)")
+        assert canonical_process(p1) == canonical_process(p2)
+
+    def test_distinct_structure_differs(self):
+        p1 = parse_process("a<M>.0")
+        p2 = parse_process("a(x).0")
+        assert canonical_process(p1) != canonical_process(p2)
+
+    def test_creator_is_part_of_identity(self):
+        m1 = Name("M", 1, creator=(0,))
+        m2 = Name("M", 1, creator=(1,))
+        p1 = Output(Channel(Name("a")), m1, Nil())
+        p2 = Output(Channel(Name("a")), m2, Nil())
+        assert canonical_process(p1) != canonical_process(p2)
+
+
+class TestAddressParsing:
+    def test_parse_address(self):
+        assert parse_address("||0||1*||1") == RelativeAddress((0, 1), (1,))
+
+
+address_chars = st.lists(st.integers(min_value=0, max_value=1), max_size=4)
+
+
+class TestParserProperties:
+    @given(address_chars, address_chars)
+    def test_address_round_trip(self, left, right):
+        if left and right and left[0] == right[0]:
+            right = [1 - left[0]] + right[1:]
+        addr = RelativeAddress(tuple(left), tuple(right))
+        assert parse_address(addr.render()) == addr
+
+    @given(st.sampled_from(TestRoundTrip.CASES))
+    def test_double_round_trip_stable(self, source):
+        once = render_process(parse_process(source))
+        twice = render_process(parse_process(once))
+        assert once == twice

@@ -1,0 +1,135 @@
+"""Tests for system files and the analyze/check CLI subcommands."""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ParseError
+from repro.core.terms import Name
+from repro.syntax.sysfile import load_system_file, parse_system_file
+
+SYSTEMS = pathlib.Path(__file__).resolve().parent.parent / "examples" / "systems"
+
+P2 = """
+channels: c
+role P = (nu KAB)(
+    (nu M)(c<{M}KAB>.0)
+    | c(z). case z of {w}KAB in observe<w>.0
+)
+subrole P ||0 A
+subrole P ||1 B
+"""
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    return main(list(argv), out=out), out.getvalue()
+
+
+class TestParsing:
+    def test_channels_and_roles(self):
+        sysfile = parse_system_file(P2)
+        assert sysfile.configuration.private == (Name("c"),)
+        assert sysfile.labels() == ("P",)
+        assert sysfile.configuration.subroles == (
+            ("P", (0,), "A"),
+            ("P", (1,), "B"),
+        )
+
+    def test_default_observe(self):
+        assert parse_system_file(P2).observe == Name("observe")
+
+    def test_observe_directive(self):
+        sysfile = parse_system_file("observe: pub\nrole A = 0\n")
+        assert sysfile.observe == Name("pub")
+
+    def test_multiline_roles_and_comments(self):
+        source = """
+        # two principals
+        channels: c d
+        role A = c<M>.   # sender
+            d(x).0
+        role B = c(x).0
+        """
+        sysfile = parse_system_file(source)
+        assert sysfile.labels() == ("A", "B")
+        assert set(sysfile.configuration.private) == {Name("c"), Name("d")}
+
+    def test_multiple_channel_lines_accumulate(self):
+        sysfile = parse_system_file("channels: a\nchannels: b\nrole A = 0\n")
+        assert set(sysfile.configuration.private) == {Name("a"), Name("b")}
+
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("role A = 0\nrole A = 0\n", "duplicate role"),
+            ("role A =\n", "empty process"),
+            ("subrole P ||0 A\n", "not declared"),
+            ("role P = 0\nsubrole P xx A\n", "bad subrole path"),
+            ("junk\n", "unexpected content"),
+            ("", "at least one role"),
+            ("observe: a b\nrole A = 0\n", "exactly one"),
+            ("role P = 0\nsubrole P ||0\n", "subrole expects"),
+        ],
+    )
+    def test_rejections(self, source, fragment):
+        with pytest.raises(ParseError) as err:
+            parse_system_file(source)
+        assert fragment in str(err.value)
+
+    def test_example_files_load(self):
+        for path in sorted(SYSTEMS.glob("*.spi")):
+            sysfile = load_system_file(str(path))
+            assert sysfile.labels()
+
+
+class TestCheckCommand:
+    def test_p2_implements_p(self):
+        status, output = run_cli(
+            "check", str(SYSTEMS / "p2_impl.spi"), str(SYSTEMS / "p_spec.spi")
+        )
+        assert status == 0
+        assert "securely implements" in output
+
+    def test_p1_does_not_implement_p(self):
+        status, output = run_cli(
+            "check", str(SYSTEMS / "p1_impl.spi"), str(SYSTEMS / "p_spec.spi")
+        )
+        assert status == 2
+        assert "NOT a secure implementation" in output
+        assert "impersonate(c)" in output
+
+    def test_channel_mismatch_rejected(self, tmp_path, capsys):
+        other = tmp_path / "other.spi"
+        other.write_text("channels: d\nrole P = 0\nsubrole P ||0 A\nsubrole P ||1 B\n")
+        status, _ = run_cli("check", str(SYSTEMS / "p2_impl.spi"), str(other))
+        assert status == 1
+        assert "different channels" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_full_analysis(self):
+        status, output = run_cli(
+            "analyze", str(SYSTEMS / "p2_impl.spi"),
+            "--sender", "A", "--secret", "M",
+        )
+        assert status == 0
+        assert "authentication(A): holds" in output
+        assert "freshness: holds" in output
+        assert "secrecy(M): holds" in output
+
+    def test_plaintext_flagged(self):
+        status, output = run_cli(
+            "analyze", str(SYSTEMS / "p1_impl.spi"),
+            "--sender", "A", "--secret", "M",
+        )
+        assert status == 0
+        assert "VIOLATED" in output
+
+    def test_bad_file_reports_error(self, capsys):
+        status, _ = run_cli("analyze", "/does/not/exist.spi")
+        assert status == 1

@@ -1,0 +1,204 @@
+"""Tests for system instantiation: name identities, creators, roles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InstantiationError
+from repro.core.processes import (
+    Channel,
+    Input,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+    free_names,
+    walk_leaves,
+)
+from repro.core.terms import Name, Var, names_of
+from repro.equivalence.testing import Configuration, compose
+from repro.semantics.system import (
+    System,
+    build_system,
+    instantiate,
+    instantiate_names,
+    left_associated_locations,
+)
+
+a, b, c, m, k = Name("a"), Name("b"), Name("c"), Name("m"), Name("k")
+x = Var("x")
+
+
+def out(ch, val, cont=None):
+    return Output(Channel(ch), val, cont or Nil())
+
+
+class TestInstantiateNames:
+    def test_restriction_is_erased_and_name_identified(self):
+        proc = Restriction(m, out(a, m))
+        result, created = instantiate_names(proc, at=())
+        assert isinstance(result, Output)
+        (fresh,) = created
+        assert fresh.base == "m" and fresh.uid is not None
+        assert result.payload == fresh
+
+    def test_creator_is_the_scope_location(self):
+        proc = Parallel(Restriction(m, out(a, m)), Nil())
+        result, created = instantiate_names(proc, at=())
+        (fresh,) = created
+        assert fresh.creator == (0,)
+
+    def test_creator_predicts_future_parallel_structure(self):
+        # a restriction under a prefix, inside the left branch of a
+        # parallel in the continuation: its creator must be the location
+        # the scope will occupy once the prefix fires.
+        inner = Parallel(Restriction(m, out(b, m)), Nil())
+        proc = Input(Channel(a), x, inner)
+        result, created = instantiate_names(proc, at=(1,))
+        (fresh,) = created
+        assert fresh.creator == (1, 0)
+
+    def test_replication_templates_untouched(self):
+        proc = Replication(Restriction(m, out(a, m)))
+        result, created = instantiate_names(proc, at=())
+        assert created == frozenset()
+        assert isinstance(result.body, Restriction)
+
+    def test_restriction_above_replication_instantiated(self):
+        proc = Restriction(k, Replication(out(a, k)))
+        result, created = instantiate_names(proc, at=())
+        (fresh,) = created
+        assert isinstance(result, Replication)
+        assert names_of(result.body.payload) == {fresh}
+
+    def test_shadowing_two_restrictions_same_base(self):
+        proc = Restriction(m, Parallel(out(a, m), Restriction(m, out(b, m))))
+        result, created = instantiate_names(proc, at=())
+        assert len(created) == 2
+        (left_m,) = names_of(result.left.payload)
+        (right_m,) = names_of(result.right.payload)
+        assert left_m != right_m
+
+
+class TestInstantiate:
+    def test_open_process_rejected(self):
+        with pytest.raises(InstantiationError):
+            instantiate(out(a, x))
+
+    def test_private_set_populated(self):
+        system = instantiate(Restriction(m, out(a, m)))
+        assert len(system.private) == 1
+
+    def test_normalization_runs_at_instantiation(self):
+        from repro.core.processes import Match
+
+        proc = Match(a, a, out(b, m))
+        system = instantiate(proc)
+        assert isinstance(system.root, Output)
+
+    def test_stuck_guard_becomes_nil(self):
+        from repro.core.processes import Match
+
+        proc = Match(a, b, out(b, m))
+        system = instantiate(proc)
+        assert isinstance(system.root, Nil)
+
+
+class TestRoles:
+    def setup_method(self):
+        proc = Parallel(out(a, m), Parallel(out(b, m), Replication(out(c, m))))
+        self.system = instantiate(
+            proc, roles=[((0,), "A"), ((1, 0), "B"), ((1, 1), "!S")]
+        )
+
+    def test_exact_role(self):
+        assert self.system.role_at((0,)) == "A"
+
+    def test_instance_suffix(self):
+        assert self.system.role_at((1, 1, 0)) == "!S[0]"
+        assert self.system.role_at((1, 1, 1, 0)) == "!S[10]"
+
+    def test_deepest_prefix_wins(self):
+        system = System(root=Nil(), roles=(((0,), "outer"), ((0, 1), "inner")))
+        assert system.role_at((0, 1, 0)) == "inner[0]"
+
+    def test_unregistered_location_renders_raw(self):
+        assert self.system.role_at((9,)) == "<||9>" or self.system.role_at
+        # locations outside the tree still render something printable
+        assert self.system.role_at(()).startswith("<") or self.system.role_at(())
+
+    def test_location_of(self):
+        assert self.system.location_of("B") == (1, 0)
+        with pytest.raises(KeyError):
+            self.system.location_of("nobody")
+
+    def test_address_between_roles(self):
+        addr = self.system.address(target="B", observer="A")
+        assert addr.resolve((0,)) == (1, 0)
+
+
+class TestLeftAssociatedLocations:
+    def test_shapes(self):
+        assert left_associated_locations(1) == [()]
+        assert left_associated_locations(2) == [(0,), (1,)]
+        assert left_associated_locations(3) == [(0, 0), (0, 1), (1,)]
+        assert left_associated_locations(4) == [(0, 0, 0), (0, 0, 1), (0, 1), (1,)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InstantiationError):
+            left_associated_locations(0)
+
+
+class TestBuildSystem:
+    def test_roles_registered(self):
+        system = build_system([("A", out(a, m)), ("B", Input(Channel(a), x, Nil()))])
+        assert system.location_of("A") == (0,)
+        assert system.location_of("B") == (1,)
+
+    def test_private_channels_restricted(self):
+        system = build_system([("A", out(c, m)), ("B", Nil())], private_channels=[c])
+        # the channel name was renamed apart: no free c left
+        assert all(n.base != "c" or n.uid is not None for n in free_names(system.root))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(InstantiationError):
+            build_system([("A", Nil()), ("A", Nil())])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InstantiationError):
+            build_system([])
+
+
+class TestConfigurationCompose:
+    def test_shape_matches_paper(self):
+        # ((P | E) | T): P at (0,0), E at (0,1), T at (1,)
+        cfg = Configuration(parts=(("P", Nil()), ("E", Nil())), private=(c,))
+        system = compose(cfg, tester=out(a, m))
+        assert system.location_of("P") == (0, 0)
+        assert system.location_of("E") == (0, 1)
+        assert system.location_of("T") == (1,)
+
+    def test_subroles(self):
+        cfg = Configuration(
+            parts=(("P", Parallel(Nil(), Nil())),),
+            subroles=(("P", (0,), "A"), ("P", (1,), "B")),
+        )
+        system = compose(cfg)
+        assert system.location_of("A") == (0,)
+        assert system.location_of("B") == (1,)
+
+    def test_tester_outside_restriction_cannot_use_private_channel(self):
+        # the tester's c is a different name from the restricted c
+        sender = out(c, m)
+        cfg = Configuration(parts=(("A", sender),), private=(c,))
+        tester = Input(Channel(c), x, out(a, x))
+        system = compose(cfg, tester)
+        from repro.semantics.transitions import successors
+
+        assert successors(system) == []
+
+    def test_leaves_iteration(self):
+        cfg = Configuration(parts=(("A", out(a, m)), ("B", Nil())))
+        system = compose(cfg)
+        assert [loc for loc, _ in system.leaves()] == [(0,), (1,)]

@@ -1,0 +1,156 @@
+"""Tests for terms, origins and localization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TermError
+from repro.core.terms import (
+    At,
+    Localized,
+    Name,
+    Pair,
+    SharedEnc,
+    Var,
+    enc,
+    fresh_uid,
+    is_closed,
+    localize,
+    names,
+    names_of,
+    origin,
+    payload,
+    subterms,
+    values_equal,
+    variables,
+    variables_of,
+)
+from repro.core.addresses import RelativeAddress
+
+
+class TestNames:
+    def test_free_names_have_no_uid(self):
+        a = Name("a")
+        assert a.is_free()
+        assert a.uid is None and a.creator is None
+
+    def test_instantiated_names_compare_by_identity(self):
+        m1 = Name("M", 1, creator=(0,))
+        m2 = Name("M", 2, creator=(0,))
+        assert m1 != m2
+        assert m1 == Name("M", 1, creator=(0,))
+
+    def test_render(self):
+        assert Name("a").render() == "a"
+        assert Name("M", 7).render() == "M#7"
+
+    def test_names_helper(self):
+        a, b, c = names("a b, c")
+        assert (a.base, b.base, c.base) == ("a", "b", "c")
+
+    def test_variables_helper(self):
+        x, y = variables("x y")
+        assert (x.ident, y.ident) == ("x", "y")
+
+    def test_fresh_uid_monotone(self):
+        assert fresh_uid() < fresh_uid()
+
+
+class TestStructure:
+    def test_enc_requires_body(self):
+        with pytest.raises(TermError):
+            SharedEnc((), Name("k"))
+
+    def test_enc_helper(self):
+        e = enc(Name("M"), Name("N"), key=Name("k"))
+        assert e.body == (Name("M"), Name("N"))
+        assert e.key == Name("k")
+
+    def test_subterms_traversal(self):
+        term = Pair(enc(Name("M"), key=Name("k")), Var("x"))
+        found = list(subterms(term))
+        assert Name("M") in found
+        assert Name("k") in found
+        assert Var("x") in found
+        assert term in found
+
+    def test_names_of_and_variables_of(self):
+        term = enc(Pair(Name("a"), Var("x")), key=Var("y"))
+        assert names_of(term) == {Name("a")}
+        assert variables_of(term) == {Var("x"), Var("y")}
+
+    def test_is_closed(self):
+        assert is_closed(Pair(Name("a"), Name("b")))
+        assert not is_closed(Pair(Name("a"), Var("x")))
+
+    def test_localized_does_not_nest(self):
+        inner = Localized((0,), Name("a"))
+        with pytest.raises(TermError):
+            Localized((1,), inner)
+
+    def test_subterms_through_localized_and_at(self):
+        loc = Localized((0,), enc(Name("M"), key=Name("k")))
+        assert Name("M") in set(subterms(loc))
+        at = At(RelativeAddress((0,), (1,)), Name("n"))
+        assert Name("n") in set(subterms(at))
+
+
+class TestOrigins:
+    def test_name_origin_is_its_creator(self):
+        m = Name("M", 3, creator=(0, 1))
+        assert origin(m) == (0, 1)
+
+    def test_free_name_has_no_origin(self):
+        assert origin(Name("a")) is None
+
+    def test_localized_origin(self):
+        value = Localized((1, 0), enc(Name("M"), key=Name("k")))
+        assert origin(value) == (1, 0)
+
+    def test_plain_composite_has_no_origin(self):
+        assert origin(Pair(Name("a"), Name("b"))) is None
+
+    def test_payload_strips_localization(self):
+        body = enc(Name("M"), key=Name("k"))
+        assert payload(Localized((0,), body)) == body
+        assert payload(body) == body
+
+
+class TestLocalize:
+    def test_fresh_composite_localized_at_sender(self):
+        body = enc(Name("M"), key=Name("k"))
+        value = localize(body, (0, 0))
+        assert isinstance(value, Localized)
+        assert value.creator == (0, 0)
+
+    def test_forwarded_value_keeps_creator(self):
+        original = Localized((1, 1), Pair(Name("a"), Name("b")))
+        assert localize(original, (0, 0)) is original
+
+    def test_names_pass_through_unchanged(self):
+        m = Name("M", 5, creator=(1,))
+        assert localize(m, (0,)) is m
+
+    def test_open_terms_rejected(self):
+        with pytest.raises(TermError):
+            localize(Var("x"), (0,))
+
+    def test_literals_rejected(self):
+        with pytest.raises(TermError):
+            localize(At(RelativeAddress((), ()), None), (0,))
+
+
+class TestValueEquality:
+    def test_equality_ignores_localization(self):
+        body = enc(Name("M"), key=Name("k"))
+        assert values_equal(Localized((0,), body), body)
+        assert values_equal(Localized((0,), body), Localized((1,), body))
+
+    def test_distinct_data_differ(self):
+        assert not values_equal(Name("a"), Name("b"))
+
+    def test_same_spelling_different_instance_differ(self):
+        # two nonces both called N from different sessions must not match
+        n1 = Name("N", 1, creator=(0, 0))
+        n2 = Name("N", 2, creator=(0, 0, 0))
+        assert not values_equal(n1, n2)

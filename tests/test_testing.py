@@ -1,0 +1,115 @@
+"""Tests for may-testing (Definition 3) and the configuration harness."""
+
+from __future__ import annotations
+
+from repro.core.processes import Channel, Input, Nil, Output, Parallel
+from repro.core.terms import Name, Var, fresh_uid
+from repro.equivalence.testing import (
+    Configuration,
+    Test,
+    compose,
+    may_preorder,
+    part_locations,
+    passes,
+)
+from repro.semantics.actions import output_barb
+
+a, c, omega, ok = Name("a"), Name("c"), Name("omega"), Name("ok")
+
+
+def announcer(channel: Name, after: Name) -> "Process":
+    """Receive one message on ``channel``, then announce on ``after``."""
+    x = Var("x", fresh_uid())
+    return Input(Channel(channel), x, Output(Channel(after), x, Nil()))
+
+
+def sender(channel: Name, value: Name) -> "Process":
+    return Output(Channel(channel), value, Nil())
+
+
+def success_tester(listen: Name) -> "Process":
+    z = Var("z", fresh_uid())
+    return Input(Channel(listen), z, Output(Channel(omega), ok, Nil()))
+
+
+class TestPasses:
+    def test_passing_configuration(self):
+        cfg = Configuration(parts=(("A", sender(c, a)), ("B", announcer(c, Name("observe")))),
+                            private=(c,))
+        test = Test("sees-delivery", success_tester(Name("observe")), output_barb(omega))
+        passed, exhaustive = passes(cfg, test)
+        assert passed and exhaustive
+
+    def test_failing_configuration(self):
+        cfg = Configuration(parts=(("B", announcer(c, Name("observe"))),), private=(c,))
+        test = Test("sees-delivery", success_tester(Name("observe")), output_barb(omega))
+        passed, exhaustive = passes(cfg, test)
+        assert not passed and exhaustive
+
+    def test_tester_cannot_reach_private_channels(self):
+        # a tester that tries to inject on the private protocol channel
+        cfg = Configuration(parts=(("B", announcer(c, Name("observe"))),), private=(c,))
+        cheater = Output(Channel(c), a, Output(Channel(omega), ok, Nil()))
+        test = Test("cheat", cheater, output_barb(omega))
+        passed, _ = passes(cfg, test)
+        # it can still emit omega (its own prefix chain), but it can never
+        # make the protocol deliver: the announce barb stays unreachable.
+        deliver = Test("deliver", success_tester(Name("observe")), output_barb(omega))
+        delivered, exhaustive = passes(cfg, deliver)
+        assert not delivered and exhaustive
+
+
+class TestPartLocations:
+    def test_without_tester(self):
+        cfg = Configuration(parts=(("A", Nil()), ("B", Nil()), ("E", Nil())))
+        locs = part_locations(cfg, with_tester=False)
+        assert locs == {"A": (0, 0), "B": (0, 1), "E": (1,)}
+
+    def test_with_tester(self):
+        cfg = Configuration(parts=(("A", Nil()), ("E", Nil())))
+        locs = part_locations(cfg, with_tester=True)
+        assert locs == {"A": (0, 0), "E": (0, 1), "T": (1,)}
+
+    def test_subroles_included(self):
+        cfg = Configuration(parts=(("P", Parallel(Nil(), Nil())),),
+                            subroles=(("P", (0,), "A"),))
+        locs = part_locations(cfg, with_tester=True)
+        assert locs["A"] == (0,) + (0,)
+
+    def test_locations_match_composed_system(self):
+        cfg = Configuration(parts=(("A", Nil()), ("E", Nil())))
+        locs = part_locations(cfg, with_tester=True)
+        system = compose(cfg, tester=Nil())
+        for label, loc in locs.items():
+            assert system.location_of(label) == loc
+
+
+class TestMayPreorder:
+    def setup_method(self):
+        self.observe = Name("observe")
+        self.test = Test("sees-delivery", success_tester(self.observe), output_barb(omega))
+        self.delivering = Configuration(
+            parts=(("A", sender(c, a)), ("B", announcer(c, self.observe))), private=(c,)
+        )
+        self.silent = Configuration(
+            parts=(("B", announcer(c, self.observe)),), private=(c,)
+        )
+
+    def test_preorder_holds_for_equal_configs(self):
+        verdict = may_preorder(self.delivering, self.delivering, [self.test])
+        assert verdict.holds and verdict.exhaustive
+
+    def test_silent_below_delivering(self):
+        verdict = may_preorder(self.silent, self.delivering, [self.test])
+        assert verdict.holds
+
+    def test_delivering_not_below_silent(self):
+        verdict = may_preorder(self.delivering, self.silent, [self.test])
+        assert not verdict.holds
+        assert verdict.distinction is not None
+        assert verdict.distinction.test.name == "sees-delivery"
+        assert "sees-delivery" in verdict.distinction.describe()
+
+    def test_empty_test_suite_trivially_holds(self):
+        verdict = may_preorder(self.delivering, self.silent, [])
+        assert verdict.holds and verdict.tests_run == 0

@@ -1,0 +1,289 @@
+"""Tests for the transition relation: communication, localization,
+partner authentication, replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.addresses import RelativeAddress
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Replication,
+    Restriction,
+)
+from repro.core.terms import At, Localized, Name, Pair, SharedEnc, Var, origin
+from repro.semantics.system import instantiate
+from repro.semantics.transitions import pending_actions, successors
+
+a, b, c, k = Name("a"), Name("b"), Name("c"), Name("k")
+x, y = Var("x"), Var("y")
+
+
+def run_one(system):
+    steps = successors(system)
+    assert len(steps) == 1, [s.describe(system) for s in steps]
+    return steps[0]
+
+
+class TestBasicCommunication:
+    def test_simple_rendezvous(self):
+        system = instantiate(Parallel(Output(Channel(a), b, Nil()), Input(Channel(a), x, Nil())))
+        step = run_one(system)
+        assert step.action.channel == a
+        assert step.action.sender == (0,)
+        assert step.action.receiver == (1,)
+
+    def test_value_substituted_into_continuation(self):
+        receiver = Input(Channel(a), x, Output(Channel(b), x, Nil()))
+        system = instantiate(Parallel(Output(Channel(a), k, Nil()), receiver))
+        step = run_one(system)
+        (_, leaf) = list(step.target.leaves())[1]
+        assert isinstance(leaf, Output)
+        assert leaf.payload == k
+
+    def test_no_comm_on_different_channels(self):
+        system = instantiate(Parallel(Output(Channel(a), k, Nil()), Input(Channel(b), x, Nil())))
+        assert successors(system) == []
+
+    def test_restricted_channel_is_separate_from_free_one(self):
+        # (nu a)(a<k>) | a(x): the two 'a's are different names
+        sender = Restriction(a, Output(Channel(a), k, Nil()))
+        system = instantiate(Parallel(sender, Input(Channel(a), x, Nil())))
+        assert successors(system) == []
+
+    def test_scope_extrusion_enables_later_use(self):
+        # A sends its private name n on a public channel; B then uses n
+        # as a channel to talk back to A's continuation.
+        n = Name("n")
+        sender = Restriction(
+            n, Output(Channel(a), n, Input(Channel(n), y, Nil()))
+        )
+        receiver = Input(Channel(a), x, Output(Channel(x), k, Nil()))
+        system = instantiate(Parallel(sender, receiver))
+        first = run_one(system)
+        second = run_one(first.target)
+        assert second.action.channel.base == "n"
+        assert second.action.sender == (1,)
+
+    def test_nondeterministic_choice_of_partners(self):
+        system = instantiate(
+            Parallel(
+                Output(Channel(a), k, Nil()),
+                Parallel(Input(Channel(a), x, Nil()), Input(Channel(a), y, Nil())),
+            )
+        )
+        assert len(successors(system)) == 2
+
+
+class TestMessageLocalization:
+    def test_composite_payload_localized_at_sender(self):
+        payload = SharedEnc((k,), b)
+        system = instantiate(Parallel(Output(Channel(a), payload, Nil()), Input(Channel(a), x, Nil())))
+        step = run_one(system)
+        assert isinstance(step.action.value, Localized)
+        assert step.action.value.creator == (0,)
+
+    def test_restricted_name_carries_creator(self):
+        m = Name("m")
+        sender = Restriction(m, Output(Channel(a), m, Nil()))
+        system = instantiate(Parallel(sender, Input(Channel(a), x, Nil())))
+        step = run_one(system)
+        assert origin(step.action.value) == (0,)
+
+    def test_forwarded_value_keeps_original_creator(self):
+        # A creates m, sends to B; B forwards to C; C's received value
+        # must still point at A.
+        m = Name("m")
+        A = Restriction(m, Output(Channel(a), m, Nil()))
+        B = Input(Channel(a), x, Output(Channel(b), x, Nil()))
+        C = Input(Channel(b), y, Nil())
+        system = instantiate(Parallel(A, Parallel(B, C)))
+        step1 = run_one(system)
+        step2 = run_one(step1.target)
+        assert origin(step2.action.value) == (0,)
+
+    def test_free_name_payload_has_no_origin(self):
+        system = instantiate(Parallel(Output(Channel(a), k, Nil()), Input(Channel(a), x, Nil())))
+        step = run_one(system)
+        assert origin(step.action.value) is None
+
+
+class TestPartnerAuthentication:
+    def test_located_input_accepts_only_that_partner(self):
+        # B listens on a@l with l = address of A wrt B; A can talk, E not.
+        l_A = RelativeAddress.between(observer=(1,), target=(0, 0))
+        A = Output(Channel(a), k, Nil())
+        E = Output(Channel(a), b, Nil())
+        B = Input(Channel(a, l_A), x, Nil())
+        system = instantiate(Parallel(Parallel(A, E), B))
+        steps = successors(system)
+        assert len(steps) == 1
+        assert steps[0].action.sender == (0, 0)
+
+    def test_located_output_targets_only_that_partner(self):
+        l_B = RelativeAddress.between(observer=(0,), target=(1, 0))
+        A = Output(Channel(a, l_B), k, Nil())
+        B = Input(Channel(a), x, Nil())
+        E = Input(Channel(a), y, Nil())
+        system = instantiate(Parallel(A, Parallel(B, E)))
+        steps = successors(system)
+        assert len(steps) == 1
+        assert steps[0].action.receiver == (1, 0)
+
+    def test_unresolvable_address_blocks_everything(self):
+        dangling = RelativeAddress((0, 0, 0, 0), (1,))
+        A = Output(Channel(a, dangling), k, Nil())
+        B = Input(Channel(a), x, Nil())
+        system = instantiate(Parallel(A, B))
+        assert successors(system) == []
+
+    def test_locvar_binds_to_first_partner(self):
+        lam = LocVar("lam", 77)
+        # B receives twice on a@lam; two senders compete.  After hooking
+        # to one sender, the second input only accepts the same one —
+        # and that sender has nothing more to say, so the run stops.
+        A = Output(Channel(a), k, Nil())
+        E = Output(Channel(a), b, Nil())
+        B = Input(Channel(a, lam), x, Input(Channel(a, lam), y, Nil()))
+        system = instantiate(Parallel(Parallel(A, E), B))
+        for step in successors(system):
+            inner = step.target
+            follow = successors(inner)
+            # the second input cannot take the other sender's message
+            assert follow == []
+
+    def test_locvar_session_continues_with_same_partner(self):
+        lam = LocVar("lam", 78)
+        A = Output(Channel(a), k, Output(Channel(a), b, Nil()))
+        B = Input(Channel(a, lam), x, Input(Channel(a, lam), y, Nil()))
+        system = instantiate(Parallel(A, B))
+        step1 = run_one(system)
+        step2 = run_one(step1.target)
+        assert step2.action.sender == (0,)
+
+    def test_sender_side_locvar_binds_too(self):
+        lam = LocVar("lam", 79)
+        A = Output(Channel(a, lam), k, Output(Channel(a, lam), b, Nil()))
+        B = Input(Channel(a), x, Nil())  # accepts one message only
+        E = Input(Channel(a), y, Input(Channel(a), y, Nil()))
+        system = instantiate(Parallel(A, Parallel(B, E)))
+        # first hop nondeterministic; once hooked to B, A's second output
+        # cannot go to E.
+        for step in successors(system):
+            if step.action.receiver == (1, 0):  # hooked to B
+                assert successors(step.target) == []
+
+
+class TestGuardsInTransitions:
+    def test_match_discharged_on_the_fly(self):
+        A = Output(Channel(a), k, Nil())
+        B = Input(Channel(a), x, Match(x, k, Output(Channel(b), x, Nil())))
+        C = Input(Channel(b), y, Nil())
+        system = instantiate(Parallel(A, Parallel(B, C)))
+        step1 = run_one(system)
+        step2 = run_one(step1.target)
+        assert step2.action.channel == b
+
+    def test_failed_match_kills_continuation(self):
+        A = Output(Channel(a), k, Nil())
+        B = Input(Channel(a), x, Match(x, b, Output(Channel(b), x, Nil())))
+        system = instantiate(Parallel(A, B))
+        step1 = run_one(system)
+        assert successors(step1.target) == []
+
+    def test_decryption_chain(self):
+        A = Output(Channel(a), SharedEnc((k,), b), Nil())
+        B = Input(Channel(a), x, Case(x, (y,), b, Output(Channel(c), y, Nil())))
+        C = Input(Channel(c), x, Nil())
+        system = instantiate(Parallel(A, Parallel(B, C)))
+        step1 = run_one(system)
+        step2 = run_one(step1.target)
+        assert step2.action.channel == c
+
+    def test_wrong_key_sticks(self):
+        A = Output(Channel(a), SharedEnc((k,), b), Nil())
+        B = Input(Channel(a), x, Case(x, (y,), c, Output(Channel(c), y, Nil())))
+        system = instantiate(Parallel(A, B))
+        step1 = run_one(system)
+        assert successors(step1.target) == []
+
+    def test_addr_match_on_received_origin(self):
+        m = Name("m")
+        l_A = RelativeAddress.between(observer=(1,), target=(0,))
+        A = Restriction(m, Output(Channel(a), m, Nil()))
+        B = Input(Channel(a), x, AddrMatch(x, At(l_A), Output(Channel(b), x, Nil())))
+        system = instantiate(Parallel(A, B))
+        step1 = run_one(system)
+        (_, leaf) = list(step1.target.leaves())[1]
+        assert isinstance(leaf, Output)  # the addr match passed
+
+
+class TestReplication:
+    def test_unfolding_spawns_copy_left_template_right(self):
+        bang = Replication(Output(Channel(a), k, Nil()))
+        system = instantiate(Parallel(bang, Input(Channel(a), x, Nil())))
+        step = run_one(system)
+        assert step.action.sender == (0, 0)
+        leaves = dict(step.target.leaves())
+        assert isinstance(leaves[(0, 1)], Replication)
+
+    def test_repeated_unfoldings_nest_rightward(self):
+        bang = Replication(Output(Channel(a), k, Nil()))
+        listener = Replication(Input(Channel(a), x, Nil()))
+        system = instantiate(Parallel(bang, listener))
+        step1 = next(s for s in successors(system))
+        step2 = next(s for s in successors(step1.target))
+        assert step2.action.sender == (0, 1, 0)
+        assert step2.action.receiver == (1, 1, 0)
+
+    def test_each_copy_gets_fresh_names(self):
+        m = Name("m")
+        bang = Replication(Restriction(m, Output(Channel(a), m, Nil())))
+        listener = Replication(Input(Channel(a), x, Nil()))
+        system = instantiate(Parallel(bang, listener))
+        step1 = next(iter(successors(system)))
+        step2 = next(iter(successors(step1.target)))
+        v1, v2 = step1.action.value, step2.action.value
+        assert v1 != v2
+        assert origin(v1) == (0, 0)
+        assert origin(v2) == (0, 1, 0)
+
+    def test_private_set_grows_with_copies(self):
+        m = Name("m")
+        bang = Replication(Restriction(m, Output(Channel(a), m, Nil())))
+        system = instantiate(Parallel(bang, Input(Channel(a), x, Nil())))
+        before = len(system.private)
+        step = run_one(system)
+        assert len(step.target.private) == before + 1
+
+    def test_parallel_body_inside_replication(self):
+        body = Parallel(Output(Channel(a), k, Nil()), Output(Channel(b), k, Nil()))
+        system = instantiate(
+            Parallel(Replication(body), Input(Channel(a), x, Nil()))
+        )
+        steps = successors(system)
+        assert len(steps) == 1
+        assert steps[0].action.sender == (0, 0, 0)
+        # the sibling output inside the same copy is preserved
+        leaves = dict(steps[0].target.leaves())
+        assert isinstance(leaves[(0, 0, 1)], Output)
+
+
+class TestPendingActions:
+    def test_outputs_and_inputs_enumerated(self):
+        system = instantiate(Parallel(Output(Channel(a), k, Nil()), Input(Channel(b), x, Nil())))
+        actions = pending_actions(system)
+        kinds = {(act.is_output, act.channel_subject.base) for act in actions}
+        assert kinds == {(True, "a"), (False, "b")}
+
+    def test_nil_offers_nothing(self):
+        system = instantiate(Nil())
+        assert pending_actions(system) == []

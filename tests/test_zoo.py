@@ -1,0 +1,94 @@
+"""Tests for the classic-protocol zoo (NS-SK, Otway-Rees, Yahalom)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.intruder import eavesdropper, impersonator, replayer
+from repro.analysis.properties import authentication
+from repro.analysis.secrecy import keeps_secret
+from repro.core.processes import Case, walk
+from repro.core.terms import Name
+from repro.analysis.narration import compile_narration
+from repro.equivalence.barbs import converges
+from repro.equivalence.testing import Configuration, compose
+from repro.protocols.library import narration_configuration, observer
+from repro.protocols.zoo import ZOO, needham_schroeder_sk, otway_rees, yahalom
+from repro.semantics.actions import output_barb
+from repro.semantics.lts import Budget
+
+C = Name("c")
+OBSERVE = output_barb(Name("observe"))
+BUDGET = Budget(max_states=6000, max_depth=40)
+
+
+def config(spec, attacker=None) -> Configuration:
+    cfg = narration_configuration(spec, observed_role="B", observed_datum="PAYLOAD")
+    if attacker is not None:
+        cfg = cfg.with_part("E", attacker)
+    return cfg
+
+
+class TestHonestRuns:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_payload_delivered(self, name):
+        cfg = config(ZOO[name]())
+        found, exhaustive = converges(compose(cfg), OBSERVE, BUDGET)
+        assert found and exhaustive
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_without_payload_still_completes(self, name):
+        spec = ZOO[name](payload=False)
+        roles = compile_narration(spec)
+        assert set(roles) == set(spec.roles)
+
+    def test_ns_sk_structure(self):
+        roles = compile_narration(needham_schroeder_sk())
+        # A decrypts msg 2 (KAS) and msg 4 (learned KAB): two cases
+        a_cases = [p for p in walk(roles["A"]) if isinstance(p, Case)]
+        assert len(a_cases) == 2
+        # B opens the ticket, the handshake answer and the payload
+        b_cases = [p for p in walk(roles["B"]) if isinstance(p, Case)]
+        assert len(b_cases) == 3
+
+    def test_otway_rees_forwards_opaque_request(self):
+        # B forwards A's {NA, RUN}KAS without opening it: no KAS case in B
+        roles = compile_narration(otway_rees())
+        b_keys = [
+            p.key for p in walk(roles["B"]) if isinstance(p, Case)
+        ]
+        assert all(getattr(k, "base", None) != "KAS" for k in b_keys)
+
+    def test_yahalom_a_forwards_ticket(self):
+        roles = compile_narration(yahalom())
+        a_keys = [p.key for p in walk(roles["A"]) if isinstance(p, Case)]
+        assert all(getattr(k, "base", None) != "KBS" for k in a_keys)
+
+
+class TestSecurityProperties:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_session_key_secret_from_eavesdropper(self, name):
+        cfg = config(ZOO[name](), eavesdropper(C, messages=6))
+        verdict = keeps_secret(cfg, "KAB", budget=BUDGET)
+        assert verdict.holds, verdict.describe()
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_payload_secret_from_eavesdropper(self, name):
+        cfg = config(ZOO[name](), eavesdropper(C, messages=6))
+        verdict = keeps_secret(cfg, "PAYLOAD", budget=BUDGET)
+        assert verdict.holds, verdict.describe()
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_payload_authentic_under_impersonation(self, name):
+        cfg = config(ZOO[name](), impersonator(C))
+        verdict = authentication(cfg, sender_role="A", budget=BUDGET)
+        assert verdict.holds, verdict.describe()
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_delivery_survives_a_store_and_forward_attacker(self, name):
+        # the replayer intercepts one message and re-sends it twice; the
+        # single-session run must still be completable (the duplicate is
+        # simply never consumed), so the observation barb stays reachable.
+        cfg = config(ZOO[name](), replayer(C))
+        found, exhaustive = converges(compose(cfg), OBSERVE, BUDGET)
+        assert found, name
