@@ -1,0 +1,58 @@
+"""[RUNTIME] Escalation overhead vs a single oversized budget.
+
+The escalation loop promises that retrying with geometrically grown
+budgets — resuming each attempt from the previous frontier — costs
+about the same as one run at the final budget, while never wasting a
+large budget on a protocol that finishes small.
+
+The benchmark pits the two strategies against each other on the
+multisession specification (infinite-state, so exploration is bounded
+by depth): ``explore_escalating`` climbing a depth ladder to the
+ceiling, versus ``explore`` launched directly at the ceiling budget.
+Both must visit exactly the same states; pytest-benchmark reports the
+ladder's overhead.
+"""
+
+from __future__ import annotations
+
+from repro.equivalence.testing import compose
+from repro.runtime.escalation import EscalationPolicy, explore_escalating
+from repro.semantics.lts import Budget, explore
+
+from benchmarks.conftest import spec_multi
+
+#: Depth is the only binding axis: the state allowance is never hit, so
+#: the escalated and direct runs truncate at the same BFS horizon and
+#: the visited sets are comparable.
+START = Budget(max_states=100_000, max_depth=3)
+OVERSIZED = Budget(max_states=100_000, max_depth=12)
+POLICY = EscalationPolicy(
+    state_factor=1.0,
+    depth_factor=2.0,
+    max_attempts=8,
+    state_ceiling=OVERSIZED.max_states,
+    depth_ceiling=OVERSIZED.max_depth,
+)
+
+
+def run_escalating():
+    graph, report = explore_escalating(compose(spec_multi()), START, POLICY)
+    return graph, report
+
+
+def run_oversized():
+    return explore(compose(spec_multi()), OVERSIZED)
+
+
+def test_escalating_ladder_matches_oversized(benchmark):
+    graph, report = benchmark(run_escalating)
+    # The ladder climbed 3 -> 6 -> 12 before the depth ceiling stopped it.
+    assert len(report.attempts) == 3
+    assert not report.exact  # multisession is infinite-state
+    assert set(graph.states) == set(run_oversized().states)
+
+
+def test_single_oversized_budget(benchmark):
+    graph = benchmark(run_oversized)
+    assert graph.truncated  # infinite-state: the horizon is the verdict
+    assert graph.state_count() > 100

@@ -8,6 +8,8 @@ takes on this substrate.  EXPERIMENTS.md records the outcomes.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.terms import Name
 from repro.equivalence.testing import Configuration
 from repro.protocols.paper import (
@@ -19,6 +21,23 @@ from repro.protocols.paper import (
     plaintext_protocol,
 )
 from repro.semantics.lts import Budget
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: run each benchmark once, skip timing collection",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--quick") and hasattr(config.option, "benchmark_disable"):
+        # pytest-benchmark then calls each benchmarked function exactly
+        # once, which turns the suite into a fast correctness smoke (CI
+        # runs it this way).
+        config.option.benchmark_disable = True
+
 
 C = Name("c")
 

@@ -153,6 +153,25 @@ from repro.equivalence.testing import (
     part_locations,
     passes,
 )
+from repro.runtime import (
+    Attempt,
+    CancelToken,
+    Checkpoint,
+    CheckpointError,
+    Deadline,
+    EscalationPolicy,
+    EscalationReport,
+    Exhaustion,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    RunControl,
+    escalate,
+    explore_escalating,
+    governed,
+    inject_faults,
+    load_checkpoint,
+)
 from repro.protocols.library import (
     encrypted_transport,
     narration_configuration,
@@ -177,10 +196,13 @@ from repro.semantics.actions import Barb, Comm, Transition, input_barb, output_b
 from repro.semantics.lts import (
     Budget,
     Graph,
+    ReachResult,
     explore,
     find_trace,
     narrate,
     reachable,
+    resume_exploration,
+    search,
 )
 from repro.semantics.diagnostics import GraphStatistics, statistics, to_dot, to_networkx
 from repro.semantics.system import System, build_system, instantiate
@@ -207,9 +229,16 @@ __all__ = [
     "EquivalenceError",
     # semantics
     "System", "instantiate", "build_system", "successors", "Budget",
-    "Graph", "explore", "reachable", "find_trace", "narrate",
+    "Graph", "explore", "reachable", "search", "ReachResult",
+    "resume_exploration", "find_trace", "narrate",
     "statistics", "to_dot", "to_networkx", "GraphStatistics",
     "Barb", "Comm", "Transition", "input_barb", "output_barb",
+    # runtime
+    "Exhaustion", "Deadline", "CancelToken", "RunControl", "governed",
+    "FaultPlan", "FaultInjector", "FaultError", "inject_faults",
+    "Checkpoint", "CheckpointError", "load_checkpoint",
+    "EscalationPolicy", "EscalationReport", "Attempt", "escalate",
+    "explore_escalating",
     # equivalence
     "barbs", "exhibits", "converges", "Test", "Configuration",
     "compose", "part_locations", "passes", "may_preorder",

@@ -27,8 +27,10 @@ from repro.equivalence.testing import (
     Test,
     compose,
     part_locations,
-    passes,
+    passes_result,
 )
+from repro.runtime.deadline import RunControl
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.actions import output_barb
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, find_trace, narrate
 
@@ -151,10 +153,16 @@ class ImplementationVerdict:
     exhaustive: bool
     attack: Optional[Attack] = None
     simulations: tuple[SimulationResult, ...] = ()
+    exhaustion: Optional[Exhaustion] = None
 
     def describe(self) -> str:
         if self.secure:
-            qualifier = "" if self.exhaustive else " (budget-limited)"
+            if self.exhaustive:
+                qualifier = ""
+            elif self.exhaustion is not None:
+                qualifier = f" (budget-limited: {'+'.join(self.exhaustion.reasons)})"
+            else:
+                qualifier = " (budget-limited)"
             return (
                 f"securely implements: no distinguishing attack among "
                 f"{self.attackers_checked} attackers x {self.tests_checked} "
@@ -192,6 +200,7 @@ def securely_implements(
     roles: Sequence[str] = ("A", "B", "E"),
     budget: Budget = DEFAULT_BUDGET,
     check_simulation: bool = False,
+    control: Optional[RunControl] = None,
 ) -> ImplementationVerdict:
     """Check Definition 4 over attacker and tester families.
 
@@ -206,7 +215,7 @@ def securely_implements(
     proof technique, independent of the tester family.
     """
     tests_count = 0
-    exhaustive = True
+    exhaustions: list[Optional[Exhaustion]] = []
     simulations: list[SimulationResult] = []
     for attacker_name, attacker in attackers:
         impl_x = impl.with_part("E", attacker)
@@ -218,13 +227,13 @@ def securely_implements(
         )
         tests_count = max(tests_count, len(suite))
         for test in suite:
-            impl_passes, impl_exh = passes(impl_x, test, budget)
-            exhaustive = exhaustive and impl_exh
-            if not impl_passes:
+            impl_result = passes_result(impl_x, test, budget, control)
+            exhaustions.append(impl_result.exhaustion)
+            if not impl_result.found:
                 continue
-            spec_passes, spec_exh = passes(spec_x, test, budget)
-            exhaustive = exhaustive and spec_exh
-            if spec_passes:
+            spec_result = passes_result(spec_x, test, budget, control)
+            exhaustions.append(spec_result.exhaustion)
+            if spec_result.found:
                 continue
             attack = Attack(
                 attacker_name=attacker_name,
@@ -236,20 +245,23 @@ def securely_implements(
                 secure=False,
                 attackers_checked=len(attackers),
                 tests_checked=tests_count,
-                exhaustive=spec_exh,
+                exhaustive=spec_result.exhaustive,
                 attack=attack,
+                exhaustion=spec_result.exhaustion,
             )
         if check_simulation:
             simulations.append(
-                weakly_simulated(compose(impl_x), compose(spec_x), budget)
+                weakly_simulated(compose(impl_x), compose(spec_x), budget, control)
             )
     sim_ok = all(s.holds for s in simulations)
+    merged = Exhaustion.merge(*exhaustions, *(s.exhaustion for s in simulations))
     return ImplementationVerdict(
         secure=sim_ok,
         attackers_checked=len(attackers),
         tests_checked=tests_count,
-        exhaustive=exhaustive and all(not s.truncated for s in simulations),
+        exhaustive=merged is None,
         simulations=tuple(simulations),
+        exhaustion=merged,
     )
 
 

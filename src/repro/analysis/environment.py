@@ -36,6 +36,15 @@ from repro.core.processes import replace_leaves
 from repro.core.substitution import instantiate_locvar, subst
 from repro.core.terms import Name, Term, localize
 from repro.equivalence.testing import Configuration, compose
+from repro.runtime.deadline import RunControl, resolve_control
+from repro.runtime.exhaustion import (
+    CANCELLED,
+    DEPTH,
+    FAULT,
+    STATES,
+    Exhaustion,
+)
+from repro.runtime.faults import FaultError
 from repro.semantics.actions import Comm, PendingAction, Transition
 from repro.semantics.lts import Budget, DEFAULT_BUDGET
 from repro.semantics.normalize import normalize
@@ -165,7 +174,12 @@ class EnvGraph:
     initial: tuple
     states: dict[tuple, EnvState] = field(default_factory=dict)
     edges: dict[tuple, list[tuple[EnvStep, tuple]]] = field(default_factory=dict)
-    truncated: bool = False
+    exhaustion: Optional[Exhaustion] = None
+
+    @property
+    def truncated(self) -> bool:
+        """Backward-compatible boolean view of :attr:`exhaustion`."""
+        return self.exhaustion is not None
 
     def state_count(self) -> int:
         return len(self.states)
@@ -177,6 +191,7 @@ def env_explore(
     initial_knowledge: tuple[Term, ...] = (),
     synth_depth: int = 1,
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> EnvGraph:
     """Explore a configuration against the most-general attacker.
 
@@ -184,9 +199,16 @@ def env_explore(
     ``Nil()`` — it is only there to give the environment a location in
     the tree).  ``initial_knowledge`` seeds the attacker (free protocol
     channels are always known).
+
+    Like :func:`repro.semantics.lts.explore` this is cooperative: a
+    deadline or cancellation (explicit ``control`` or the ambient
+    :func:`~repro.runtime.deadline.governed` one) stops the exploration
+    between state expansions, and injected faults skip the failing state
+    — both leave a partial graph with a structured :attr:`EnvGraph.exhaustion`.
     """
     from repro.core.processes import Nil
 
+    ctl = resolve_control(control)
     cfg = config
     if env_role not in config.labels():
         cfg = config.with_part(env_role, Nil())
@@ -206,23 +228,53 @@ def env_explore(
     graph = EnvGraph(initial=initial.key())
     graph.states[initial.key()] = initial
     queue: deque[tuple[EnvState, int]] = deque([(initial, 0)])
-    while queue:
-        state, depth = queue.popleft()
-        key = state.key()
-        if depth >= budget.max_depth:
-            graph.truncated = True
-            continue
-        out: list[tuple[EnvStep, tuple]] = []
-        for step in env_successors(state, env_loc, channels, synth_depth):
-            target_key = step.target.key()
-            if target_key not in graph.states:
-                if len(graph.states) >= budget.max_states:
-                    graph.truncated = True
-                    continue
-                graph.states[target_key] = step.target
-                queue.append((step.target, depth + 1))
-            out.append((step, target_key))
-        graph.edges[key] = out
+    reasons: list[str] = []
+    detail: Optional[str] = None
+
+    def note(reason: str, message: Optional[str] = None) -> None:
+        nonlocal detail
+        if reason not in reasons:
+            reasons.append(reason)
+        if message and detail is None:
+            detail = message
+
+    deepest = 0
+    try:
+        while queue:
+            stop = ctl.interruption()
+            if stop is not None:
+                note(stop)
+                break
+            state, depth = queue.popleft()
+            key = state.key()
+            deepest = max(deepest, depth)
+            if depth >= budget.max_depth:
+                note(DEPTH)
+                continue
+            out: list[tuple[EnvStep, tuple]] = []
+            try:
+                for step in env_successors(state, env_loc, channels, synth_depth):
+                    target_key = step.target.key()
+                    if target_key not in graph.states:
+                        if len(graph.states) >= budget.max_states:
+                            note(STATES)
+                            continue
+                        graph.states[target_key] = step.target
+                        queue.append((step.target, depth + 1))
+                    out.append((step, target_key))
+            except FaultError as exc:
+                note(FAULT, str(exc))
+                continue
+            graph.edges[key] = out
+    except KeyboardInterrupt:
+        note(CANCELLED, "keyboard interrupt")
+    if reasons:
+        graph.exhaustion = Exhaustion(
+            tuple(reasons),
+            states=len(graph.states),
+            depth=deepest,
+            detail=detail,
+        )
     return graph
 
 
@@ -239,10 +291,16 @@ class EnvVerdict:
     exhaustive: bool
     states: int
     violation: Optional[str] = None
+    exhaustion: Optional[Exhaustion] = None
 
     def describe(self) -> str:
         if self.holds:
-            qualifier = "" if self.exhaustive else " (within budget)"
+            if self.exhaustive:
+                qualifier = ""
+            elif self.exhaustion is not None:
+                qualifier = f" (within budget: {'+'.join(self.exhaustion.reasons)})"
+            else:
+                qualifier = " (within budget)"
             return f"holds against the most-general attacker over {self.states} states{qualifier}"
         return f"VIOLATED: {self.violation}"
 
@@ -253,9 +311,12 @@ def env_secrecy(
     env_role: str = "E",
     synth_depth: int = 1,
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> EnvVerdict:
     """Can the most-general attacker ever derive a secret?"""
-    graph = env_explore(config, env_role, synth_depth=synth_depth, budget=budget)
+    graph = env_explore(
+        config, env_role, synth_depth=synth_depth, budget=budget, control=control
+    )
     for state in graph.states.values():
         for name in state.system.private:
             if name.base == secret_base and state.knowledge.can_derive(name):
@@ -264,9 +325,13 @@ def env_secrecy(
                     exhaustive=not graph.truncated,
                     states=graph.state_count(),
                     violation=f"the attacker derives {name.render()}",
+                    exhaustion=graph.exhaustion,
                 )
     return EnvVerdict(
-        holds=True, exhaustive=not graph.truncated, states=graph.state_count()
+        holds=True,
+        exhaustive=not graph.truncated,
+        states=graph.state_count(),
+        exhaustion=graph.exhaustion,
     )
 
 
@@ -276,12 +341,15 @@ def env_freshness(
     env_role: str = "E",
     synth_depth: int = 1,
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> EnvVerdict:
     """Can the most-general attacker make two continuation instances
     accept data from the same creator (a replay), in any single run?"""
     from repro.core.terms import origin
 
-    graph = env_explore(config, env_role, synth_depth=synth_depth, budget=budget)
+    graph = env_explore(
+        config, env_role, synth_depth=synth_depth, budget=budget, control=control
+    )
     for state in graph.states.values():
         per_creator: dict[Location, Location] = {}
         for act in pending_actions(state.system):
@@ -304,10 +372,14 @@ def env_freshness(
                         "two continuation instances accepted data from one "
                         "creator in a single run"
                     ),
+                    exhaustion=graph.exhaustion,
                 )
             per_creator[creator] = act.act_loc
     return EnvVerdict(
-        holds=True, exhaustive=not graph.truncated, states=graph.state_count()
+        holds=True,
+        exhaustive=not graph.truncated,
+        states=graph.state_count(),
+        exhaustion=graph.exhaustion,
     )
 
 
@@ -318,12 +390,15 @@ def env_authentication(
     env_role: str = "E",
     synth_depth: int = 1,
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> EnvVerdict:
     """Does every activated continuation hold a datum created by
     ``sender_role``, whatever the most-general attacker does?"""
     from repro.core.terms import origin
 
-    graph = env_explore(config, env_role, synth_depth=synth_depth, budget=budget)
+    graph = env_explore(
+        config, env_role, synth_depth=synth_depth, budget=budget, control=control
+    )
     sample = next(iter(graph.states.values()))
     sender_loc = sample.system.location_of(sender_role)
     for state in graph.states.values():
@@ -346,7 +421,11 @@ def env_authentication(
                         f"a continuation accepted {render_term(value)} "
                         f"not created by {sender_role}"
                     ),
+                    exhaustion=graph.exhaustion,
                 )
     return EnvVerdict(
-        holds=True, exhaustive=not graph.truncated, states=graph.state_count()
+        holds=True,
+        exhaustive=not graph.truncated,
+        states=graph.state_count(),
+        exhaustion=graph.exhaustion,
     )

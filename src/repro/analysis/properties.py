@@ -27,6 +27,8 @@ from typing import Optional
 from repro.core.addresses import Location, RelativeAddress, is_prefix
 from repro.core.terms import Name, origin
 from repro.equivalence.testing import Configuration, compose
+from repro.runtime.deadline import RunControl
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
 
 
@@ -58,10 +60,19 @@ class PropertyVerdict:
     exhaustive: bool
     activations: int
     violation: Optional[str] = None
+    exhaustion: Optional[Exhaustion] = None
 
     def describe(self) -> str:
         if self.holds:
-            qualifier = "" if self.exhaustive else " (within the exploration budget)"
+            if self.exhaustive:
+                qualifier = ""
+            elif self.exhaustion is not None:
+                qualifier = (
+                    f" (within the exploration budget: "
+                    f"{'+'.join(self.exhaustion.reasons)})"
+                )
+            else:
+                qualifier = " (within the exploration budget)"
             return f"holds over {self.activations} activations{qualifier}"
         return f"VIOLATED: {self.violation}"
 
@@ -70,7 +81,8 @@ def _collect_activations(
     config: Configuration,
     observe: Name,
     budget: Budget,
-) -> tuple[list[Activation], bool]:
+    control: Optional[RunControl] = None,
+) -> tuple[list[Activation], Optional[Exhaustion]]:
     """Every distinct continuation activation in the reachable space.
 
     An activation is a *pending* output on the observation channel: the
@@ -82,7 +94,7 @@ def _collect_activations(
     from repro.semantics.transitions import pending_actions
 
     system = compose(config)
-    graph = explore(system, budget)
+    graph = explore(system, budget, control)
     activations: list[Activation] = []
     seen: set[tuple] = set()
     for state in graph.states.values():
@@ -106,7 +118,7 @@ def _collect_activations(
             activations.append(
                 Activation(receiver=action.act_loc, creator=creator, address=address)
             )
-    return activations, not graph.truncated
+    return activations, graph.exhaustion
 
 
 def authentication(
@@ -114,6 +126,7 @@ def authentication(
     sender_role: str,
     observe: Name = Name("observe"),
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> PropertyVerdict:
     """The paper's Authentication property.
 
@@ -122,17 +135,21 @@ def authentication(
     """
     system = compose(config)
     sender_loc = system.location_of(sender_role)
-    activations, exhaustive = _collect_activations(config, observe, budget)
+    activations, exhaustion = _collect_activations(config, observe, budget, control)
     for activation in activations:
         if activation.creator is None or not is_prefix(sender_loc, activation.creator):
             return PropertyVerdict(
                 holds=False,
-                exhaustive=exhaustive,
+                exhaustive=exhaustion is None,
                 activations=len(activations),
                 violation=activation.describe(),
+                exhaustion=exhaustion,
             )
     return PropertyVerdict(
-        holds=True, exhaustive=exhaustive, activations=len(activations)
+        holds=True,
+        exhaustive=exhaustion is None,
+        activations=len(activations),
+        exhaustion=exhaustion,
     )
 
 
@@ -140,6 +157,7 @@ def freshness(
     config: Configuration,
     observe: Name = Name("observe"),
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> PropertyVerdict:
     """The paper's Freshness property.
 
@@ -159,7 +177,7 @@ def freshness(
     from repro.semantics.transitions import pending_actions
 
     system = compose(config)
-    graph = explore(system, budget)
+    graph = explore(system, budget, control)
     total = 0
     for state in graph.states.values():
         per_creator: dict[Location, Location] = {}
@@ -187,8 +205,12 @@ def freshness(
                         f"{location_str(action.act_loc)} both accepted a datum "
                         f"created at {location_str(creator)} in one run"
                     ),
+                    exhaustion=graph.exhaustion,
                 )
             per_creator[creator] = action.act_loc
     return PropertyVerdict(
-        holds=True, exhaustive=not graph.truncated, activations=total
+        holds=True,
+        exhaustive=not graph.truncated,
+        activations=total,
+        exhaustion=graph.exhaustion,
     )

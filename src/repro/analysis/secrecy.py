@@ -28,6 +28,8 @@ from repro.core.terms import Name, Term, Var, fresh_uid
 from repro.equivalence.testing import Configuration, compose
 from repro.protocols.paper import Continuation, observing_continuation
 from repro.protocols.startup import startup
+from repro.runtime.deadline import RunControl
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
 
 
@@ -44,10 +46,19 @@ class SecrecyVerdict:
     exhaustive: bool
     heard: int
     leak: Optional[Term] = None
+    exhaustion: Optional[Exhaustion] = None
 
     def describe(self) -> str:
         if self.holds:
-            qualifier = "" if self.exhaustive else " (within the exploration budget)"
+            if self.exhaustive:
+                qualifier = ""
+            elif self.exhaustion is not None:
+                qualifier = (
+                    f" (within the exploration budget: "
+                    f"{'+'.join(self.exhaustion.reasons)})"
+                )
+            else:
+                qualifier = " (within the exploration budget)"
             return f"secret kept: spy heard {self.heard} messages{qualifier}"
         from repro.syntax.pretty import render_term
 
@@ -59,6 +70,7 @@ def keeps_secret(
     secret: Callable[[Name], bool] | str,
     spy: str = "E",
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> SecrecyVerdict:
     """Can the ``spy`` role ever derive a secret?
 
@@ -77,7 +89,7 @@ def keeps_secret(
 
     system = compose(config)
     spy_loc = system.location_of(spy)
-    graph = explore(system, budget)
+    graph = explore(system, budget, control)
 
     heard: list[Term] = []
     secrets: set[Name] = set()
@@ -94,10 +106,17 @@ def keeps_secret(
     for name in sorted(secrets, key=lambda n: n.uid or 0):
         if knowledge.can_derive(name):
             return SecrecyVerdict(
-                holds=False, exhaustive=not graph.truncated, heard=len(heard), leak=name
+                holds=False,
+                exhaustive=not graph.truncated,
+                heard=len(heard),
+                leak=name,
+                exhaustion=graph.exhaustion,
             )
     return SecrecyVerdict(
-        holds=True, exhaustive=not graph.truncated, heard=len(heard)
+        holds=True,
+        exhaustive=not graph.truncated,
+        heard=len(heard),
+        exhaustion=graph.exhaustion,
     )
 
 

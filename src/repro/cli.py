@@ -13,7 +13,16 @@ syntax (``-`` reads stdin, ``-e SOURCE`` passes it inline);
 ``analyze``/``check`` take *system files* (see
 :mod:`repro.syntax.sysfile`) describing whole configurations.
 
-Exit status: 0 on success, 1 on usage/parse errors.
+``explore``/``analyze``/``check`` share the resilient-runtime flags:
+``--deadline SECONDS`` bounds wall-clock time (a partial, qualified
+result is printed instead of an error), ``--escalate`` retries truncated
+runs with geometrically growing budgets, and ``explore`` additionally
+supports ``--checkpoint PATH`` / ``--resume PATH`` to persist and
+continue interrupted explorations.
+
+Exit status: 0 on success, 1 on usage/parse errors, 2 when ``check``
+finds an attack, 130 when interrupted from the keyboard outside a
+recoverable exploration.
 """
 
 from __future__ import annotations
@@ -23,8 +32,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.errors import ReproError
+from repro.runtime.deadline import Deadline, RunControl, governed
 from repro.semantics.diagnostics import statistics, to_dot
-from repro.semantics.lts import Budget, explore
+from repro.semantics.lts import Budget, explore, resume_exploration
 from repro.semantics.system import System, instantiate
 from repro.semantics.transitions import successors
 from repro.syntax.parser import parse_process
@@ -48,6 +58,42 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-e", "--expr", default=None, help="inline source (overrides FILE)"
     )
+
+
+def _add_runtime_arguments(
+    parser: argparse.ArgumentParser, checkpointing: bool = False
+) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit; expiry yields a partial, qualified result",
+    )
+    parser.add_argument(
+        "--escalate",
+        action="store_true",
+        help="retry truncated runs with geometrically growing budgets",
+    )
+    if checkpointing:
+        parser.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help="save the frontier of a truncated exploration here",
+        )
+        parser.add_argument(
+            "--resume",
+            default=None,
+            metavar="PATH",
+            help="continue an exploration from a saved checkpoint",
+        )
+
+
+def _control(args: argparse.Namespace) -> Optional[RunControl]:
+    if getattr(args, "deadline", None) is None:
+        return None
+    return RunControl(deadline=Deadline.after(args.deadline))
 
 
 def _load_system(args: argparse.Namespace) -> System:
@@ -90,8 +136,34 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 
 
 def cmd_explore(args: argparse.Namespace, out) -> int:
-    system = _load_system(args)
-    graph = explore(system, Budget(max_states=args.max_states, max_depth=args.max_depth))
+    from repro.runtime.checkpoint import Checkpoint
+    from repro.runtime.escalation import explore_escalating
+
+    budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
+    ctl = _control(args)
+    if args.resume is not None:
+        checkpoint = Checkpoint.load(args.resume)
+        print(
+            f"resuming from {args.resume} "
+            f"({checkpoint.graph.state_count()} states explored)",
+            file=out,
+        )
+        graph = resume_exploration(checkpoint.graph, budget, ctl)
+    elif args.escalate:
+        system = _load_system(args)
+        graph, report = explore_escalating(
+            system, budget, control=ctl, checkpoint_path=args.checkpoint
+        )
+        print(report.describe(), file=out)
+    else:
+        system = _load_system(args)
+        graph = explore(system, budget, ctl)
+    if args.checkpoint is not None and not args.escalate:
+        if graph.truncated:
+            Checkpoint(graph, budget).save(args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}", file=out)
+        else:
+            print("exploration exact; no checkpoint needed", file=out)
     print(statistics(graph).describe(), file=out)
     if args.dot is not None:
         dot = to_dot(graph)
@@ -110,20 +182,38 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
         env_freshness,
         env_secrecy,
     )
+    from repro.runtime.escalation import escalate
 
     sysfile = load_system_file(args.sysfile)
     budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
     cfg = sysfile.configuration
-    if args.sender is not None:
-        verdict = env_authentication(
-            cfg, args.sender, observe=sysfile.observe.base, budget=budget
+
+    def run_check(label, check):
+        if args.escalate:
+            verdict, report = escalate(check, budget)
+            print(f"{label}: {verdict.describe()}", file=out)
+            if len(report.attempts) > 1 or not report.exact:
+                print(f"  {report.describe()}", file=out)
+        else:
+            print(f"{label}: {check(budget).describe()}", file=out)
+
+    with governed(control=_control(args)):
+        if args.sender is not None:
+            run_check(
+                f"authentication({args.sender})",
+                lambda b: env_authentication(
+                    cfg, args.sender, observe=sysfile.observe.base, budget=b
+                ),
+            )
+        run_check(
+            "freshness",
+            lambda b: env_freshness(cfg, observe=sysfile.observe.base, budget=b),
         )
-        print(f"authentication({args.sender}): {verdict.describe()}", file=out)
-    verdict = env_freshness(cfg, observe=sysfile.observe.base, budget=budget)
-    print(f"freshness: {verdict.describe()}", file=out)
-    for secret in args.secret or []:
-        verdict = env_secrecy(cfg, secret, budget=budget)
-        print(f"secrecy({secret}): {verdict.describe()}", file=out)
+        for secret in args.secret or []:
+            run_check(
+                f"secrecy({secret})",
+                lambda b, s=secret: env_secrecy(cfg, s, budget=b),
+            )
     return 0
 
 
@@ -136,17 +226,29 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     if set(impl.configuration.private) != set(spec.configuration.private):
         print("error: the two system files declare different channels", file=sys.stderr)
         return 1
+    from repro.runtime.escalation import escalate
+
     budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
     roles = [label for _, _, label in impl.configuration.subroles]
     roles = roles or list(impl.configuration.labels())
-    verdict = securely_implements(
-        impl.configuration,
-        spec.configuration,
-        standard_attackers(list(impl.configuration.private)),
-        observe=impl.observe,
-        roles=tuple(roles) + ("E",),
-        budget=budget,
-    )
+
+    def run(b: Budget):
+        return securely_implements(
+            impl.configuration,
+            spec.configuration,
+            standard_attackers(list(impl.configuration.private)),
+            observe=impl.observe,
+            roles=tuple(roles) + ("E",),
+            budget=b,
+        )
+
+    with governed(control=_control(args)):
+        if args.escalate:
+            verdict, report = escalate(run, budget)
+            if len(report.attempts) > 1 or not report.exact:
+                print(report.describe(), file=out)
+        else:
+            verdict = run(budget)
     print(verdict.describe(), file=out)
     return 0 if verdict.secure else 2
 
@@ -174,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--max-states", type=int, default=2000)
     p_explore.add_argument("--max-depth", type=int, default=64)
     p_explore.add_argument("--dot", default=None, help="write Graphviz output ('-' = stdout)")
+    _add_runtime_arguments(p_explore, checkpointing=True)
     p_explore.set_defaults(handler=cmd_explore)
 
     p_analyze = sub.add_parser(
@@ -186,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument("--max-states", type=int, default=4000)
     p_analyze.add_argument("--max-depth", type=int, default=18)
+    _add_runtime_arguments(p_analyze)
     p_analyze.set_defaults(handler=cmd_analyze)
 
     p_check = sub.add_parser(
@@ -195,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("spec", help="specification system file")
     p_check.add_argument("--max-states", type=int, default=2000)
     p_check.add_argument("--max-depth", type=int, default=24)
+    _add_runtime_arguments(p_check)
     p_check.set_defaults(handler=cmd_check)
 
     return parser
@@ -211,6 +316,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Interrupts *inside* an exploration are absorbed cooperatively
+        # (the loop returns a partial graph); reaching here means the
+        # interrupt hit outside any recoverable loop.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,8 +13,9 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.terms import Name
+from repro.runtime.deadline import RunControl
 from repro.semantics.actions import Barb
-from repro.semantics.lts import Budget, DEFAULT_BUDGET, reachable
+from repro.semantics.lts import Budget, DEFAULT_BUDGET, ReachResult, reachable, search
 from repro.semantics.system import System
 from repro.semantics.transitions import pending_actions
 
@@ -75,6 +76,17 @@ def converges(
     means the exploration budget ran out first.
     """
     return reachable(system, lambda s: exhibits(s, barb), budget)
+
+
+def converges_result(
+    system: System,
+    barb: Barb,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
+) -> ReachResult:
+    """Structured twin of :func:`converges`: the result carries *which*
+    limit stopped an inconclusive search, not just that one did."""
+    return search(system, lambda s: exhibits(s, barb), budget, control)
 
 
 def converges_any(

@@ -13,21 +13,31 @@ hand-written process vs. the narration compiler's output).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.equivalence.simulation import tau_closure, weak_barb_table
+from repro.equivalence.simulation import _sweep_interrupted, tau_closure, weak_barb_table
 from repro.equivalence.barbs import rich_barbs
+from repro.runtime.deadline import RunControl, resolve_control
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, Graph, explore
 from repro.semantics.system import System
 
 
-def largest_bisimulation(left: Graph, right: Graph) -> set[tuple[str, str]]:
+def largest_bisimulation(
+    left: Graph,
+    right: Graph,
+    control: Optional[RunControl] = None,
+    _noted: Optional[list[str]] = None,
+) -> set[tuple[str, str]]:
     """The largest barbed weak bisimulation between two explored graphs."""
+    ctl = resolve_control(control)
+    noted = _noted if _noted is not None else []
     left_barbs = {key: rich_barbs(state) for key, state in left.states.items()}
     right_barbs = {key: rich_barbs(state) for key, state in right.states.items()}
-    left_weak = weak_barb_table(left)
-    right_weak = weak_barb_table(right)
-    left_closure = tau_closure(left)
-    right_closure = tau_closure(right)
+    left_weak = weak_barb_table(left, ctl, noted)
+    right_weak = weak_barb_table(right, ctl, noted)
+    left_closure = tau_closure(left, ctl, noted)
+    right_closure = tau_closure(right, ctl, noted)
 
     relation: set[tuple[str, str]] = {
         (p, q)
@@ -37,7 +47,7 @@ def largest_bisimulation(left: Graph, right: Graph) -> set[tuple[str, str]]:
     }
 
     changed = True
-    while changed:
+    while changed and not _sweep_interrupted(ctl, noted):
         changed = False
         for pair in tuple(relation):
             if pair not in relation:
@@ -61,14 +71,22 @@ class BisimulationResult:
     """Outcome of a barbed-weak-bisimilarity check (budget-qualified)."""
 
     holds: bool
-    truncated: bool
     left_states: int
     right_states: int
     relation_size: int
+    exhaustion: Optional[Exhaustion] = None
+
+    @property
+    def truncated(self) -> bool:
+        return self.exhaustion is not None
 
     def describe(self) -> str:
         verdict = "bisimilar" if self.holds else "NOT bisimilar"
-        qualifier = " (budget-truncated exploration)" if self.truncated else ""
+        qualifier = (
+            f" (budget-truncated exploration: {'+'.join(self.exhaustion.reasons)})"
+            if self.exhaustion is not None
+            else ""
+        )
         return (
             f"left ({self.left_states} states) and right "
             f"({self.right_states} states) are {verdict}; "
@@ -77,16 +95,25 @@ class BisimulationResult:
 
 
 def weakly_bisimilar(
-    left: System, right: System, budget: Budget = DEFAULT_BUDGET
+    left: System,
+    right: System,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> BisimulationResult:
     """Are the two systems barbed-weakly bisimilar (up to the budget)?"""
-    left_graph = explore(left, budget)
-    right_graph = explore(right, budget)
-    relation = largest_bisimulation(left_graph, right_graph)
+    ctl = resolve_control(control)
+    left_graph = explore(left, budget, ctl)
+    right_graph = explore(right, budget, ctl)
+    noted: list[str] = []
+    relation = largest_bisimulation(left_graph, right_graph, ctl, noted)
     return BisimulationResult(
         holds=(left_graph.initial, right_graph.initial) in relation,
-        truncated=left_graph.truncated or right_graph.truncated,
         left_states=left_graph.state_count(),
         right_states=right_graph.state_count(),
         relation_size=len(relation),
+        exhaustion=Exhaustion.merge(
+            left_graph.exhaustion,
+            right_graph.exhaustion,
+            *(Exhaustion.single(reason) for reason in noted),
+        ),
     )

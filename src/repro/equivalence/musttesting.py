@@ -21,26 +21,37 @@ its own witness.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.equivalence.barbs import barbs
+from repro.equivalence.simulation import _sweep_interrupted
 from repro.equivalence.testing import Configuration, Test, compose
+from repro.runtime.deadline import RunControl, resolve_control
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.actions import Barb
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, Graph, explore
 from repro.semantics.system import System
 
 
-def avoiding_states(graph: Graph, barb: Barb) -> frozenset[str]:
+def avoiding_states(
+    graph: Graph,
+    barb: Barb,
+    control: Optional[RunControl] = None,
+    _noted: Optional[list[str]] = None,
+) -> frozenset[str]:
     """States from which some maximal run never exhibits ``barb``.
 
     Greatest fixpoint of: ``s`` avoids iff ``s`` does not exhibit the
     barb and (``s`` has no successors or some successor avoids).
     """
+    ctl = resolve_control(control)
+    noted = _noted if _noted is not None else []
     exhibiting = {
         key for key, state in graph.states.items() if barb in barbs(state)
     }
     avoiding = set(graph.states) - exhibiting
     changed = True
-    while changed:
+    while changed and not _sweep_interrupted(ctl, noted):
         changed = False
         for key in tuple(avoiding):
             out = graph.successors_of(key)
@@ -59,32 +70,50 @@ class MustVerdict:
     passes: bool
     exhaustive: bool
     states: int
+    exhaustion: Optional[Exhaustion] = None
 
     def describe(self) -> str:
         verdict = "must-passes" if self.passes else "may fail"
-        qualifier = "" if self.exhaustive else " (within budget)"
+        if self.exhaustive:
+            qualifier = ""
+        elif self.exhaustion is not None:
+            qualifier = f" (within budget: {'+'.join(self.exhaustion.reasons)})"
+        else:
+            qualifier = " (within budget)"
         return f"{verdict} over {self.states} states{qualifier}"
 
 
 def must_pass_system(
-    system: System, barb: Barb, budget: Budget = DEFAULT_BUDGET
+    system: System,
+    barb: Barb,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> MustVerdict:
     """Does every maximal run of ``system`` reach a state exhibiting
     ``barb``?"""
-    graph = explore(system, budget)
-    avoiding = avoiding_states(graph, barb)
+    ctl = resolve_control(control)
+    graph = explore(system, budget, ctl)
+    noted: list[str] = []
+    avoiding = avoiding_states(graph, barb, ctl, noted)
+    exhaustion = Exhaustion.merge(
+        graph.exhaustion, *(Exhaustion.single(reason) for reason in noted)
+    )
     return MustVerdict(
         passes=graph.initial not in avoiding,
-        exhaustive=not graph.truncated,
+        exhaustive=exhaustion is None,
         states=graph.state_count(),
+        exhaustion=exhaustion,
     )
 
 
 def must_passes(
-    config: Configuration, test: Test, budget: Budget = DEFAULT_BUDGET
+    config: Configuration,
+    test: Test,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> MustVerdict:
     """Must-testing of a configuration against ``(T, beta)``."""
-    return must_pass_system(compose(config, test.tester), test.barb, budget)
+    return must_pass_system(compose(config, test.tester), test.barb, budget, control)
 
 
 def must_preorder(

@@ -20,11 +20,30 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.equivalence.barbs import RichBarb, rich_barbs
+from repro.runtime.deadline import RunControl, resolve_control
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, Graph, explore
 from repro.semantics.system import System
 
 
-def weak_barb_table(graph: Graph) -> dict[str, frozenset[RichBarb]]:
+def _sweep_interrupted(control: RunControl, noted: list[str]) -> bool:
+    """Poll the control between fixpoint sweeps, recording the reason.
+
+    Fixpoint refinements stopped early leave an over-approximate
+    relation, so callers must surface the noted reason as a qualifier on
+    any verdict built from the partial result.
+    """
+    stop = control.interruption()
+    if stop is not None and stop not in noted:
+        noted.append(stop)
+    return stop is not None
+
+
+def weak_barb_table(
+    graph: Graph,
+    control: Optional[RunControl] = None,
+    _noted: Optional[list[str]] = None,
+) -> dict[str, frozenset[RichBarb]]:
     """For each state, the rich barbs reachable by any tau-run (within
     the graph).
 
@@ -33,11 +52,13 @@ def weak_barb_table(graph: Graph) -> dict[str, frozenset[RichBarb]]:
     *rich*: they carry the origin of the offered datum, matching the
     address-observing power of the paper's testers.
     """
+    ctl = resolve_control(control)
+    noted = _noted if _noted is not None else []
     table: dict[str, set[RichBarb]] = {
         key: set(rich_barbs(state)) for key, state in graph.states.items()
     }
     changed = True
-    while changed:
+    while changed and not _sweep_interrupted(ctl, noted):
         changed = False
         for key in graph.states:
             mine = table[key]
@@ -49,11 +70,17 @@ def weak_barb_table(graph: Graph) -> dict[str, frozenset[RichBarb]]:
     return {key: frozenset(v) for key, v in table.items()}
 
 
-def tau_closure(graph: Graph) -> dict[str, frozenset[str]]:
+def tau_closure(
+    graph: Graph,
+    control: Optional[RunControl] = None,
+    _noted: Optional[list[str]] = None,
+) -> dict[str, frozenset[str]]:
     """Reflexive-transitive closure of the explored transitions."""
+    ctl = resolve_control(control)
+    noted = _noted if _noted is not None else []
     closure: dict[str, set[str]] = {key: {key} for key in graph.states}
     changed = True
-    while changed:
+    while changed and not _sweep_interrupted(ctl, noted):
         changed = False
         for key in graph.states:
             mine = closure[key]
@@ -68,11 +95,23 @@ def tau_closure(graph: Graph) -> dict[str, frozenset[str]]:
     return {key: frozenset(v) for key, v in closure.items()}
 
 
-def largest_simulation(left: Graph, right: Graph) -> set[tuple[str, str]]:
-    """The largest barbed weak simulation between two explored graphs."""
+def largest_simulation(
+    left: Graph,
+    right: Graph,
+    control: Optional[RunControl] = None,
+    _noted: Optional[list[str]] = None,
+) -> set[tuple[str, str]]:
+    """The largest barbed weak simulation between two explored graphs.
+
+    Cooperative: a deadline/cancellation stops the refinement between
+    sweeps, leaving an over-approximation (the interruption reason is
+    appended to ``_noted`` for the caller to surface).
+    """
+    ctl = resolve_control(control)
+    noted = _noted if _noted is not None else []
     left_barbs = {key: rich_barbs(state) for key, state in left.states.items()}
-    right_weak_barbs = weak_barb_table(right)
-    right_closure = tau_closure(right)
+    right_weak_barbs = weak_barb_table(right, ctl, noted)
+    right_closure = tau_closure(right, ctl, noted)
 
     relation: set[tuple[str, str]] = {
         (p, q)
@@ -82,7 +121,7 @@ def largest_simulation(left: Graph, right: Graph) -> set[tuple[str, str]]:
     }
 
     changed = True
-    while changed:
+    while changed and not _sweep_interrupted(ctl, noted):
         changed = False
         for pair in tuple(relation):
             p, q = pair
@@ -107,20 +146,29 @@ class SimulationResult:
     """Outcome of a barbed-weak-simulation check.
 
     ``holds`` means the initial states are related by the largest
-    simulation of the *explored* graphs.  When ``truncated`` is True the
-    graphs are under-approximations and the verdict is qualified: a True
-    result says no violation was found within the budget.
+    simulation of the *explored* graphs.  When ``exhaustion`` is set the
+    graphs are under-approximations (or the refinement was interrupted)
+    and the verdict is qualified: a True result says no violation was
+    found within the budget.
     """
 
     holds: bool
-    truncated: bool
     left_states: int
     right_states: int
     relation_size: int
+    exhaustion: Optional[Exhaustion] = None
+
+    @property
+    def truncated(self) -> bool:
+        return self.exhaustion is not None
 
     def describe(self) -> str:
         verdict = "simulated" if self.holds else "NOT simulated"
-        qualifier = " (budget-truncated exploration)" if self.truncated else ""
+        qualifier = (
+            f" (budget-truncated exploration: {'+'.join(self.exhaustion.reasons)})"
+            if self.exhaustion is not None
+            else ""
+        )
         return (
             f"left ({self.left_states} states) is {verdict} by right "
             f"({self.right_states} states); |S| = {self.relation_size}{qualifier}"
@@ -131,6 +179,7 @@ def weakly_simulated(
     left: System,
     right: System,
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> SimulationResult:
     """Is ``left`` barbed-weakly simulated by ``right``?
 
@@ -138,29 +187,39 @@ def weakly_simulated(
     protocol is simulated by the abstract one": run it with
     ``left = (nu C)(P_concrete | X)`` and ``right = (nu C)(P_abstract | X)``.
     """
-    left_graph = explore(left, budget)
-    right_graph = explore(right, budget)
-    relation = largest_simulation(left_graph, right_graph)
+    ctl = resolve_control(control)
+    left_graph = explore(left, budget, ctl)
+    right_graph = explore(right, budget, ctl)
+    noted: list[str] = []
+    relation = largest_simulation(left_graph, right_graph, ctl, noted)
     return SimulationResult(
         holds=(left_graph.initial, right_graph.initial) in relation,
-        truncated=left_graph.truncated or right_graph.truncated,
         left_states=left_graph.state_count(),
         right_states=right_graph.state_count(),
         relation_size=len(relation),
+        exhaustion=Exhaustion.merge(
+            left_graph.exhaustion,
+            right_graph.exhaustion,
+            *(Exhaustion.single(reason) for reason in noted),
+        ),
     )
 
 
 def find_unsimulated_state(
-    left: System, right: System, budget: Budget = DEFAULT_BUDGET
+    left: System,
+    right: System,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> Optional[System]:
     """A reachable left-state not related to any reachable right-state.
 
     Diagnostic helper: when :func:`weakly_simulated` fails this pinpoints
     a concrete behaviour of the left system with no abstract counterpart.
     """
-    left_graph = explore(left, budget)
-    right_graph = explore(right, budget)
-    relation = largest_simulation(left_graph, right_graph)
+    ctl = resolve_control(control)
+    left_graph = explore(left, budget, ctl)
+    right_graph = explore(right, budget, ctl)
+    relation = largest_simulation(left_graph, right_graph, ctl)
     related_left = {p for p, _ in relation}
     for key, state in left_graph.states.items():
         if key not in related_left:

@@ -23,9 +23,11 @@ from typing import Optional, Sequence
 
 from repro.core.processes import Parallel, Process, parallel, restrict
 from repro.core.terms import Name
-from repro.equivalence.barbs import converges
+from repro.equivalence.barbs import converges_result
+from repro.runtime.deadline import RunControl
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.actions import Barb
-from repro.semantics.lts import Budget, DEFAULT_BUDGET
+from repro.semantics.lts import Budget, DEFAULT_BUDGET, ReachResult
 from repro.semantics.system import System, instantiate, left_associated_locations
 
 
@@ -118,6 +120,22 @@ def part_locations(config: Configuration, with_tester: bool) -> dict[str, tuple[
     return table
 
 
+def passes_result(
+    config: Configuration,
+    test: Test,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
+) -> ReachResult:
+    """Does the configuration pass ``(T, beta)``? — structured form.
+
+    The result's :class:`~repro.runtime.exhaustion.Exhaustion` says
+    which limit (states/depth/deadline/cancellation/fault) made a
+    negative answer inconclusive.
+    """
+    system = compose(config, test.tester)
+    return converges_result(system, test.barb, budget, control)
+
+
 def passes(
     config: Configuration, test: Test, budget: Budget = DEFAULT_BUDGET
 ) -> tuple[bool, bool]:
@@ -126,8 +144,8 @@ def passes(
     Returns ``(passed, exhaustive)`` — a negative verdict is only
     conclusive when ``exhaustive`` is True.
     """
-    system = compose(config, test.tester)
-    return converges(system, test.barb, budget)
+    result = passes_result(config, test, budget)
+    return result.found, result.exhaustive
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,6 +178,7 @@ class PreorderVerdict:
     tests_run: int
     distinction: Optional[Distinction] = None
     exhaustive: bool = True
+    exhaustion: Optional[Exhaustion] = None
 
 
 def may_preorder(
@@ -167,21 +186,29 @@ def may_preorder(
     right: Configuration,
     tests: Sequence[Test],
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> PreorderVerdict:
     """Check ``left <= right`` (Definition 3) over the given tests."""
-    all_exhaustive = True
+    exhaustions: list[Optional[Exhaustion]] = []
     for test in tests:
-        left_passes, left_exh = passes(left, test, budget)
-        if not left_passes:
-            all_exhaustive = all_exhaustive and left_exh
+        left_result = passes_result(left, test, budget, control)
+        if not left_result.found:
+            exhaustions.append(left_result.exhaustion)
             continue
-        right_passes, right_exh = passes(right, test, budget)
-        all_exhaustive = all_exhaustive and right_exh
-        if not right_passes:
+        right_result = passes_result(right, test, budget, control)
+        exhaustions.append(right_result.exhaustion)
+        if not right_result.found:
             return PreorderVerdict(
                 holds=False,
                 tests_run=len(tests),
-                distinction=Distinction(test, right_exh),
-                exhaustive=right_exh,
+                distinction=Distinction(test, right_result.exhaustive),
+                exhaustive=right_result.exhaustive,
+                exhaustion=right_result.exhaustion,
             )
-    return PreorderVerdict(holds=True, tests_run=len(tests), exhaustive=all_exhaustive)
+    merged = Exhaustion.merge(*exhaustions)
+    return PreorderVerdict(
+        holds=True,
+        tests_run=len(tests),
+        exhaustive=merged is None,
+        exhaustion=merged,
+    )

@@ -1,0 +1,79 @@
+"""Resilient verification runtime.
+
+Cross-cutting machinery that makes every bounded check in the library
+survive hostile inputs:
+
+* :mod:`repro.runtime.exhaustion` — the structured :class:`Exhaustion`
+  record that replaced the boolean ``truncated`` flag;
+* :mod:`repro.runtime.deadline` — wall-clock :class:`Deadline`,
+  :class:`CancelToken` and the ambient :func:`governed` control;
+* :mod:`repro.runtime.faults` — the fault-injection harness used to
+  prove graceful degradation;
+* :mod:`repro.runtime.checkpoint` — serialize an in-progress
+  exploration (visited set + frontier) to disk and resume it;
+* :mod:`repro.runtime.escalation` — adaptive budget escalation: retry a
+  truncated run with geometrically growing budgets, reusing prior work,
+  until the result is exact or a hard ceiling is hit.
+
+Import note: the semantics layer imports the dependency-free modules
+(``exhaustion``, ``deadline``, ``faults``), while ``checkpoint`` and
+``escalation`` import the semantics layer.  To keep that acyclic this
+package eagerly exposes only the former and loads the latter lazily via
+module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.deadline import (
+    CancelToken,
+    Deadline,
+    RunControl,
+    current_control,
+    governed,
+    resolve_control,
+)
+from repro.runtime.exhaustion import Exhaustion
+from repro.runtime.faults import FaultError, FaultInjector, FaultPlan, inject_faults
+
+#: Names served lazily from the heavier modules (see module docstring).
+_LAZY = {
+    "Checkpoint": "repro.runtime.checkpoint",
+    "CheckpointError": "repro.runtime.checkpoint",
+    "load_checkpoint": "repro.runtime.checkpoint",
+    "Attempt": "repro.runtime.escalation",
+    "EscalationPolicy": "repro.runtime.escalation",
+    "EscalationReport": "repro.runtime.escalation",
+    "escalate": "repro.runtime.escalation",
+    "explore_escalating": "repro.runtime.escalation",
+    "estimate_graph_memory_mb": "repro.runtime.escalation",
+}
+
+__all__ = [
+    "CancelToken",
+    "Deadline",
+    "Exhaustion",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "RunControl",
+    "current_control",
+    "governed",
+    "inject_faults",
+    "resolve_control",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    # Cache every lazy name the module provides so subsequent lookups
+    # skip this hook.
+    for lazy_name, lazy_module in _LAZY.items():
+        if lazy_module == module_name:
+            globals()[lazy_name] = getattr(module, lazy_name)
+    return globals()[name]

@@ -1,0 +1,133 @@
+"""Wall-clock deadlines and cooperative cancellation.
+
+Bounded explorations cap *states* and *depth*, but neither limit bounds
+wall-clock time: a pathological system can spend minutes inside a single
+budget.  A :class:`Deadline` adds the missing axis, and a
+:class:`CancelToken` lets another thread (or a signal handler) request a
+clean stop.  Both are *cooperative*: the exploration loops poll a
+:class:`RunControl` between state expansions and, when interrupted,
+return a partial result carrying a structured
+:class:`~repro.runtime.exhaustion.Exhaustion` — never an exception.
+
+Threading a control argument through every verdict helper would be
+invasive, so an *ambient* control is also supported: wrap any sequence
+of checks in :func:`governed` and every exploration underneath inherits
+the deadline/token without signature changes.  An explicit ``control=``
+argument always wins over the ambient one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.runtime.exhaustion import CANCELLED, DEADLINE
+
+#: Monotonic-clock callable; injectable for deterministic tests.
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True, slots=True)
+class Deadline:
+    """An absolute point on a monotonic clock.
+
+    Build one with :meth:`after` (relative seconds) rather than the raw
+    constructor; the ``clock`` is injectable so tests can drive expiry
+    deterministically.
+    """
+
+    expires_at: float
+    clock: Clock = time.monotonic
+
+    @classmethod
+    def after(cls, seconds: float, clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+class CancelToken:
+    """A one-way flag a caller can raise to stop in-flight explorations.
+
+    Cooperative: nothing is interrupted forcibly, the exploration loops
+    poll the token and wind down cleanly with a partial result.
+    """
+
+    __slots__ = ("_cancelled", "reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        self._cancelled = True
+        if reason is not None:
+            self.reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+@dataclass(frozen=True, slots=True)
+class RunControl:
+    """Everything an exploration polls to decide whether to keep going."""
+
+    deadline: Optional[Deadline] = None
+    token: Optional[CancelToken] = None
+
+    def interruption(self) -> Optional[str]:
+        """The exhaustion reason to record, or ``None`` to continue.
+
+        Cancellation wins over deadline expiry when both apply — an
+        explicit request is more informative than a timer.
+        """
+        if self.token is not None and self.token.cancelled:
+            return CANCELLED
+        if self.deadline is not None and self.deadline.expired():
+            return DEADLINE
+        return None
+
+
+#: The control that never interrupts; used when nothing was requested.
+NO_CONTROL = RunControl()
+
+_ambient: list[RunControl] = []
+
+
+def current_control() -> RunControl:
+    """The innermost ambient control (``NO_CONTROL`` outside any)."""
+    return _ambient[-1] if _ambient else NO_CONTROL
+
+
+def resolve_control(control: Optional[RunControl]) -> RunControl:
+    """An explicit control if given, else the ambient one."""
+    return control if control is not None else current_control()
+
+
+@contextmanager
+def governed(
+    deadline: Optional[Deadline] = None,
+    token: Optional[CancelToken] = None,
+    control: Optional[RunControl] = None,
+) -> Iterator[RunControl]:
+    """Install an ambient :class:`RunControl` for the enclosed block.
+
+    Every exploration and verdict loop running inside the block polls
+    this control unless handed an explicit one.  Nestable; the innermost
+    governs.
+    """
+    ctl = control if control is not None else RunControl(deadline, token)
+    _ambient.append(ctl)
+    try:
+        yield ctl
+    finally:
+        _ambient.pop()

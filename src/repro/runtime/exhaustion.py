@@ -1,0 +1,121 @@
+"""Structured exhaustion records.
+
+Every bounded computation in the library used to report resource
+exhaustion as a bare boolean (``truncated`` / ``exhaustive``).  That
+collapses four very different outcomes — the state budget filled up, the
+depth horizon was reached, a wall-clock deadline expired, the run was
+cancelled — into one bit, which makes it impossible to *react* sensibly:
+a states-truncated run should be retried with a bigger budget, a
+deadline-truncated run should not.
+
+:class:`Exhaustion` is the structured replacement.  It records *which*
+limits tripped (in the order they were first hit), how far the run got
+(states explored, deepest level reached, elapsed wall-clock time) and an
+optional free-form detail (e.g. the message of an injected fault).
+Everything that used to expose a boolean keeps it as a backward
+compatible property (``truncated`` is ``exhaustion is not None``,
+``exhaustive`` its negation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The exploration filled its ``max_states`` budget.
+STATES = "states"
+#: The exploration reached its ``max_depth`` horizon.
+DEPTH = "depth"
+#: A wall-clock :class:`~repro.runtime.deadline.Deadline` expired.
+DEADLINE = "deadline"
+#: A :class:`~repro.runtime.deadline.CancelToken` was cancelled (or the
+#: run was interrupted from the keyboard).
+CANCELLED = "cancelled"
+#: An injected or real transient fault interrupted successor generation.
+FAULT = "fault"
+
+#: Reasons that a larger budget can do something about.  Escalation
+#: retries these; the others are terminal for the current run.
+BUDGET_REASONS = frozenset({STATES, DEPTH})
+
+
+@dataclass(frozen=True, slots=True)
+class Exhaustion:
+    """Why (and how far along) a bounded computation stopped early.
+
+    Attributes:
+        reasons: the limits that tripped, ordered by first occurrence.
+            Always non-empty; entries are the module constants
+            ``STATES``/``DEPTH``/``DEADLINE``/``CANCELLED``/``FAULT``.
+        states: number of states explored when the record was taken.
+        depth: deepest exploration level reached.
+        elapsed: wall-clock seconds spent, when measured.
+        detail: free-form extra information (fault message, ...).
+    """
+
+    reasons: tuple[str, ...]
+    states: int = 0
+    depth: int = 0
+    elapsed: Optional[float] = None
+    detail: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.reasons:
+            raise ValueError("an Exhaustion needs at least one reason")
+
+    @property
+    def reason(self) -> str:
+        """The first limit that tripped."""
+        return self.reasons[0]
+
+    @property
+    def retriable(self) -> bool:
+        """True when every tripped limit is a budget axis — i.e. a retry
+        with a larger budget could turn the result exact."""
+        return set(self.reasons) <= BUDGET_REASONS
+
+    def describe(self) -> str:
+        parts = "+".join(self.reasons)
+        extra = f"; {self.states} states, depth {self.depth}"
+        if self.elapsed is not None:
+            extra += f", {self.elapsed:.2f}s"
+        if self.detail:
+            extra += f" ({self.detail})"
+        return f"exhausted[{parts}{extra}]"
+
+    @staticmethod
+    def single(
+        reason: str,
+        states: int = 0,
+        depth: int = 0,
+        elapsed: Optional[float] = None,
+        detail: Optional[str] = None,
+    ) -> "Exhaustion":
+        return Exhaustion((reason,), states, depth, elapsed, detail)
+
+    @staticmethod
+    def merge(*records: Optional["Exhaustion"]) -> Optional["Exhaustion"]:
+        """Combine the exhaustion of several sub-computations.
+
+        ``None`` inputs (exact sub-results) are ignored; the merge is
+        ``None`` only when every input was.  Reasons are deduplicated in
+        first-seen order, counters take the maximum, elapsed times add
+        up (they measure disjoint work).
+        """
+        present = [r for r in records if r is not None]
+        if not present:
+            return None
+        reasons: list[str] = []
+        for record in present:
+            for reason in record.reasons:
+                if reason not in reasons:
+                    reasons.append(reason)
+        elapsed_parts = [r.elapsed for r in present if r.elapsed is not None]
+        detail = next((r.detail for r in present if r.detail), None)
+        return Exhaustion(
+            tuple(reasons),
+            states=max(r.states for r in present),
+            depth=max(r.depth for r in present),
+            elapsed=sum(elapsed_parts) if elapsed_parts else None,
+            detail=detail,
+        )

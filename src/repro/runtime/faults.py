@@ -1,0 +1,122 @@
+"""Fault injection for the verification engine.
+
+The engine's resilience claims ("a failing successor computation
+degrades a verdict to *inconclusive*, it never corrupts it") are only
+worth anything if they are tested.  This module provides the test
+instrument: a configurable plan of failures and latency injected into
+the two hot primitives every exploration leans on —
+
+* ``successors()`` (:mod:`repro.semantics.transitions`), and
+* canonicalization (:meth:`System.canonical_key`).
+
+Instrumentation is *cooperative*, not monkeypatching: the instrumented
+functions call :func:`fault_hook` at their entry, which is a no-op
+(a single ``None`` check) unless a plan is active.  That keeps the
+injection visible to every caller — direct, via the LTS, via the
+environment semantics — without patching import-bound references.
+
+Usage::
+
+    with inject_faults(FaultPlan(fail_at=(5,))) as injector:
+        graph = explore(system, budget)
+    assert graph.exhaustion.reason == "fault"
+    assert injector.failures == 1
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.errors import ReproError
+
+#: Instrumented call sites.
+SUCCESSORS = "successors"
+CANONICAL = "canonical"
+
+
+class FaultError(ReproError):
+    """An injected (or wrapped transient) failure of an engine primitive.
+
+    Exploration loops catch this, record a structured exhaustion with
+    reason ``"fault"``, and carry on with the remaining states — the
+    failing state simply stays unexpanded (and resumable).
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """What to inject, where, and how often.
+
+    Attributes:
+        fail_at: 1-based call ordinals that fail deterministically.
+        every: additionally fail every ``every``-th call.
+        failure_rate: probability of failure per call (seeded PRNG, so a
+            given plan misbehaves reproducibly).
+        latency: seconds of sleep injected into every instrumented call
+            (for exercising deadlines without giant state spaces).
+        sites: which call sites are live (default: ``successors`` only).
+        seed: PRNG seed for ``failure_rate``.
+    """
+
+    fail_at: tuple[int, ...] = ()
+    every: Optional[int] = None
+    failure_rate: float = 0.0
+    latency: float = 0.0
+    sites: frozenset[str] = frozenset({SUCCESSORS})
+    seed: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """A live plan plus its call/failure counters."""
+
+    plan: FaultPlan
+    calls: int = 0
+    failures: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.plan.seed)
+
+    def fire(self, site: str) -> None:
+        plan = self.plan
+        if site not in plan.sites:
+            return
+        self.calls += 1
+        if plan.latency > 0.0:
+            time.sleep(plan.latency)
+        ordinal = self.calls
+        hit = (
+            ordinal in plan.fail_at
+            or (plan.every is not None and plan.every > 0 and ordinal % plan.every == 0)
+            or (plan.failure_rate > 0.0 and self._rng.random() < plan.failure_rate)
+        )
+        if hit:
+            self.failures += 1
+            raise FaultError(f"injected fault at {site!r} call #{ordinal}")
+
+
+_active: Optional[FaultInjector] = None
+
+
+def fault_hook(site: str) -> None:
+    """Called by instrumented primitives; free when no plan is active."""
+    if _active is not None:
+        _active.fire(site)
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Activate ``plan`` for the enclosed block (nesting shadows)."""
+    global _active
+    injector = FaultInjector(plan)
+    previous = _active
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = previous

@@ -14,9 +14,11 @@ Inspection utilities for the graphs produced by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import networkx as nx
 
+from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Graph
 from repro.semantics.system import System
 
@@ -32,13 +34,20 @@ class GraphStatistics:
     depth: int  # eccentricity of the initial state (longest shortest path)
     strongly_connected_components: int
     truncated: bool
+    exhaustion: Optional[Exhaustion] = None
 
     def describe(self) -> str:
+        if self.exhaustion is not None:
+            qualifier = f" (truncated: {'+'.join(self.exhaustion.reasons)})"
+        elif self.truncated:
+            qualifier = " (truncated)"
+        else:
+            qualifier = ""
         return (
             f"{self.states} states, {self.transitions} transitions, "
             f"{self.deadlocks} deadlocks, max branching {self.max_out_degree}, "
             f"depth {self.depth}, {self.strongly_connected_components} SCCs"
-            + (" (truncated)" if self.truncated else "")
+            + qualifier
         )
 
 
@@ -73,6 +82,7 @@ def statistics(graph: Graph) -> GraphStatistics:
         depth=depth,
         strongly_connected_components=nx.number_strongly_connected_components(g),
         truncated=graph.truncated,
+        exhaustion=graph.exhaustion,
     )
 
 

@@ -2,8 +2,27 @@
 
 Replication makes the transition system infinite, so every exploration
 carries an explicit :class:`Budget`.  Results always say whether they
-are *exact* (the reachable space fit in the budget) or *truncated*;
-verification verdicts built on top propagate that qualifier.
+are *exact* (the reachable space fit in the budget) or exhausted — and
+when exhausted, *why*: a structured
+:class:`~repro.runtime.exhaustion.Exhaustion` records which limit
+tripped (states, depth, wall-clock deadline, cancellation, or an
+injected fault) and how far the run got.  Verification verdicts built on
+top propagate that qualifier.
+
+Explorations are *resilient*:
+
+* they poll a :class:`~repro.runtime.deadline.RunControl` (explicit or
+  ambient, see :func:`repro.runtime.deadline.governed`) between state
+  expansions, so any check can be bounded in wall-clock time or
+  cancelled cooperatively;
+* ``KeyboardInterrupt`` yields a partial graph with reason
+  ``"cancelled"``, not a stack trace;
+* a failing ``successors()`` call (see :mod:`repro.runtime.faults`)
+  leaves its state unexpanded and qualifies the result instead of
+  aborting it;
+* partial graphs carry their unexpanded frontier (:attr:`Graph.pending`)
+  so :func:`resume_exploration` — possibly in a later process, via
+  :mod:`repro.runtime.checkpoint` — continues instead of restarting.
 
 States are deduplicated up to alpha-equivalence using the canonical
 rendering of :mod:`repro.syntax.pretty`, which renumbers the fresh ids
@@ -12,10 +31,15 @@ introduced by replication unfolding.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.runtime import exhaustion as ex
+from repro.runtime.deadline import RunControl, resolve_control
+from repro.runtime.exhaustion import Exhaustion
+from repro.runtime.faults import FaultError
 from repro.semantics.actions import Transition
 from repro.semantics.system import System
 from repro.semantics.transitions import successors
@@ -33,8 +57,18 @@ class Budget:
     max_states: int = 2000
     max_depth: int = 64
 
-    def scaled(self, factor: float) -> "Budget":
-        return Budget(int(self.max_states * factor), self.max_depth)
+    def scaled(self, factor: float, depth_factor: Optional[float] = None) -> "Budget":
+        """Grow both axes (``depth_factor`` defaults to ``factor``).
+
+        Scaling *both* limits matters: a depth-truncated exploration
+        whose escalation only grew ``max_states`` would re-truncate at
+        the same horizon forever.
+        """
+        if depth_factor is None:
+            depth_factor = factor
+        return Budget(
+            int(self.max_states * factor), int(self.max_depth * depth_factor)
+        )
 
 
 DEFAULT_BUDGET = Budget()
@@ -46,16 +80,35 @@ class Graph:
 
     Attributes:
         states: canonical key -> representative system.
-        edges: canonical key -> list of (transition, target key).
+        edges: canonical key -> list of (transition, target key).  A
+            state has an entry iff it was expanded (possibly partially,
+            see ``incomplete``).
         initial: canonical key of the initial state.
-        truncated: True when the budget cut the exploration short; the
-            graph is then an under-approximation of the reachable space.
+        exhaustion: ``None`` when the graph is the exact reachable
+            space; otherwise the structured record of which limit cut
+            the exploration short.  The graph is then an
+            under-approximation.
+        pending: the unexpanded frontier — ``(key, depth)`` pairs whose
+            expansion was refused (by depth, states, deadline,
+            cancellation or a fault).  Feed the graph to
+            :func:`resume_exploration` to continue.
+        incomplete: keys whose recorded edges are missing some targets
+            (the state budget refused them).  Kept separate so
+            :meth:`deadlocks` does not mistake a half-expanded state for
+            a stuck one.
     """
 
     initial: str
     states: dict[str, System] = field(default_factory=dict)
     edges: dict[str, list[tuple[Transition, str]]] = field(default_factory=dict)
-    truncated: bool = False
+    exhaustion: Optional[Exhaustion] = None
+    pending: list[tuple[str, int]] = field(default_factory=list)
+    incomplete: set[str] = field(default_factory=set)
+
+    @property
+    def truncated(self) -> bool:
+        """Backward-compatible boolean view of :attr:`exhaustion`."""
+        return self.exhaustion is not None
 
     def state_count(self) -> int:
         return len(self.states)
@@ -67,76 +120,258 @@ class Graph:
         return self.edges.get(key, [])
 
     def deadlocks(self) -> list[str]:
-        """Keys of states with no outgoing transition."""
-        return [k for k in self.states if not self.edges.get(k)]
+        """Keys of states that were expanded and have no successor.
+
+        States the budget refused to expand (no ``edges`` entry) and
+        states with refused targets (``incomplete``) are *not* counted:
+        the exploration never learned whether they are stuck.
+        """
+        return [
+            key
+            for key, out in self.edges.items()
+            if not out and key not in self.incomplete
+        ]
 
 
-def explore(system: System, budget: Budget = DEFAULT_BUDGET) -> Graph:
+def _expand(
+    graph: Graph,
+    state: System,
+    depth: int,
+    budget: Budget,
+    queue: deque[tuple[str, int]],
+) -> tuple[list[tuple[Transition, str]], bool]:
+    """Expand one state; returns its (possibly partial) out-edges and
+    whether the state budget refused any target."""
+    out: list[tuple[Transition, str]] = []
+    refused = False
+    for step in successors(state):
+        target_key = step.target.canonical_key()
+        if target_key not in graph.states:
+            if len(graph.states) >= budget.max_states:
+                # The edge's target was refused by the budget: leave
+                # the edge out too, so the graph stays self-contained
+                # (every recorded edge ends in a recorded state).
+                refused = True
+                continue
+            graph.states[target_key] = step.target
+            queue.append((target_key, depth + 1))
+        out.append((step, target_key))
+    return out, refused
+
+
+def _run_exploration(
+    graph: Graph,
+    queue: deque[tuple[str, int]],
+    budget: Budget,
+    control: RunControl,
+) -> None:
+    """Drive the BFS over ``queue``, mutating ``graph`` in place."""
+    reasons: list[str] = []
+    detail: Optional[str] = None
+    deepest = 0
+    started = time.monotonic()
+
+    def note(reason: str) -> None:
+        if reason not in reasons:
+            reasons.append(reason)
+
+    try:
+        while queue:
+            stop = control.interruption()
+            if stop is not None:
+                note(stop)
+                break
+            key, depth = queue.popleft()
+            deepest = max(deepest, depth)
+            if depth >= budget.max_depth:
+                note(ex.DEPTH)
+                graph.pending.append((key, depth))
+                continue
+            try:
+                out, refused = _expand(graph, graph.states[key], depth, budget, queue)
+            except FaultError as error:
+                note(ex.FAULT)
+                detail = str(error)
+                graph.pending.append((key, depth))
+                graph.incomplete.add(key)
+                continue
+            except KeyboardInterrupt:
+                note(ex.CANCELLED)
+                detail = "KeyboardInterrupt"
+                graph.pending.append((key, depth))
+                break
+            graph.edges[key] = out
+            if refused:
+                note(ex.STATES)
+                graph.pending.append((key, depth))
+                graph.incomplete.add(key)
+            else:
+                graph.incomplete.discard(key)
+    except KeyboardInterrupt:
+        note(ex.CANCELLED)
+        detail = "KeyboardInterrupt"
+    graph.pending.extend(queue)
+    queue.clear()
+    if reasons:
+        graph.exhaustion = Exhaustion(
+            tuple(reasons),
+            states=len(graph.states),
+            depth=deepest,
+            elapsed=time.monotonic() - started,
+            detail=detail,
+        )
+    else:
+        graph.exhaustion = None
+
+
+def explore(
+    system: System,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
+) -> Graph:
     """Breadth-first exploration of the tau-reachable states."""
     initial_key = system.canonical_key()
     graph = Graph(initial=initial_key)
     graph.states[initial_key] = system
-    queue: deque[tuple[str, System, int]] = deque([(initial_key, system, 0)])
-    while queue:
-        key, state, depth = queue.popleft()
-        if depth >= budget.max_depth:
-            graph.truncated = True
-            continue
-        out: list[tuple[Transition, str]] = []
-        for step in successors(state):
-            target_key = step.target.canonical_key()
-            if target_key not in graph.states:
-                if len(graph.states) >= budget.max_states:
-                    # The edge's target was refused by the budget: leave
-                    # the edge out too, so the graph stays self-contained
-                    # (every recorded edge ends in a recorded state).
-                    graph.truncated = True
-                    continue
-                graph.states[target_key] = step.target
-                queue.append((target_key, step.target, depth + 1))
-            out.append((step, target_key))
-        graph.edges[key] = out
+    queue: deque[tuple[str, int]] = deque([(initial_key, 0)])
+    _run_exploration(graph, queue, budget, resolve_control(control))
     return graph
+
+
+def resume_exploration(
+    graph: Graph,
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
+) -> Graph:
+    """Continue a partial exploration from its pending frontier.
+
+    The input graph is not mutated; the returned graph shares no
+    bookkeeping with it.  Resuming with the *same* budget after a
+    deadline/cancellation reproduces exactly the states an uninterrupted
+    run would have found (the frontier preserves BFS order); resuming
+    with a *larger* budget is how escalation reuses prior work —
+    states refused by the old budget are re-expanded under the new one.
+    """
+    resumed = Graph(
+        initial=graph.initial,
+        states=dict(graph.states),
+        edges=dict(graph.edges),
+        incomplete=set(graph.incomplete),
+    )
+    queue: deque[tuple[str, int]] = deque(graph.pending)
+    if not queue:
+        resumed.exhaustion = graph.exhaustion
+        return resumed
+    _run_exploration(resumed, queue, budget, resolve_control(control))
+    return resumed
+
+
+@dataclass(frozen=True, slots=True)
+class ReachResult:
+    """Outcome of a bounded reachability search.
+
+    ``found`` is conclusive when True; a False is only conclusive when
+    ``exhaustion`` is ``None``.
+    """
+
+    found: bool
+    exhaustion: Optional[Exhaustion] = None
+    states: int = 0
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.exhaustion is None
+
+
+def search(
+    system: System,
+    predicate: Callable[[System], bool],
+    budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
+) -> ReachResult:
+    """Search for a reachable state satisfying ``predicate``.
+
+    The structured twin of :func:`reachable`: the result says not just
+    whether the search was exhaustive but which limit stopped it.
+    """
+    ctl = resolve_control(control)
+    seen: set[str] = {system.canonical_key()}
+    queue: deque[tuple[System, int]] = deque([(system, 0)])
+    reasons: list[str] = []
+    detail: Optional[str] = None
+    deepest = 0
+    started = time.monotonic()
+
+    def note(reason: str) -> None:
+        if reason not in reasons:
+            reasons.append(reason)
+
+    try:
+        while queue:
+            stop = ctl.interruption()
+            if stop is not None:
+                note(stop)
+                break
+            state, depth = queue.popleft()
+            deepest = max(deepest, depth)
+            if predicate(state):
+                return ReachResult(True, None, len(seen))
+            if depth >= budget.max_depth:
+                note(ex.DEPTH)
+                continue
+            try:
+                for step in successors(state):
+                    key = step.target.canonical_key()
+                    if key in seen:
+                        continue
+                    if len(seen) >= budget.max_states:
+                        note(ex.STATES)
+                        continue
+                    seen.add(key)
+                    queue.append((step.target, depth + 1))
+            except FaultError as error:
+                note(ex.FAULT)
+                detail = str(error)
+                continue
+    except KeyboardInterrupt:
+        note(ex.CANCELLED)
+        detail = "KeyboardInterrupt"
+    exhaustion = (
+        Exhaustion(
+            tuple(reasons),
+            states=len(seen),
+            depth=deepest,
+            elapsed=time.monotonic() - started,
+            detail=detail,
+        )
+        if reasons
+        else None
+    )
+    return ReachResult(False, exhaustion, len(seen))
 
 
 def reachable(
     system: System,
     predicate: Callable[[System], bool],
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> tuple[bool, bool]:
     """Search for a reachable state satisfying ``predicate``.
 
     Returns ``(found, exhaustive)``: when ``found`` is False and
     ``exhaustive`` is False, the budget ran out before the search could
-    conclude (the property may still hold beyond the horizon).
+    conclude (the property may still hold beyond the horizon).  Use
+    :func:`search` for the structured exhaustion record.
     """
-    seen: set[str] = set()
-    queue: deque[tuple[System, int]] = deque([(system, 0)])
-    seen.add(system.canonical_key())
-    truncated = False
-    while queue:
-        state, depth = queue.popleft()
-        if predicate(state):
-            return True, True
-        if depth >= budget.max_depth:
-            truncated = True
-            continue
-        for step in successors(state):
-            key = step.target.canonical_key()
-            if key in seen:
-                continue
-            if len(seen) >= budget.max_states:
-                truncated = True
-                continue
-            seen.add(key)
-            queue.append((step.target, depth + 1))
-    return False, not truncated
+    result = search(system, predicate, budget, control)
+    return result.found, result.exhaustive
 
 
 def runs(
     system: System,
     max_length: int,
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> Iterator[list[Transition]]:
     """Enumerate transition sequences from ``system`` up to a length.
 
@@ -144,13 +379,20 @@ def runs(
     interleavings of the same trace are not repeated ad infinitum.
     Useful for diagnostics and attack narration.
     """
+    ctl = resolve_control(control)
 
     def go(state: System, prefix: list[Transition], seen: set[str]) -> Iterator[list[Transition]]:
         if prefix:
             yield list(prefix)
         if len(prefix) >= max_length or len(seen) >= budget.max_states:
             return
-        for step in successors(state):
+        if ctl.interruption() is not None:
+            return
+        try:
+            steps = successors(state)
+        except FaultError:
+            return
+        for step in steps:
             key = step.target.canonical_key()
             if key in seen:
                 continue
@@ -176,25 +418,37 @@ def find_trace(
     system: System,
     predicate: Callable[[System], bool],
     budget: Budget = DEFAULT_BUDGET,
+    control: Optional[RunControl] = None,
 ) -> Optional[list[Transition]]:
     """Shortest transition sequence to a state satisfying ``predicate``.
 
-    Returns ``None`` when no such state is found within the budget.
+    Returns ``None`` when no such state is found within the budget (or
+    before the control interrupts the search).
     """
+    ctl = resolve_control(control)
     if predicate(system):
         return []
     seen: set[str] = {system.canonical_key()}
     queue: deque[tuple[System, list[Transition], int]] = deque([(system, [], 0)])
-    while queue:
-        state, path, depth = queue.popleft()
-        if depth >= budget.max_depth:
-            continue
-        for step in successors(state):
-            if predicate(step.target):
-                return path + [step]
-            key = step.target.canonical_key()
-            if key in seen or len(seen) >= budget.max_states:
+    try:
+        while queue:
+            if ctl.interruption() is not None:
+                return None
+            state, path, depth = queue.popleft()
+            if depth >= budget.max_depth:
                 continue
-            seen.add(key)
-            queue.append((step.target, path + [step], depth + 1))
+            try:
+                steps = successors(state)
+            except FaultError:
+                continue
+            for step in steps:
+                if predicate(step.target):
+                    return path + [step]
+                key = step.target.canonical_key()
+                if key in seen or len(seen) >= budget.max_states:
+                    continue
+                seen.add(key)
+                queue.append((step.target, path + [step], depth + 1))
+    except KeyboardInterrupt:
+        return None
     return None

@@ -54,6 +54,7 @@ from repro.core.processes import (
 )
 from repro.core.substitution import rename_names
 from repro.core.terms import Name, fresh_uid
+from repro.runtime.faults import CANONICAL, fault_hook
 from repro.syntax.pretty import canonical_process, render_process
 
 
@@ -130,6 +131,7 @@ class System:
     def canonical_key(self) -> str:
         """Alpha-invariant state key used for deduplication (cached)."""
         if self._key_cache is None:
+            fault_hook(CANONICAL)
             object.__setattr__(self, "_key_cache", canonical_process(self.root))
         return self._key_cache
 

@@ -59,6 +59,7 @@ from repro.core.terms import (
     payload,
     values_equal,
 )
+from repro.runtime.faults import SUCCESSORS, fault_hook
 from repro.semantics.actions import Comm, PendingAction, Transition
 from repro.semantics.guards import addr_match_passes, decrypt, int_case, match_passes, split_pair
 from repro.semantics.normalize import normalize
@@ -263,7 +264,12 @@ def synchronize(out: PendingAction, inp: PendingAction, system: System) -> Optio
 
 
 def successors(system: System) -> list[Transition]:
-    """Every silent transition enabled in ``system``."""
+    """Every silent transition enabled in ``system``.
+
+    Instrumented for fault injection (:mod:`repro.runtime.faults`): the
+    hook is free unless a plan is active.
+    """
+    fault_hook(SUCCESSORS)
     actions = pending_actions(system)
     outputs = [a for a in actions if a.is_output]
     inputs = [a for a in actions if not a.is_output]

@@ -91,7 +91,44 @@ class TestExplore:
             "explore", "--max-states", "2", "--max-depth", "1", "-e", EXAMPLE
         )
         assert status == 0
-        assert "(truncated)" in output
+        assert "(truncated" in output  # now qualified with the tripped limits
+
+    def test_escalate_flag(self):
+        status, output = run_cli(
+            "explore", "--max-states", "2", "--max-depth", "1", "--escalate",
+            "-e", EXAMPLE,
+        )
+        assert status == 0
+        assert "escalation exact" in output
+        assert "(truncated" not in output
+
+    def test_deadline_flag(self):
+        status, output = run_cli("explore", "--deadline", "30", "-e", EXAMPLE)
+        assert status == 0
+        assert "states" in output
+
+    def test_checkpoint_and_resume(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        status, output = run_cli(
+            "explore", "--max-states", "2", "--max-depth", "1",
+            "--checkpoint", path, "-e", EXAMPLE,
+        )
+        assert status == 0
+        assert f"checkpoint written to {path}" in output
+        status, output = run_cli("explore", "--resume", path)
+        assert status == 0
+        assert "resuming from" in output
+        assert "(truncated" not in output
+
+    def test_checkpoint_skipped_when_exact(self, tmp_path):
+        path = str(tmp_path / "never.ckpt")
+        status, output = run_cli("explore", "--checkpoint", path, "-e", EXAMPLE)
+        assert status == 0
+        assert "no checkpoint needed" in output
+
+    def test_resume_missing_checkpoint_is_an_error(self, tmp_path):
+        status, _ = run_cli("explore", "--resume", str(tmp_path / "gone.ckpt"))
+        assert status == 1
 
 
 class TestUsage:

@@ -66,9 +66,16 @@ class TestSmallPieces:
         assert isinstance(idle(), Nil)
 
     def test_budget_scaled(self):
+        # Regression: scaled() used to grow only max_states, so a
+        # depth-truncated exploration could never escalate to exact.
         budget = Budget(max_states=100, max_depth=8)
         scaled = budget.scaled(2.5)
-        assert scaled.max_states == 250 and scaled.max_depth == 8
+        assert scaled.max_states == 250 and scaled.max_depth == 20
+
+    def test_budget_scaled_separate_depth_factor(self):
+        budget = Budget(max_states=100, max_depth=8)
+        scaled = budget.scaled(4.0, depth_factor=2.0)
+        assert scaled.max_states == 400 and scaled.max_depth == 16
 
     def test_budget_exceeded_error_carries_partial(self):
         error = BudgetExceededError("out of states", partial={"states": 7})
