@@ -1,0 +1,27 @@
+"""[SUITE] Supervised parallel suite runner at 1/2/4 workers.
+
+Not a paper experiment — an infrastructure scaling benchmark: the same
+protocol-zoo batch (secrecy + authentication for every zoo protocol)
+run through :func:`repro.runtime.supervisor.run_suite` at increasing
+pool sizes.  Measures the end-to-end cost of process supervision
+(spawn-context workers, heartbeats, watchdog, journal-less dispatch)
+and how the batch scales with parallelism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.supervisor import run_suite, zoo_jobs
+
+JOBS = zoo_jobs(max_states=1500, max_depth=30)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_suite_parallel_scaling(benchmark, workers):
+    report = benchmark(run_suite, JOBS, workers=workers, retries=0)
+    assert report.completed
+    assert all(outcome.status == "ok" for outcome in report.outcomes)
+    assert not report.violations
+    benchmark.extra_info["jobs"] = len(report.outcomes)
+    benchmark.extra_info["workers"] = workers

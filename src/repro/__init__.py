@@ -165,12 +165,24 @@ from repro.runtime import (
     FaultError,
     FaultInjector,
     FaultPlan,
+    Job,
+    JobError,
+    JobOutcome,
+    Journal,
+    JournalError,
     RunControl,
+    SuiteReport,
+    SupervisorError,
     escalate,
     explore_escalating,
     governed,
     inject_faults,
+    journaled_results,
     load_checkpoint,
+    read_journal,
+    run_job,
+    run_suite,
+    zoo_jobs,
 )
 from repro.protocols.library import (
     encrypted_transport,
@@ -239,6 +251,10 @@ __all__ = [
     "Checkpoint", "CheckpointError", "load_checkpoint",
     "EscalationPolicy", "EscalationReport", "Attempt", "escalate",
     "explore_escalating",
+    "Journal", "JournalError", "read_journal", "journaled_results",
+    "Job", "JobError", "run_job",
+    "JobOutcome", "SuiteReport", "SupervisorError", "run_suite",
+    "zoo_jobs",
     # equivalence
     "barbs", "exhibits", "converges", "Test", "Configuration",
     "compose", "part_locations", "passes", "may_preorder",

@@ -1,12 +1,13 @@
 """Command-line interface to the calculus.
 
-Five subcommands cover the workflows::
+Six subcommands cover the workflows::
 
     repro-spi parse   FILE           # parse & pretty-print (+ tree view)
     repro-spi run     FILE           # narrated execution, first-choice
     repro-spi explore FILE           # bounded exploration, stats, dot
     repro-spi analyze SYSFILE        # MGA properties of a system file
     repro-spi check   IMPL SPEC      # Definition 4 between system files
+    repro-spi suite   [FILE...]      # supervised parallel job batch
 
 ``parse``/``run``/``explore`` take a bare process in the concrete
 syntax (``-`` reads stdin, ``-e SOURCE`` passes it inline);
@@ -18,11 +19,18 @@ syntax (``-`` reads stdin, ``-e SOURCE`` passes it inline);
 result is printed instead of an error), ``--escalate`` retries truncated
 runs with geometrically growing budgets, and ``explore`` additionally
 supports ``--checkpoint PATH`` / ``--resume PATH`` to persist and
-continue interrupted explorations.
+continue interrupted explorations (``--checkpoint-every N`` autosaves
+every N explored states, not just at the end).
 
-Exit status: 0 on success, 1 on usage/parse errors, 2 when ``check``
-finds an attack, 130 when interrupted from the keyboard outside a
-recoverable exploration.
+``suite`` runs a batch of verification jobs on a pool of supervised
+worker processes (see :mod:`repro.runtime.supervisor`): crashed, hung or
+OOM-killed workers are restarted and their jobs retried from the last
+checkpoint; verdicts stream to a crash-safe ``--journal`` so an
+interrupted batch continues with ``--resume``.
+
+Exit status: 0 on success, 1 when a check finds an attack or a property
+violation, 2 on errors (usage, parse, missing/corrupt files), 130 when
+interrupted from the keyboard outside a recoverable exploration.
 """
 
 from __future__ import annotations
@@ -83,6 +91,14 @@ def _add_runtime_arguments(
             help="save the frontier of a truncated exploration here",
         )
         parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="STATES",
+            help="autosave --checkpoint every N explored states, "
+            "not only at the end",
+        )
+        parser.add_argument(
             "--resume",
             default=None,
             metavar="PATH",
@@ -90,10 +106,16 @@ def _add_runtime_arguments(
         )
 
 
-def _control(args: argparse.Namespace) -> Optional[RunControl]:
-    if getattr(args, "deadline", None) is None:
+def _control(args: argparse.Namespace, on_checkpoint=None) -> Optional[RunControl]:
+    deadline = getattr(args, "deadline", None)
+    every = getattr(args, "checkpoint_every", None) if on_checkpoint else None
+    if deadline is None and every is None:
         return None
-    return RunControl(deadline=Deadline.after(args.deadline))
+    return RunControl(
+        deadline=Deadline.after(deadline) if deadline is not None else None,
+        checkpoint_every=every,
+        on_checkpoint=on_checkpoint if every else None,
+    )
 
 
 def _load_system(args: argparse.Namespace) -> System:
@@ -140,7 +162,12 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
     from repro.runtime.escalation import explore_escalating
 
     budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
-    ctl = _control(args)
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        raise ReproError("--checkpoint-every needs --checkpoint PATH to write to")
+    sink = None
+    if args.checkpoint is not None and args.checkpoint_every:
+        sink = lambda graph: Checkpoint(graph, budget).save(args.checkpoint)
+    ctl = _control(args, on_checkpoint=sink)
     if args.resume is not None:
         checkpoint = Checkpoint.load(args.resume)
         print(
@@ -224,8 +251,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     impl = load_system_file(args.impl)
     spec = load_system_file(args.spec)
     if set(impl.configuration.private) != set(spec.configuration.private):
-        print("error: the two system files declare different channels", file=sys.stderr)
-        return 1
+        raise ReproError("the two system files declare different channels")
     from repro.runtime.escalation import escalate
 
     budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
@@ -250,7 +276,77 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         else:
             verdict = run(budget)
     print(verdict.describe(), file=out)
-    return 0 if verdict.secure else 2
+    return 0 if verdict.secure else 1
+
+
+def _suite_jobs(args: argparse.Namespace) -> list:
+    """Assemble the job list from positional files, --zoo and --suite-file."""
+    import json
+
+    from repro.runtime.supervisor import zoo_jobs
+    from repro.runtime.worker import Job, JobError
+
+    jobs = []
+    for path in args.files:
+        jobs.append(
+            Job(
+                id=f"explore:{path}",
+                kind="explore",
+                target={"spi": path},
+                max_states=args.max_states,
+                max_depth=args.max_depth,
+                checkpoint_every=args.checkpoint_every or 400,
+            )
+        )
+    if args.zoo:
+        protocols = None if "all" in args.zoo else args.zoo
+        jobs.extend(
+            zoo_jobs(
+                max_states=args.max_states,
+                max_depth=args.max_depth,
+                protocols=protocols,
+            )
+        )
+    if args.suite_file is not None:
+        try:
+            with open(args.suite_file, "r", encoding="utf-8") as handle:
+                described = json.load(handle)
+        except ValueError as err:
+            raise ReproError(f"suite file {args.suite_file!r} is not JSON: {err}")
+        if not isinstance(described, list):
+            raise JobError(f"suite file {args.suite_file!r} must hold a JSON list")
+        jobs.extend(Job.from_json(entry) for entry in described)
+    if not jobs:
+        raise ReproError("nothing to run: give .spi files, --zoo, or --suite-file")
+    return jobs
+
+
+def cmd_suite(args: argparse.Namespace, out) -> int:
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.supervisor import run_suite
+
+    if args.resume and args.journal is None:
+        raise ReproError("--resume needs --journal PATH to resume from")
+    plan = None
+    if args.inject_crash_at or args.inject_fail_at:
+        plan = FaultPlan(
+            fail_at=tuple(args.inject_fail_at or ()),
+            exit_at=tuple(args.inject_crash_at or ()),
+        )
+    report = run_suite(
+        _suite_jobs(args),
+        workers=args.jobs,
+        retries=args.retries,
+        job_deadline=args.job_deadline,
+        max_rss_mb=args.max_rss,
+        journal_path=args.journal,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
+        fault_plan=plan,
+        on_outcome=lambda outcome: print(outcome.describe(), file=out),
+    )
+    print(report.describe(), file=out)
+    return 1 if report.violations else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -302,6 +398,97 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_arguments(p_check)
     p_check.set_defaults(handler=cmd_check)
 
+    p_suite = sub.add_parser(
+        "suite", help="run a batch of verification jobs under supervision"
+    )
+    p_suite.add_argument(
+        "files", nargs="*", help=".spi process files to explore (one job each)"
+    )
+    p_suite.add_argument(
+        "--zoo",
+        action="append",
+        default=None,
+        metavar="PROTOCOL",
+        help="add secrecy+authentication jobs for this zoo protocol "
+        "(repeatable; 'all' = the whole zoo)",
+    )
+    p_suite.add_argument(
+        "--suite-file",
+        default=None,
+        metavar="PATH",
+        help="JSON list of job descriptions (see repro.runtime.worker.Job)",
+    )
+    p_suite.add_argument(
+        "--jobs", type=int, default=2, metavar="N", help="worker processes (default 2)"
+    )
+    p_suite.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="extra attempts per job after a crash/OOM/hang (default 2)",
+    )
+    p_suite.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit (expiry qualifies the verdict; "
+        "a hung worker is killed at 1.5x this plus a grace period)",
+    )
+    p_suite.add_argument(
+        "--max-rss",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="kill and retry any worker whose resident set exceeds this",
+    )
+    p_suite.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="stream verdicts to this crash-safe JSONL journal",
+    )
+    p_suite.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs already verdicted in --journal",
+    )
+    p_suite.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="keep exploration autosaves here (default: temporary)",
+    )
+    p_suite.add_argument("--max-states", type=int, default=4000)
+    p_suite.add_argument("--max-depth", type=int, default=40)
+    p_suite.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="STATES",
+        help="states between exploration autosaves (default 400)",
+    )
+    p_suite.add_argument(
+        "--inject-crash-at",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="test instrumentation: hard-kill the worker at successor "
+        "call N on each job's first attempt",
+    )
+    p_suite.add_argument(
+        "--inject-fail-at",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="test instrumentation: fail successor call N on each "
+        "job's first attempt",
+    )
+    p_suite.set_defaults(handler=cmd_suite)
+
     return parser
 
 
@@ -314,8 +501,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         return args.handler(args, out)
     except (ReproError, OSError) as error:
+        # Every library failure mode subclasses ReproError (parse errors,
+        # corrupt checkpoints/journals, malformed jobs...): one line on
+        # stderr, exit 2 — never a traceback.
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return 2
     except KeyboardInterrupt:
         # Interrupts *inside* an exploration are absorbed cooperatively
         # (the loop returns a partial graph); reaching here means the

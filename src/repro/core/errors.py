@@ -37,19 +37,64 @@ class SubstitutionError(ReproError):
     """A substitution would be ill-formed (e.g. binding a non-variable)."""
 
 
+def _render_parse_error(
+    message: str, line: int, column: int, source: "str | None"
+) -> str:
+    """The rendered message, with a source excerpt when one is known.
+
+    The excerpt shows the offending line with a caret under the column::
+
+        expected term, found ')' at 1:7
+          1 | a<M>.)x
+            |      ^
+    """
+    text = f"{message} at {line}:{column}" if line else message
+    if source is None or not line:
+        return text
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines):
+        return text
+    # One space per character keeps the caret aligned under tabs.
+    excerpt = lines[line - 1].replace("\t", " ")
+    gutter = f"  {line} | "
+    text += f"\n{gutter}{excerpt}"
+    if 1 <= column <= len(excerpt) + 1:
+        pad = " " * (len(gutter) - 2) + "| "
+        text += f"\n{pad}{' ' * (column - 1)}^"
+    return text
+
+
 class ParseError(ReproError):
     """The concrete-syntax parser rejected its input.
 
     Attributes:
+        message: the bare diagnostic, without location or excerpt.
         line: 1-based line of the offending token.
         column: 1-based column of the offending token.
+        source: the full source text, when attached — the rendered
+            message then includes the offending line with a caret under
+            the column, so the error is diagnosable on its own (e.g.
+            from a batch-suite journal).
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
-        location = f" at {line}:{column}" if line else ""
-        super().__init__(f"{message}{location}")
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        source: "str | None" = None,
+    ) -> None:
+        super().__init__(_render_parse_error(message, line, column, source))
+        self.message = message
         self.line = line
         self.column = column
+        self.source = source
+
+    def with_source(self, source: str) -> "ParseError":
+        """This error with a source excerpt attached (idempotent)."""
+        if self.source is not None or not self.line:
+            return self
+        return ParseError(self.message, self.line, self.column, source)
 
 
 class SemanticsError(ReproError):

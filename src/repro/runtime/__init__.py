@@ -13,7 +13,13 @@ survive hostile inputs:
   exploration (visited set + frontier) to disk and resume it;
 * :mod:`repro.runtime.escalation` — adaptive budget escalation: retry a
   truncated run with geometrically growing budgets, reusing prior work,
-  until the result is exact or a hard ceiling is hit.
+  until the result is exact or a hard ceiling is hit;
+* :mod:`repro.runtime.journal` — crash-safe append-only JSONL result
+  journal (fsync'd appends, torn-tail-tolerant reload);
+* :mod:`repro.runtime.worker` — JSON-serializable verification
+  :class:`Job` descriptions and the pool-worker process entry point;
+* :mod:`repro.runtime.supervisor` — the supervised parallel suite
+  runner: process-isolated workers with crash/OOM/hang recovery.
 
 Import note: the semantics layer imports the dependency-free modules
 (``exhaustion``, ``deadline``, ``faults``), while ``checkpoint`` and
@@ -46,6 +52,18 @@ _LAZY = {
     "escalate": "repro.runtime.escalation",
     "explore_escalating": "repro.runtime.escalation",
     "estimate_graph_memory_mb": "repro.runtime.escalation",
+    "Journal": "repro.runtime.journal",
+    "JournalError": "repro.runtime.journal",
+    "read_journal": "repro.runtime.journal",
+    "journaled_results": "repro.runtime.journal",
+    "Job": "repro.runtime.worker",
+    "JobError": "repro.runtime.worker",
+    "run_job": "repro.runtime.worker",
+    "JobOutcome": "repro.runtime.supervisor",
+    "SuiteReport": "repro.runtime.supervisor",
+    "SupervisorError": "repro.runtime.supervisor",
+    "run_suite": "repro.runtime.supervisor",
+    "zoo_jobs": "repro.runtime.supervisor",
 }
 
 __all__ = [

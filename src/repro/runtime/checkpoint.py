@@ -84,7 +84,11 @@ class Checkpoint:
                 loaded = pickle.load(handle)
         except FileNotFoundError:
             raise CheckpointError(f"no checkpoint at {path!r}")
-        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as err:
+        except Exception as err:
+            # pickle surfaces corruption through a zoo of exception
+            # types (UnpicklingError, EOFError, Attribute/Import/Index/
+            # Key/Value errors from truncated opcodes); to a caller they
+            # all mean one thing: this is not a loadable checkpoint.
             raise CheckpointError(f"corrupt checkpoint {path!r}: {err}")
         if not isinstance(loaded, cls):
             raise CheckpointError(

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.runtime.exhaustion import CANCELLED, DEADLINE
 
@@ -79,10 +79,23 @@ class CancelToken:
 
 @dataclass(frozen=True, slots=True)
 class RunControl:
-    """Everything an exploration polls to decide whether to keep going."""
+    """Everything an exploration polls to decide whether to keep going.
+
+    Beyond interruption, a control can request *periodic checkpoint
+    autosave*: when both ``checkpoint_every`` and ``on_checkpoint`` are
+    set, the LTS exploration loop hands a resumable snapshot of the
+    in-flight graph to ``on_checkpoint`` every ``checkpoint_every``
+    newly recorded states.  A SIGKILL then loses at most one interval
+    of work — the property the supervised suite runner builds on.  The
+    callback is typed loosely (it receives a
+    :class:`~repro.semantics.lts.Graph`) to keep this module free of
+    semantics imports.
+    """
 
     deadline: Optional[Deadline] = None
     token: Optional[CancelToken] = None
+    checkpoint_every: Optional[int] = None
+    on_checkpoint: Optional[Callable[[Any], None]] = None
 
     def interruption(self) -> Optional[str]:
         """The exhaustion reason to record, or ``None`` to continue.

@@ -83,6 +83,34 @@ class Exhaustion:
             extra += f" ({self.detail})"
         return f"exhausted[{parts}{extra}]"
 
+    def to_json(self) -> dict:
+        """A JSON-serializable view (inverse of :meth:`from_json`).
+
+        Used by the suite journal, where qualified verdicts must survive
+        a round-trip through an append-only JSONL file.
+        """
+        return {
+            "reasons": list(self.reasons),
+            "states": self.states,
+            "depth": self.depth,
+            "elapsed": self.elapsed,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_json(data: Optional[dict]) -> Optional["Exhaustion"]:
+        """Rebuild a record from :meth:`to_json` output (``None`` maps
+        to ``None``, mirroring an exact result)."""
+        if data is None:
+            return None
+        return Exhaustion(
+            tuple(data["reasons"]),
+            states=int(data.get("states", 0)),
+            depth=int(data.get("depth", 0)),
+            elapsed=data.get("elapsed"),
+            detail=data.get("detail"),
+        )
+
     @staticmethod
     def single(
         reason: str,

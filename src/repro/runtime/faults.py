@@ -25,17 +25,22 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Mapping, Optional
 
 from repro.core.errors import ReproError
 
 #: Instrumented call sites.
 SUCCESSORS = "successors"
 CANONICAL = "canonical"
+
+#: Exit status of a hard-crash injection (``FaultPlan.exit_at``);
+#: BSD's EX_SOFTWARE, recognizable in worker post-mortems.
+CRASH_EXIT_CODE = 70
 
 
 class FaultError(ReproError):
@@ -58,6 +63,11 @@ class FaultPlan:
             given plan misbehaves reproducibly).
         latency: seconds of sleep injected into every instrumented call
             (for exercising deadlines without giant state spaces).
+        exit_at: 1-based call ordinals at which the *whole process*
+            exits immediately (``os._exit``) instead of raising — a
+            deterministic stand-in for a crash or OOM kill, used to
+            test the supervised worker pool's recovery path.  Nothing
+            in-process can catch it, exactly like the real thing.
         sites: which call sites are live (default: ``successors`` only).
         seed: PRNG seed for ``failure_rate``.
     """
@@ -66,8 +76,44 @@ class FaultPlan:
     every: Optional[int] = None
     failure_rate: float = 0.0
     latency: float = 0.0
+    exit_at: tuple[int, ...] = ()
     sites: frozenset[str] = frozenset({SUCCESSORS})
     seed: int = 0
+
+    def to_json(self) -> dict:
+        """A JSON-serializable description (inverse of :meth:`from_json`).
+
+        Used to ship plans across the spawn boundary to pool workers and
+        to accept ``--fault-plan`` on the command line.
+        """
+        return {
+            "fail_at": list(self.fail_at),
+            "every": self.every,
+            "failure_rate": self.failure_rate,
+            "latency": self.latency,
+            "exit_at": list(self.exit_at),
+            "sites": sorted(self.sites),
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output (unknown keys are
+        rejected so typos in hand-written plans fail loudly)."""
+        unknown = set(data) - {
+            "fail_at", "every", "failure_rate", "latency", "exit_at", "sites", "seed",
+        }
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return FaultPlan(
+            fail_at=tuple(data.get("fail_at", ())),
+            every=data.get("every"),
+            failure_rate=float(data.get("failure_rate", 0.0)),
+            latency=float(data.get("latency", 0.0)),
+            exit_at=tuple(data.get("exit_at", ())),
+            sites=frozenset(data.get("sites", (SUCCESSORS,))),
+            seed=int(data.get("seed", 0)),
+        )
 
 
 @dataclass
@@ -90,6 +136,10 @@ class FaultInjector:
         if plan.latency > 0.0:
             time.sleep(plan.latency)
         ordinal = self.calls
+        if ordinal in plan.exit_at:
+            # A simulated hard crash: no exception, no cleanup, no
+            # chance for the caller to degrade gracefully.
+            os._exit(CRASH_EXIT_CODE)
         hit = (
             ordinal in plan.fail_at
             or (plan.every is not None and plan.every > 0 and ordinal % plan.every == 0)

@@ -1,0 +1,643 @@
+"""Supervised parallel verification: a crash-tolerant worker pool.
+
+Real verification runs are *batches* — Definition 4 quantifies over
+attackers and testers, so checking a protocol zoo means dozens of
+independent bounded jobs.  This module makes fleets of runs resilient
+the way :mod:`repro.runtime.deadline` made single runs resilient: a
+worker crash, OOM kill, or hang costs one job's increment of work, not
+the batch.
+
+Architecture:
+
+* the **supervisor** (this module) owns a queue of :class:`Job`\\ s and
+  a pool of ``multiprocessing`` *spawn*-context workers, each with its
+  own duplex pipe (a killed worker can only corrupt its own channel);
+* each **worker** (:mod:`repro.runtime.worker`) executes one job at a
+  time, streams heartbeats from a daemon thread, and autosaves
+  periodic exploration checkpoints;
+* a **watchdog thread** scans the pool: per-job RSS above the limit,
+  wall-clock past the hard deadline, or missed heartbeats get the
+  worker a SIGKILL — recovery is the supervisor's job, not the
+  worker's;
+* every verdict streams to a crash-safe :class:`~repro.runtime.journal.Journal`,
+  so a killed *supervisor* resumes a batch by skipping journaled jobs.
+
+Failure handling matrix:
+
+========================  =============================================
+observed failure          response
+========================  =============================================
+worker exits / signalled  retry with exponential backoff; ``explore``
+                          jobs resume from the last autosaved
+                          checkpoint
+RSS over ``max_rss_mb``   SIGKILL ("oom"), then retry/resume as above
+hard deadline exceeded    SIGKILL ("hang"), then retry/resume
+missed heartbeats         SIGKILL ("stalled"), then retry/resume
+job raises in-process     worker survives; same retry path
+retries exhausted         degrade to a qualified partial verdict with
+                          ``Exhaustion(reason="fault")`` — the batch
+                          still completes
+corrupt checkpoint        the retried attempt restarts from scratch
+supervisor killed         ``resume=True`` re-runs only un-journaled
+                          jobs
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.runtime.exhaustion import Exhaustion
+from repro.runtime.faults import FaultPlan
+from repro.runtime.journal import Journal, journaled_results
+from repro.runtime.worker import Job, JobError, worker_main
+
+#: Outcome statuses.
+OK = "ok"            #: the job produced a verdict (possibly qualified)
+FAULT = "fault"      #: retries exhausted; degraded to a partial verdict
+SKIPPED = "skipped"  #: already journaled; not re-run (``resume=True``)
+
+
+class SupervisorError(ReproError):
+    """The suite runner was misconfigured (duplicate ids, bad plan...)."""
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Final fate of one job in a supervised suite.
+
+    ``status`` is ``"ok"`` (verdicted, possibly qualified), ``"fault"``
+    (retry budget exhausted — ``result`` then carries an
+    ``Exhaustion(reason="fault")`` record and whatever partial progress
+    a checkpoint preserved) or ``"skipped"`` (verdicted by an earlier,
+    journaled run).  ``events`` narrates crashes and retries.
+    """
+
+    job: Job
+    status: str
+    attempts: int
+    elapsed: float
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    events: tuple[str, ...] = ()
+
+    @property
+    def violated(self) -> bool:
+        """True when the verdict reports a broken property/attack."""
+        return bool(self.result and self.result.get("violated"))
+
+    @property
+    def exact(self) -> bool:
+        return bool(self.result and self.result.get("exact"))
+
+    def describe(self) -> str:
+        if self.status == FAULT:
+            return f"{self.job.id}: FAULT after {self.attempts} attempt(s) ({self.error})"
+        summary = (self.result or {}).get("summary", "no result")
+        prefix = "skipped, " if self.status == SKIPPED else ""
+        retries = f", {self.attempts} attempt(s)" if self.attempts > 1 else ""
+        return f"{self.job.id}: {prefix}{summary}{retries}"
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Everything a suite run produced, in job-submission order."""
+
+    outcomes: tuple[JobOutcome, ...]
+    elapsed: float
+    workers: int
+
+    def by_status(self, status: str) -> tuple[JobOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.status == status)
+
+    @property
+    def completed(self) -> bool:
+        """Every job is verdicted (ok, degraded, or journal-skipped)."""
+        return all(o.status in (OK, FAULT, SKIPPED) for o in self.outcomes)
+
+    @property
+    def violations(self) -> tuple[JobOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.violated)
+
+    def describe(self) -> str:
+        parts = [
+            f"suite: {len(self.outcomes)} job(s) on {self.workers} worker(s) "
+            f"in {self.elapsed:.2f}s"
+        ]
+        skipped = len(self.by_status(SKIPPED))
+        faults = len(self.by_status(FAULT))
+        if skipped:
+            parts.append(f"skipped {skipped} journaled job(s)")
+        if faults:
+            parts.append(f"{faults} degraded to fault verdicts")
+        if self.violations:
+            parts.append(f"{len(self.violations)} property violation(s)")
+        return "; ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Pool bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """A job waiting to run (or running), with its retry state."""
+
+    job: Job
+    attempt: int = 1
+    ready_at: float = 0.0
+    started_first: Optional[float] = None
+    events: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side handle of one pool process."""
+
+    index: int
+    proc: multiprocessing.process.BaseProcess
+    conn: mp_connection.Connection
+    current: Optional[_Pending] = None
+    started_at: float = 0.0
+    last_beat: float = 0.0
+    kill_reason: Optional[str] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+
+def _rss_mb(pid: Optional[int]) -> Optional[float]:
+    """Resident set size of a process in MiB via /proc (None off-Linux)."""
+    if pid is None:
+        return None
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as handle:
+            fields = handle.read().split()
+        import resource
+
+        return int(fields[1]) * resource.getpagesize() / (1024 * 1024)
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _kill_reason(
+    worker: _Worker,
+    now: float,
+    max_rss_mb: Optional[float],
+    hard_deadline: Optional[float],
+    heartbeat_grace: float,
+    rss_of: Callable[[Optional[int]], Optional[float]] = _rss_mb,
+) -> Optional[str]:
+    """Why the watchdog should SIGKILL this worker now, or ``None``.
+
+    Pure decision logic (injectable RSS reader) so the policy is unit
+    testable without real processes.  Only busy workers are judged: an
+    idle worker holds no job to protect, and a dead idle worker is
+    reaped by the main loop anyway.
+    """
+    if worker.current is None:
+        return None
+    if max_rss_mb is not None:
+        rss = rss_of(worker.pid)
+        if rss is not None and rss > max_rss_mb:
+            return f"oom: rss {rss:.0f}MiB > {max_rss_mb:.0f}MiB"
+    if hard_deadline is not None and now - worker.started_at > hard_deadline:
+        return f"hang: job exceeded hard deadline {hard_deadline:.1f}s"
+    if now - worker.last_beat > heartbeat_grace:
+        return f"stalled: no heartbeat for {now - worker.last_beat:.1f}s"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Suite assembly helpers
+# ----------------------------------------------------------------------
+
+
+def zoo_jobs(
+    max_states: int = 4000,
+    max_depth: int = 40,
+    protocols: Optional[Iterable[str]] = None,
+    kinds: Sequence[str] = ("secrecy", "authentication"),
+) -> list[Job]:
+    """The standard batch over the protocol zoo: for every protocol,
+    one job per requested property kind (session-key secrecy against an
+    eavesdropper, payload authentication against an impersonator)."""
+    from repro.protocols.zoo import ZOO
+
+    names = sorted(protocols) if protocols is not None else sorted(ZOO)
+    unknown = [name for name in names if name not in ZOO]
+    if unknown:
+        raise SupervisorError(f"unknown zoo protocols: {unknown}")
+    return [
+        Job(
+            id=f"zoo:{name}:{kind}",
+            kind=kind,
+            target={"zoo": name},
+            max_states=max_states,
+            max_depth=max_depth,
+        )
+        for name in names
+        for kind in kinds
+    ]
+
+
+# ----------------------------------------------------------------------
+# The supervisor proper
+# ----------------------------------------------------------------------
+
+
+def run_suite(
+    jobs: Sequence[Job],
+    workers: int = 2,
+    retries: int = 2,
+    job_deadline: Optional[float] = None,
+    max_rss_mb: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_attempts: Sequence[int] = (1,),
+    heartbeat_interval: float = 0.25,
+    heartbeat_grace: float = 15.0,
+    hang_grace: float = 5.0,
+    backoff_base: float = 0.25,
+    backoff_cap: float = 8.0,
+    on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+) -> SuiteReport:
+    """Run a batch of verification jobs under supervision.
+
+    Args:
+        jobs: the batch; ids must be unique (they key the journal and
+            checkpoint files).
+        workers: pool size (spawn-context processes).
+        retries: extra attempts per job after its first.
+        job_deadline: cooperative per-job wall-clock limit in seconds;
+            the watchdog hard-kills at ``1.5 × deadline + hang_grace``
+            as a backstop for non-polling hangs.
+        max_rss_mb: per-worker RSS limit; exceeding it is treated as an
+            OOM (SIGKILL + retry).  Needs /proc; silently inactive
+            elsewhere.
+        journal_path: stream verdicts to this crash-safe JSONL file.
+        resume: skip jobs already verdicted in ``journal_path``.
+        checkpoint_dir: where ``explore`` autosaves live (default: a
+            temporary directory, removed afterwards; pass a real path
+            to keep checkpoints across supervisor restarts).
+        fault_plan: test instrumentation — inject this
+            :class:`FaultPlan` into workers for the attempts listed in
+            ``fault_attempts`` (default: first attempt only, so a
+            deterministic crash is recovered rather than repeated).
+        on_outcome: called with each :class:`JobOutcome` as it is
+            decided (progress reporting).
+
+    Returns:
+        A :class:`SuiteReport`; every submitted job appears exactly
+        once, in submission order, whatever happened to the workers.
+    """
+    jobs = list(jobs)
+    ids = [job.id for job in jobs]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise SupervisorError(f"duplicate job ids: {dupes}")
+    if workers < 1:
+        raise SupervisorError("need at least one worker")
+    if resume and journal_path is None:
+        raise SupervisorError("resume=True needs a journal_path")
+
+    started = time.monotonic()
+    done: dict[str, JobOutcome] = {}
+
+    def decide(outcome: JobOutcome) -> None:
+        done[outcome.job.id] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    # -- resume: skip journaled jobs ----------------------------------
+    prior = journaled_results(journal_path) if resume else {}
+    queue: list[_Pending] = []
+    for job in jobs:
+        record = prior.get(job.id)
+        if record is not None:
+            decide(JobOutcome(
+                job=job,
+                status=SKIPPED,
+                attempts=int(record.get("attempts", 1)),
+                elapsed=0.0,
+                result=record.get("result"),
+                error=record.get("error"),
+            ))
+        else:
+            queue.append(_Pending(job))
+
+    journal = (
+        Journal(journal_path, fresh=not resume) if journal_path is not None else None
+    )
+    scratch = checkpoint_dir
+    scratch_owned = False
+    if scratch is None and any(p.job.kind == "explore" for p in queue):
+        scratch = tempfile.mkdtemp(prefix="repro-suite-")
+        scratch_owned = True
+    elif scratch is not None:
+        os.makedirs(scratch, exist_ok=True)
+
+    hard_deadline = (
+        job_deadline * 1.5 + hang_grace if job_deadline is not None else None
+    )
+    plan_json = fault_plan.to_json() if fault_plan is not None else None
+    ctx = multiprocessing.get_context("spawn")
+    pool: list[_Worker] = []
+    pool_lock = threading.Lock()
+    stop_watchdog = threading.Event()
+    next_index = 0
+    spawns = 0
+    # Every legitimate spawn is a pool slot or a post-crash replacement;
+    # this cap only breaks pathological crash loops (e.g. workers dying
+    # on import) instead of spinning forever.
+    max_spawns = workers + len(queue) * (retries + 1)
+
+    def checkpoint_path(job: Job) -> Optional[str]:
+        if job.kind != "explore" or scratch is None:
+            return None
+        safe = "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in job.id)
+        return os.path.join(scratch, f"{safe}.ckpt")
+
+    def spawn() -> Optional[_Worker]:
+        nonlocal next_index, spawns
+        if spawns >= max_spawns:
+            return None
+        spawns += 1
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, next_index, heartbeat_interval),
+            name=f"repro-suite-worker-{next_index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(
+            index=next_index, proc=proc, conn=parent_conn,
+            last_beat=time.monotonic(),
+        )
+        next_index += 1
+        with pool_lock:
+            pool.append(worker)
+        return worker
+
+    def watchdog() -> None:
+        while not stop_watchdog.wait(heartbeat_interval):
+            now = time.monotonic()
+            with pool_lock:
+                victims = [
+                    (w, _kill_reason(w, now, max_rss_mb, hard_deadline, heartbeat_grace))
+                    for w in pool
+                ]
+            for worker, reason in victims:
+                if reason is not None and worker.kill_reason is None:
+                    worker.kill_reason = reason
+                    if worker.pid is not None:
+                        try:
+                            os.kill(worker.pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+                        except (OSError, ProcessLookupError):
+                            pass
+
+    def journal_outcome(outcome: JobOutcome) -> None:
+        if journal is None:
+            return
+        journal.append({
+            "type": "result",
+            "job": outcome.job.id,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "elapsed": round(outcome.elapsed, 4),
+            "result": outcome.result,
+            "error": outcome.error,
+            "events": list(outcome.events),
+        })
+
+    def degrade(pending: _Pending, now: float) -> None:
+        """Retry budget exhausted: record a qualified partial verdict."""
+        states = 0
+        path = checkpoint_path(pending.job)
+        if path is not None and os.path.exists(path):
+            from repro.runtime.checkpoint import Checkpoint, CheckpointError
+
+            try:
+                states = Checkpoint.load(path).graph.state_count()
+            except CheckpointError:
+                pass
+        detail = pending.events[-1] if pending.events else "worker lost"
+        exhaustion = Exhaustion(
+            ("fault",),
+            states=states,
+            elapsed=(now - pending.started_first) if pending.started_first else None,
+            detail=detail,
+        )
+        outcome = JobOutcome(
+            job=pending.job,
+            status=FAULT,
+            attempts=pending.attempt,
+            elapsed=(now - pending.started_first) if pending.started_first else 0.0,
+            result={
+                "kind": pending.job.kind,
+                "exact": False,
+                "violated": False,
+                "states": states,
+                "exhaustion": exhaustion.to_json(),
+                "summary": f"no verdict: {exhaustion.describe()}",
+            },
+            error=detail,
+            events=tuple(pending.events),
+        )
+        journal_outcome(outcome)
+        decide(outcome)
+
+    def handle_failure(pending: _Pending, description: str, now: float) -> None:
+        """One attempt died (crash, kill, or in-worker error)."""
+        pending.events.append(f"attempt {pending.attempt}: {description}")
+        if pending.attempt >= retries + 1:
+            degrade(pending, now)
+            return
+        delay = min(backoff_cap, backoff_base * (2 ** (pending.attempt - 1)))
+        pending.attempt += 1
+        pending.ready_at = now + delay
+        queue.append(pending)
+
+    def handle_message(worker: _Worker, message: dict, now: float) -> None:
+        kind = message.get("type")
+        if kind == "heartbeat":
+            worker.last_beat = now
+            return
+        if kind == "started":
+            worker.last_beat = now
+            return
+        pending = worker.current
+        if pending is None or message.get("job") != pending.job.id:
+            return  # stale chatter from a job we already gave up on
+        if kind == "result":
+            worker.current = None
+            outcome = JobOutcome(
+                job=pending.job,
+                status=OK,
+                attempts=pending.attempt,
+                elapsed=now - (pending.started_first or now),
+                result=message["result"],
+                events=tuple(pending.events),
+            )
+            journal_outcome(outcome)
+            decide(outcome)
+        elif kind == "error":
+            worker.current = None
+            handle_failure(pending, message.get("error", "worker error"), now)
+
+    def reap(worker: _Worker, now: float) -> None:
+        """A worker process died; recycle its job and its slot."""
+        with pool_lock:
+            if worker in pool:
+                pool.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=1.0)
+        if worker.kill_reason is not None:
+            description = f"worker killed ({worker.kill_reason})"
+        else:
+            code = worker.proc.exitcode
+            if code is not None and code < 0:
+                description = f"worker died on signal {-code}"
+            else:
+                description = f"worker exited with status {code}"
+        if worker.current is not None:
+            handle_failure(worker.current, description, now)
+            worker.current = None
+
+    watchdog_thread = threading.Thread(target=watchdog, daemon=True, name="watchdog")
+    watchdog_thread.start()
+    try:
+        while len(done) < len(jobs):
+            now = time.monotonic()
+
+            # Reap the dead first so their jobs re-enter the queue.
+            with pool_lock:
+                dead = [w for w in pool if not w.proc.is_alive()]
+            for worker in dead:
+                reap(worker, now)
+
+            # Keep the pool sized to the remaining work.
+            outstanding = len(jobs) - len(done)
+            with pool_lock:
+                alive = len(pool)
+            while alive < min(workers, outstanding):
+                if spawn() is None:
+                    break
+                alive += 1
+
+            # Dispatch ready jobs to idle workers.
+            with pool_lock:
+                idle = [w for w in pool if w.current is None and w.kill_reason is None]
+            for worker in idle:
+                ready = [p for p in queue if p.ready_at <= now]
+                if not ready:
+                    break
+                pending = ready[0]
+                queue.remove(pending)
+                if pending.started_first is None:
+                    pending.started_first = now
+                worker.current = pending
+                worker.started_at = now
+                worker.last_beat = now
+                active_plan = (
+                    plan_json if plan_json is not None and pending.attempt in fault_attempts
+                    else None
+                )
+                try:
+                    worker.conn.send({
+                        "type": "job",
+                        "job": pending.job.to_json(),
+                        "attempt": pending.attempt,
+                        "deadline": job_deadline,
+                        "checkpoint": checkpoint_path(pending.job),
+                        "fault_plan": active_plan,
+                    })
+                except (BrokenPipeError, OSError):
+                    worker.current = None
+                    queue.append(pending)  # the reaper will respawn
+
+            if len(done) >= len(jobs):
+                break
+
+            # Drain messages (with a timeout so the loop stays live for
+            # backoff expiry and death detection).
+            with pool_lock:
+                conns = {w.conn: w for w in pool}
+            if not conns:
+                if spawns >= max_spawns and queue:
+                    # Crash-looping pool: degrade whatever is left
+                    # rather than spinning forever.
+                    for pending in list(queue):
+                        queue.remove(pending)
+                        pending.events.append("worker pool exhausted its respawn budget")
+                        degrade(pending, now)
+                    continue
+                time.sleep(heartbeat_interval)
+                continue
+            for conn in mp_connection.wait(list(conns), timeout=0.1):
+                worker = conns[conn]
+                try:
+                    while conn.poll():
+                        handle_message(worker, conn.recv(), time.monotonic())
+                except (EOFError, OSError):
+                    # Pipe torn: the process is dead or dying.  Make it
+                    # unambiguous, the next iteration reaps it.
+                    if worker.proc.is_alive() and worker.pid is not None:
+                        try:
+                            os.kill(worker.pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+                        except (OSError, ProcessLookupError):
+                            pass
+    finally:
+        stop_watchdog.set()
+        watchdog_thread.join(timeout=2.0)
+        with pool_lock:
+            leftovers = list(pool)
+            pool.clear()
+        for worker in leftovers:
+            try:
+                worker.conn.send({"type": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in leftovers:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        if journal is not None:
+            journal.close()
+        if scratch_owned and scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    return SuiteReport(
+        outcomes=tuple(done[job.id] for job in jobs),
+        elapsed=time.monotonic() - started,
+        workers=workers,
+    )

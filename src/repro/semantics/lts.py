@@ -159,6 +159,25 @@ def _expand(
     return out, refused
 
 
+def snapshot_exploration(graph: Graph, queue: deque[tuple[str, int]]) -> Graph:
+    """A resumable, independent copy of an in-flight exploration.
+
+    The copy's ``pending`` frontier includes the not-yet-expanded queue,
+    so feeding it to :func:`resume_exploration` (directly or through a
+    :class:`~repro.runtime.checkpoint.Checkpoint`) continues exactly
+    where the live run stood.  State values are immutable, so shallow
+    container copies fully decouple the snapshot from the live graph.
+    """
+    return Graph(
+        initial=graph.initial,
+        states=dict(graph.states),
+        edges=dict(graph.edges),
+        exhaustion=graph.exhaustion,
+        pending=list(graph.pending) + list(queue),
+        incomplete=set(graph.incomplete),
+    )
+
+
 def _run_exploration(
     graph: Graph,
     queue: deque[tuple[str, int]],
@@ -170,6 +189,9 @@ def _run_exploration(
     detail: Optional[str] = None
     deepest = 0
     started = time.monotonic()
+    autosave_every = control.checkpoint_every
+    autosave = control.on_checkpoint if autosave_every else None
+    last_saved = len(graph.states)
 
     def note(reason: str) -> None:
         if reason not in reasons:
@@ -207,6 +229,9 @@ def _run_exploration(
                 graph.incomplete.add(key)
             else:
                 graph.incomplete.discard(key)
+            if autosave is not None and len(graph.states) - last_saved >= autosave_every:
+                autosave(snapshot_exploration(graph, queue))
+                last_saved = len(graph.states)
     except KeyboardInterrupt:
         note(ex.CANCELLED)
         detail = "KeyboardInterrupt"

@@ -56,18 +56,29 @@ from repro.syntax.lexer import EOF, Token, split_ident, tokenize
 
 
 def parse_process(source: str) -> Process:
-    """Parse a process from its concrete syntax."""
-    parser = _Parser(tokenize(source))
-    proc = parser.process(bound=frozenset())
-    parser.expect(EOF)
+    """Parse a process from its concrete syntax.
+
+    A :class:`ParseError` raised here carries the source text, so its
+    rendered message includes the offending line with a caret under the
+    column.
+    """
+    try:
+        parser = _Parser(tokenize(source))
+        proc = parser.process(bound=frozenset())
+        parser.expect(EOF)
+    except ParseError as err:
+        raise err.with_source(source) from None
     return proc
 
 
 def parse_term(source: str) -> Term:
     """Parse a closed term (identifiers become names)."""
-    parser = _Parser(tokenize(source))
-    term = parser.term(bound=frozenset())
-    parser.expect(EOF)
+    try:
+        parser = _Parser(tokenize(source))
+        term = parser.term(bound=frozenset())
+        parser.expect(EOF)
+    except ParseError as err:
+        raise err.with_source(source) from None
     return term
 
 

@@ -133,7 +133,17 @@ def parse_system_file(source: str) -> SystemFile:
             raise ParseError(f"duplicate role {label!r}", line_no)
         if not body.strip():
             raise ParseError(f"role {label!r} has an empty process", line_no)
-        parts.append((label, parse_process(body)))
+        try:
+            parts.append((label, parse_process(body)))
+        except ParseError as err:
+            # Line/column are relative to the role body, so re-attach
+            # the body as the excerpt source and name the directive.
+            raise ParseError(
+                f"role {label!r} (directive at line {line_no}): {err.message}",
+                err.line,
+                err.column,
+                body,
+            ) from None
 
     if not parts:
         raise ParseError("a system file needs at least one role", 1)

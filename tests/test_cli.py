@@ -42,12 +42,20 @@ class TestParse:
 
     def test_parse_error_is_reported(self, capsys):
         status, _ = run_cli("parse", "-e", "a<M>.")
-        assert status == 1
+        assert status == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_shows_caret_excerpt(self, capsys):
+        status, _ = run_cli("parse", "-e", "a<M>.)x")
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "1 | a<M>.)x" in err
+        assert "^" in err
+        assert "Traceback" not in err
 
     def test_missing_file(self, capsys):
         status, _ = run_cli("parse", "/nonexistent/path.spi")
-        assert status == 1
+        assert status == 2
 
 
 class TestRun:
@@ -128,7 +136,90 @@ class TestExplore:
 
     def test_resume_missing_checkpoint_is_an_error(self, tmp_path):
         status, _ = run_cli("explore", "--resume", str(tmp_path / "gone.ckpt"))
-        assert status == 1
+        assert status == 2
+
+    def test_resume_corrupt_checkpoint_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"this is not a pickle of a Checkpoint")
+        status, _ = run_cli("explore", "--resume", str(path))
+        assert status == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "corrupt checkpoint" in err
+        assert "Traceback" not in err
+
+    def test_checkpoint_every_autosaves(self, tmp_path):
+        path = str(tmp_path / "auto.ckpt")
+        status, output = run_cli(
+            "explore", "--max-states", "3", "--max-depth", "2",
+            "--checkpoint", path, "--checkpoint-every", "1", "-e", EXAMPLE,
+        )
+        assert status == 0
+        from repro.runtime.checkpoint import Checkpoint
+
+        assert Checkpoint.load(path).graph.state_count() >= 1
+
+    def test_checkpoint_every_requires_checkpoint(self, capsys):
+        status, _ = run_cli("explore", "--checkpoint-every", "5", "-e", EXAMPLE)
+        assert status == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestSuite:
+    def test_spi_file_jobs(self, tmp_path):
+        source = tmp_path / "demo.spi"
+        source.write_text("a<M>.0 | a(x).b<x>.0")
+        status, output = run_cli("suite", str(source), "--jobs", "1")
+        assert status == 0
+        assert "suite: 1 job(s)" in output
+
+    def test_no_jobs_is_an_error(self, capsys):
+        status, _ = run_cli("suite")
+        assert status == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, capsys):
+        status, _ = run_cli("suite", "--zoo", "woo-lam", "--resume")
+        assert status == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_unknown_zoo_protocol(self, capsys):
+        status, _ = run_cli("suite", "--zoo", "no-such-protocol")
+        assert status == 2
+        assert "unknown zoo protocols" in capsys.readouterr().err
+
+    def test_corrupt_journal_on_resume_is_one_line_error(self, tmp_path, capsys):
+        journal = tmp_path / "suite.jsonl"
+        journal.write_text('{"type": "result", "job": broken!!}\n')
+        status, _ = run_cli(
+            "suite", "--zoo", "woo-lam",
+            "--journal", str(journal), "--resume",
+        )
+        assert status == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "corrupt record" in err
+        assert "Traceback" not in err
+
+    def test_suite_file_jobs(self, tmp_path):
+        import json
+
+        suite = tmp_path / "batch.json"
+        suite.write_text(json.dumps([
+            {"id": "explore:inline", "kind": "explore",
+             "target": {"source": "a<M>.0 | a(x).0"},
+             "max_states": 50, "max_depth": 8},
+        ]))
+        status, output = run_cli(
+            "suite", "--suite-file", str(suite), "--jobs", "1"
+        )
+        assert status == 0
+        assert "explore:inline" in output
+
+    def test_malformed_suite_file(self, tmp_path, capsys):
+        suite = tmp_path / "batch.json"
+        suite.write_text('{"not": "a list"}')
+        status, _ = run_cli("suite", "--suite-file", str(suite))
+        assert status == 2
+        assert "JSON list" in capsys.readouterr().err
 
 
 class TestUsage:

@@ -1,0 +1,128 @@
+"""Tests for the crash-safe JSONL result journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.runtime.journal import (
+    Journal,
+    JournalError,
+    journaled_results,
+    read_journal,
+)
+
+RECORDS = [
+    {"type": "result", "job": "a", "status": "ok", "attempts": 1},
+    {"type": "result", "job": "b", "status": "fault", "attempts": 3},
+    {"type": "note", "text": "unicode: ∂é∆ and \"quotes\""},
+]
+
+
+class TestRoundTrip:
+    def test_append_then_read(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            for record in RECORDS:
+                journal.append(record)
+        assert read_journal(path) == RECORDS
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "gone.jsonl")) == []
+
+    def test_fresh_discards_existing(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(RECORDS[0])
+        with Journal(path, fresh=True) as journal:
+            journal.append(RECORDS[1])
+        assert read_journal(path) == [RECORDS[1]]
+
+    def test_append_reopens_and_extends(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(RECORDS[0])
+        with Journal(path) as journal:
+            journal.append(RECORDS[1])
+        assert read_journal(path) == RECORDS[:2]
+
+
+class TestTornTail:
+    def test_incomplete_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps(RECORDS[0]) + "\n" + json.dumps(RECORDS[1])[:10]
+        )
+        assert read_journal(str(path)) == [RECORDS[0]]
+
+    def test_strict_mode_raises_on_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(RECORDS[0]) + "\n" + '{"torn": tru')
+        with pytest.raises(JournalError, match="torn final line"):
+            read_journal(str(path), strict=True)
+
+    def test_reopen_repairs_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        torn = json.dumps(RECORDS[1])[:7]
+        path.write_text(json.dumps(RECORDS[0]) + "\n" + torn)
+        with Journal(str(path)) as journal:
+            assert journal.repaired_bytes == len(torn)
+            journal.append(RECORDS[2])
+        assert read_journal(str(path)) == [RECORDS[0], RECORDS[2]]
+
+    def test_complete_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n{"ok": 2}\n')
+        with pytest.raises(JournalError, match="corrupt record on line 2"):
+            read_journal(str(path))
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(JournalError, match="not an object"):
+            read_journal(str(path))
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        # Each example writes its own cut-specific file, so reusing the
+        # per-test tmp_path across examples is sound.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(cut=st.integers(min_value=0, max_value=400))
+    def test_any_truncation_loses_at_most_the_final_record(self, tmp_path, cut):
+        """Chopping the file at an arbitrary byte — the crash model —
+        must yield a readable journal that is a prefix of the records,
+        minus at most the one record the crash interrupted."""
+        path = tmp_path / f"cut{cut}.jsonl"
+        with Journal(str(path), fsync=False) as journal:
+            for record in RECORDS:
+                journal.append(record)
+        data = path.read_bytes()
+        path.write_bytes(data[: min(cut, len(data))])
+        recovered = read_journal(str(path))
+        assert recovered == RECORDS[: len(recovered)]
+        complete = path.read_bytes().count(b"\n")
+        assert len(recovered) >= complete - (0 if cut >= len(data) else 1)
+
+
+class TestJournaledResults:
+    def test_latest_result_wins(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "result", "job": "a", "attempts": 1})
+            journal.append({"type": "note", "job": "a"})
+            journal.append({"type": "result", "job": "a", "attempts": 2})
+            journal.append({"type": "result", "job": "b", "attempts": 1})
+        results = journaled_results(path)
+        assert set(results) == {"a", "b"}
+        assert results["a"]["attempts"] == 2
+
+    def test_records_without_job_ids_are_ignored(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "result"})
+            journal.append({"type": "result", "job": 7})
+        assert journaled_results(path) == {}

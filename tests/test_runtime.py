@@ -495,3 +495,63 @@ class TestEscalation:
         _, report = explore_escalating(chain_system(80), DEFAULT_BUDGET)
         text = report.describe()
         assert "exact" in text and "->" in text
+
+
+# ----------------------------------------------------------------------
+# Periodic checkpoint autosave (RunControl.checkpoint_every)
+# ----------------------------------------------------------------------
+
+
+class TestAutosave:
+    def test_autosave_fires_every_interval(self):
+        snapshots = []
+        control = RunControl(checkpoint_every=2, on_checkpoint=snapshots.append)
+        graph = explore(chain_system(8), DEFAULT_BUDGET, control)
+        assert graph.state_count() == 9
+        # 9 states, one autosave per 2 newly-recorded states.
+        assert len(snapshots) == 4
+        counts = [snap.state_count() for snap in snapshots]
+        assert counts == sorted(counts)
+
+    def test_no_interval_means_no_callbacks(self):
+        snapshots = []
+        control = RunControl(on_checkpoint=snapshots.append)
+        explore(chain_system(5), DEFAULT_BUDGET, control)
+        assert snapshots == []
+
+    def test_snapshots_are_independent_copies(self):
+        snapshots = []
+        control = RunControl(checkpoint_every=1, on_checkpoint=snapshots.append)
+        graph = explore(chain_system(4), DEFAULT_BUDGET, control)
+        first_states = set(snapshots[0].states)
+        assert first_states < set(graph.states)  # frozen at autosave time
+
+    def test_autosaved_snapshot_resumes_to_parity(self):
+        """Resuming any mid-run snapshot reaches exactly the states of
+        the uninterrupted run — the invariant worker crash-recovery
+        relies on."""
+        system = chain_system(10)
+        uninterrupted = explore(system, DEFAULT_BUDGET)
+        snapshots = []
+        control = RunControl(checkpoint_every=3, on_checkpoint=snapshots.append)
+        explore(system, DEFAULT_BUDGET, control)
+        assert snapshots
+        for snap in snapshots:
+            resumed = resume_exploration(snap, DEFAULT_BUDGET)
+            assert set(resumed.states) == set(uninterrupted.states)
+            assert resumed.transition_count() == uninterrupted.transition_count()
+
+    def test_autosave_roundtrips_through_checkpoint_files(self, tmp_path):
+        path = str(tmp_path / "auto.ckpt")
+        budget = Budget(max_states=6, max_depth=10)
+        saves = []
+        control = RunControl(
+            checkpoint_every=2,
+            on_checkpoint=lambda g: (Checkpoint(g, budget).save(path), saves.append(1)),
+        )
+        partial = explore(chain_system(9), budget, control)
+        assert partial.truncated and saves
+        loaded = load_checkpoint(path)
+        resumed = resume_exploration(loaded.graph, Budget(max_states=100, max_depth=20))
+        assert resumed.exhaustion is None
+        assert resumed.state_count() == 10

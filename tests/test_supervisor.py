@@ -1,0 +1,294 @@
+"""Tests for the supervised parallel suite runner.
+
+These tests spawn real worker processes (spawn context), inject real
+``os._exit`` crashes, and assert the supervisor's recovery contract:
+jobs survive worker death, resumed attempts reach state-count parity
+with uninterrupted runs, exhausted retry budgets degrade to qualified
+fault verdicts, and journaled batches resume without re-running work.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.faults import CRASH_EXIT_CODE, FaultPlan
+from repro.runtime.journal import read_journal
+from repro.runtime.supervisor import (
+    SupervisorError,
+    _kill_reason,
+    _Worker,
+    run_suite,
+    zoo_jobs,
+)
+from repro.runtime.worker import Job, JobError, run_job
+
+EXPLORE_JOB = Job(
+    id="explore:otway-rees",
+    kind="explore",
+    target={"zoo": "otway-rees"},
+    max_states=1200,
+    max_depth=30,
+    checkpoint_every=2,
+)
+
+INLINE_JOB = Job(
+    id="explore:inline",
+    kind="explore",
+    target={"source": "a<M>.0 | a(x).b<x>.0"},
+    max_states=100,
+    max_depth=16,
+)
+
+
+class TestJobDescriptions:
+    def test_round_trip(self):
+        data = EXPLORE_JOB.to_json()
+        assert Job.from_json(json.loads(json.dumps(data))) == EXPLORE_JOB
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobError, match="unknown kind"):
+            Job(id="x", kind="frobnicate", target={"zoo": "yahalom"})
+
+    def test_bad_target_keys_rejected(self):
+        with pytest.raises(JobError, match="bad target keys"):
+            Job(id="x", kind="explore", target={"nonsense": "y"})
+
+    def test_check_needs_both_files(self):
+        with pytest.raises(JobError, match="impl and spec"):
+            Job(id="x", kind="check", target={"impl": "a.spi"})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(JobError, match="malformed job"):
+            Job.from_json({"kind": "explore"})
+
+    def test_run_job_in_process(self):
+        result = run_job(INLINE_JOB)
+        assert result["kind"] == "explore"
+        assert result["states"] == 2
+        assert result["exact"] and not result["violated"]
+
+
+class TestZooJobs:
+    def test_covers_the_whole_zoo(self):
+        from repro.protocols.zoo import ZOO
+
+        jobs = zoo_jobs()
+        assert len(jobs) == 2 * len(ZOO)
+        assert len({job.id for job in jobs}) == len(jobs)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SupervisorError, match="unknown zoo"):
+            zoo_jobs(protocols=["needham-schroeder-sk", "nope"])
+
+
+class TestSuiteBasics:
+    def test_clean_batch_completes(self):
+        report = run_suite([EXPLORE_JOB, INLINE_JOB], workers=2, retries=0)
+        assert report.completed
+        assert [o.status for o in report.outcomes] == ["ok", "ok"]
+        assert [o.job.id for o in report.outcomes] == [
+            "explore:otway-rees", "explore:inline",
+        ]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SupervisorError, match="duplicate job ids"):
+            run_suite([INLINE_JOB, INLINE_JOB])
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(SupervisorError, match="journal_path"):
+            run_suite([INLINE_JOB], resume=True)
+
+    def test_in_worker_error_degrades_after_retries(self):
+        bad = Job(
+            id="explore:missing", kind="explore", target={"spi": "/does/not/exist.spi"}
+        )
+        report = run_suite([bad, INLINE_JOB], workers=2, retries=1)
+        assert report.completed
+        broken, fine = report.outcomes
+        assert broken.status == "fault" and broken.attempts == 2
+        assert "FileNotFoundError" in broken.error
+        assert broken.result["exhaustion"]["reasons"] == ["fault"]
+        assert fine.status == "ok"
+
+
+class TestCrashRecovery:
+    def test_sigkill_crash_resumes_to_state_count_parity(self, tmp_path):
+        """A worker hard-killed mid-exploration (injected ``os._exit``,
+        indistinguishable from SIGKILL to the supervisor) is respawned
+        and the retry resumes from the autosaved checkpoint — reaching
+        exactly the states an uninterrupted run reaches."""
+        baseline = run_suite([EXPLORE_JOB], workers=1, retries=0).outcomes[0]
+        assert baseline.status == "ok"
+
+        report = run_suite(
+            [EXPLORE_JOB],
+            workers=1,
+            retries=2,
+            checkpoint_dir=str(tmp_path / "ckpts"),
+            fault_plan=FaultPlan(exit_at=(7,)),
+            fault_attempts=(1,),
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+        assert outcome.result["resumed"] is True
+        assert outcome.result["states"] == baseline.result["states"]
+        assert f"status {CRASH_EXIT_CODE}" in outcome.events[0]
+
+    def test_crash_on_every_attempt_degrades_to_fault(self):
+        report = run_suite(
+            [EXPLORE_JOB, INLINE_JOB],
+            workers=2,
+            retries=1,
+            fault_plan=FaultPlan(exit_at=(3,)),
+            fault_attempts=(1, 2, 3, 4),
+        )
+        assert report.completed
+        doomed, fine = report.outcomes
+        assert doomed.status == "fault"
+        assert doomed.attempts == 2
+        assert len(doomed.events) == 2
+        assert doomed.result["exhaustion"]["reasons"] == ["fault"]
+        assert doomed.result["summary"].startswith("no verdict")
+        # The tiny inline job never reaches successor call 3.
+        assert fine.status == "ok"
+
+    def test_degraded_fault_keeps_checkpoint_progress(self, tmp_path):
+        report = run_suite(
+            [EXPLORE_JOB],
+            workers=1,
+            retries=0,
+            checkpoint_dir=str(tmp_path / "ckpts"),
+            fault_plan=FaultPlan(exit_at=(7,)),
+            fault_attempts=(1,),
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "fault"
+        assert outcome.result["states"] > 0  # partial progress preserved
+
+
+class TestJournalResume:
+    def test_resume_skips_journaled_jobs(self, tmp_path):
+        journal = str(tmp_path / "suite.jsonl")
+        first = run_suite(
+            [EXPLORE_JOB, INLINE_JOB], workers=2, journal_path=journal
+        )
+        assert first.completed
+        second = run_suite(
+            [EXPLORE_JOB, INLINE_JOB], workers=2, journal_path=journal, resume=True
+        )
+        assert all(o.status == "skipped" for o in second.outcomes)
+        assert second.outcomes[0].result == first.outcomes[0].result
+        assert "skipped 2 journaled job(s)" in second.describe()
+
+    def test_resume_runs_only_the_missing_jobs(self, tmp_path):
+        """A journal holding one of two verdicts — as left behind by a
+        killed supervisor — re-runs exactly the other job."""
+        journal = str(tmp_path / "suite.jsonl")
+        run_suite([INLINE_JOB], workers=1, journal_path=journal)
+        report = run_suite(
+            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal, resume=True
+        )
+        statuses = {o.job.id: o.status for o in report.outcomes}
+        assert statuses == {
+            "explore:inline": "skipped",
+            "explore:otway-rees": "ok",
+        }
+        # Both verdicts are journaled now; a third run skips everything.
+        third = run_suite(
+            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal, resume=True
+        )
+        assert all(o.status == "skipped" for o in third.outcomes)
+
+    def test_resume_tolerates_torn_journal_tail(self, tmp_path):
+        journal = str(tmp_path / "suite.jsonl")
+        run_suite([INLINE_JOB], workers=1, journal_path=journal)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "result", "job": "explore:otway-re')
+        report = run_suite(
+            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal, resume=True
+        )
+        statuses = {o.job.id: o.status for o in report.outcomes}
+        assert statuses["explore:inline"] == "skipped"
+        assert statuses["explore:otway-rees"] == "ok"
+
+    def test_journal_records_every_outcome(self, tmp_path):
+        journal = str(tmp_path / "suite.jsonl")
+        run_suite(
+            [EXPLORE_JOB],
+            workers=1,
+            retries=0,
+            journal_path=journal,
+            fault_plan=FaultPlan(exit_at=(7,)),
+        )
+        records = read_journal(journal)
+        assert len(records) == 1
+        assert records[0]["status"] == "fault"
+        assert records[0]["result"]["exhaustion"]["reasons"] == ["fault"]
+
+
+class TestWatchdogPolicy:
+    """Unit tests of the pure kill-decision logic (no real processes)."""
+
+    @staticmethod
+    def _worker(busy: bool = True, started: float = 100.0, beat: float = 100.0):
+        class FakeProc:
+            pid = 4242
+
+        worker = _Worker(index=0, proc=FakeProc(), conn=None)
+        worker.current = object() if busy else None
+        worker.started_at = started
+        worker.last_beat = beat
+        return worker
+
+    def test_idle_workers_are_never_killed(self):
+        worker = self._worker(busy=False, beat=0.0)
+        assert _kill_reason(worker, 1000.0, 1.0, 1.0, 1.0, rss_of=lambda pid: 1e9) is None
+
+    def test_oom(self):
+        worker = self._worker(beat=100.0)
+        reason = _kill_reason(worker, 100.0, 256.0, None, 60.0, rss_of=lambda pid: 300.0)
+        assert reason is not None and reason.startswith("oom:")
+
+    def test_rss_unreadable_means_no_oom_kill(self):
+        worker = self._worker(beat=100.0)
+        assert _kill_reason(worker, 100.0, 256.0, None, 60.0, rss_of=lambda pid: None) is None
+
+    def test_hang(self):
+        worker = self._worker(started=0.0, beat=100.0)
+        reason = _kill_reason(worker, 100.0, None, 50.0, 60.0, rss_of=lambda pid: None)
+        assert reason is not None and reason.startswith("hang:")
+
+    def test_stalled_heartbeat(self):
+        worker = self._worker(started=95.0, beat=0.0)
+        reason = _kill_reason(worker, 100.0, None, None, 60.0, rss_of=lambda pid: None)
+        assert reason is not None and reason.startswith("stalled:")
+
+    def test_healthy_worker_survives(self):
+        worker = self._worker(started=99.0, beat=100.0)
+        assert _kill_reason(worker, 100.0, 256.0, 50.0, 60.0, rss_of=lambda pid: 10.0) is None
+
+
+class TestHangRecovery:
+    def test_latency_hang_is_killed_and_degraded(self, tmp_path):
+        """A worker stuck in injected per-call latency blows through the
+        hard deadline, is killed by the watchdog, and (with no retries)
+        the job degrades — the suite still completes."""
+        slow = Job(
+            id="explore:slow", kind="explore", target={"zoo": "otway-rees"},
+            max_states=1200, max_depth=30,
+        )
+        report = run_suite(
+            [slow],
+            workers=1,
+            retries=0,
+            job_deadline=0.2,
+            hang_grace=0.3,
+            fault_plan=FaultPlan(latency=30.0),
+            fault_attempts=(1,),
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "fault"
+        assert any("hang" in event or "stalled" in event for event in outcome.events)

@@ -256,3 +256,53 @@ class TestParserProperties:
         once = render_process(parse_process(source))
         twice = render_process(parse_process(once))
         assert once == twice
+
+
+class TestParseErrorExcerpts:
+    """ParseError carries a source excerpt with a caret at the column."""
+
+    def test_single_line_excerpt_with_caret(self):
+        with pytest.raises(ParseError) as err:
+            parse_process("a<M>.)x")
+        text = str(err.value)
+        assert "1 | a<M>.)x" in text
+        lines = text.splitlines()
+        caret_line = lines[-1]
+        assert caret_line.endswith("^")
+        # The caret sits under the offending column of the quoted line.
+        quoted = lines[-2]
+        assert quoted[caret_line.index("^")] == ")"
+
+    def test_multi_line_source_quotes_offending_line(self):
+        source = "a<M>.\na(x .0"
+        with pytest.raises(ParseError) as err:
+            parse_process(source)
+        text = str(err.value)
+        assert "2 | a(x .0" in text
+        assert "1 | a<M>." not in text
+
+    def test_position_attributes_preserved(self):
+        with pytest.raises(ParseError) as err:
+            parse_process("a<M>.)x")
+        assert err.value.line == 1
+        assert err.value.column == 6
+        assert err.value.source == "a<M>.)x"
+
+    def test_with_source_is_idempotent(self):
+        with pytest.raises(ParseError) as err:
+            parse_process("a<M>.)x")
+        error = err.value
+        again = error.with_source("completely different text")
+        assert again is error  # the first attachment wins
+
+    def test_term_parse_errors_also_carry_excerpts(self):
+        from repro.syntax.parser import parse_term
+
+        with pytest.raises(ParseError) as err:
+            parse_term("{M}")
+        assert "|" in str(err.value) and "^" in str(err.value)
+
+    def test_error_without_source_has_no_excerpt(self):
+        bare = ParseError("boom", line=3, column=7)
+        assert str(bare) == "boom at 3:7"
+        assert bare.with_source("abc\ndef\nghijklm").source is not None

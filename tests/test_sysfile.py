@@ -99,7 +99,7 @@ class TestCheckCommand:
         status, output = run_cli(
             "check", str(SYSTEMS / "p1_impl.spi"), str(SYSTEMS / "p_spec.spi")
         )
-        assert status == 2
+        assert status == 1
         assert "NOT a secure implementation" in output
         assert "impersonate(c)" in output
 
@@ -107,7 +107,7 @@ class TestCheckCommand:
         other = tmp_path / "other.spi"
         other.write_text("channels: d\nrole P = 0\nsubrole P ||0 A\nsubrole P ||1 B\n")
         status, _ = run_cli("check", str(SYSTEMS / "p2_impl.spi"), str(other))
-        assert status == 1
+        assert status == 2
         assert "different channels" in capsys.readouterr().err
 
 
@@ -132,4 +132,4 @@ class TestAnalyzeCommand:
 
     def test_bad_file_reports_error(self, capsys):
         status, _ = run_cli("analyze", "/does/not/exist.spi")
-        assert status == 1
+        assert status == 2
