@@ -23,5 +23,12 @@ def test_suite_parallel_scaling(benchmark, workers):
     assert report.completed
     assert all(outcome.status == "ok" for outcome in report.outcomes)
     assert not report.violations
+    stats = report.stats()
     benchmark.extra_info["jobs"] = len(report.outcomes)
     benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["states"] = stats.states
+    benchmark.extra_info["transitions"] = stats.transitions
+    benchmark.extra_info["states_per_s"] = stats.states_per_s
+    benchmark.extra_info["retries"] = stats.retries
+    if stats.peak_rss_mb is not None:
+        benchmark.extra_info["peak_rss_mb"] = round(stats.peak_rss_mb, 1)

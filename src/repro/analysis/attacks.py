@@ -214,9 +214,16 @@ def securely_implements(
     every attacker and included in the verdict — the paper's positive
     proof technique, independent of the tester family.
     """
+    from repro.obs.metrics import current_metrics
+    from repro.obs.trace import trace_span
+
     tests_count = 0
     exhaustions: list[Optional[Exhaustion]] = []
     simulations: list[SimulationResult] = []
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("check.runs")
+        metrics.inc("check.attackers", len(attackers))
     for attacker_name, attacker in attackers:
         impl_x = impl.with_part("E", attacker)
         spec_x = spec.with_part("E", attacker)

@@ -25,11 +25,14 @@ origin-sensitive properties then detect.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.analysis.knowledge import Knowledge, synthesizable
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import trace_span
 from repro.core.addresses import Location, is_prefix
 from repro.core.errors import TermError
 from repro.core.processes import replace_leaves
@@ -230,6 +233,10 @@ def env_explore(
     queue: deque[tuple[EnvState, int]] = deque([(initial, 0)])
     reasons: list[str] = []
     detail: Optional[str] = None
+    kinds = {"tau": 0, "hear": 0, "say": 0}
+    dedup_hits = 0
+    max_queue = 0
+    started = time.monotonic()
 
     def note(reason: str, message: Optional[str] = None) -> None:
         nonlocal detail
@@ -240,32 +247,39 @@ def env_explore(
 
     deepest = 0
     try:
-        while queue:
-            stop = ctl.interruption()
-            if stop is not None:
-                note(stop)
-                break
-            state, depth = queue.popleft()
-            key = state.key()
-            deepest = max(deepest, depth)
-            if depth >= budget.max_depth:
-                note(DEPTH)
-                continue
-            out: list[tuple[EnvStep, tuple]] = []
-            try:
-                for step in env_successors(state, env_loc, channels, synth_depth):
-                    target_key = step.target.key()
-                    if target_key not in graph.states:
-                        if len(graph.states) >= budget.max_states:
-                            note(STATES)
-                            continue
-                        graph.states[target_key] = step.target
-                        queue.append((step.target, depth + 1))
-                    out.append((step, target_key))
-            except FaultError as exc:
-                note(FAULT, str(exc))
-                continue
-            graph.edges[key] = out
+        with trace_span("env.explore", max_states=budget.max_states,
+                        max_depth=budget.max_depth):
+            while queue:
+                if len(queue) > max_queue:
+                    max_queue = len(queue)
+                stop = ctl.interruption()
+                if stop is not None:
+                    note(stop)
+                    break
+                state, depth = queue.popleft()
+                key = state.key()
+                deepest = max(deepest, depth)
+                if depth >= budget.max_depth:
+                    note(DEPTH)
+                    continue
+                out: list[tuple[EnvStep, tuple]] = []
+                try:
+                    for step in env_successors(state, env_loc, channels, synth_depth):
+                        target_key = step.target.key()
+                        if target_key not in graph.states:
+                            if len(graph.states) >= budget.max_states:
+                                note(STATES)
+                                continue
+                            graph.states[target_key] = step.target
+                            queue.append((step.target, depth + 1))
+                        else:
+                            dedup_hits += 1
+                        kinds[step.kind] += 1
+                        out.append((step, target_key))
+                except FaultError as exc:
+                    note(FAULT, str(exc))
+                    continue
+                graph.edges[key] = out
     except KeyboardInterrupt:
         note(CANCELLED, "keyboard interrupt")
     if reasons:
@@ -275,6 +289,17 @@ def env_explore(
             depth=deepest,
             detail=detail,
         )
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("env.runs")
+        metrics.inc("env.states", len(graph.states))
+        metrics.inc("env.transitions", sum(kinds.values()))
+        metrics.inc("env.tau", kinds["tau"])
+        metrics.inc("env.hear", kinds["hear"])
+        metrics.inc("env.say", kinds["say"])
+        metrics.inc("env.dedup_hits", dedup_hits)
+        metrics.set_gauge("env.queue_depth", max_queue)
+        metrics.observe("env.seconds", time.monotonic() - started)
     return graph
 
 

@@ -1,18 +1,31 @@
 """Command-line interface to the calculus.
 
-Six subcommands cover the workflows::
+Nine subcommands cover the workflows::
 
     repro-spi parse   FILE           # parse & pretty-print (+ tree view)
     repro-spi run     FILE           # narrated execution, first-choice
     repro-spi explore FILE           # bounded exploration, stats, dot
     repro-spi analyze SYSFILE        # MGA properties of a system file
+    repro-spi secrecy TARGET         # one secrecy verdict, exit-coded
+    repro-spi authentication TARGET  # one authentication verdict
     repro-spi check   IMPL SPEC      # Definition 4 between system files
     repro-spi suite   [FILE...]      # supervised parallel job batch
+    repro-spi stats   JOURNAL        # per-job metrics of a suite journal
 
 ``parse``/``run``/``explore`` take a bare process in the concrete
 syntax (``-`` reads stdin, ``-e SOURCE`` passes it inline);
 ``analyze``/``check`` take *system files* (see
-:mod:`repro.syntax.sysfile`) describing whole configurations.
+:mod:`repro.syntax.sysfile`) describing whole configurations;
+``secrecy``/``authentication`` take either a system file path or a
+protocol-zoo name.
+
+Observability (see :mod:`repro.obs`): ``explore``, ``analyze``,
+``secrecy``, ``authentication``, ``check`` and ``suite`` accept
+``--trace FILE`` (structured JSONL trace events), ``--stats [FILE]``
+(collect metrics; print them, or write JSON — for ``suite`` the file
+also carries per-job and aggregate :class:`~repro.obs.stats.SuiteStats`
+blocks) and ``--profile [FILE]`` (cProfile the run; ``.prof`` files
+take the binary dump, anything else a text table).
 
 ``explore``/``analyze``/``check`` share the resilient-runtime flags:
 ``--deadline SECONDS`` bounds wall-clock time (a partial, qualified
@@ -104,6 +117,33 @@ def _add_runtime_arguments(
             metavar="PATH",
             help="continue an exploration from a saved checkpoint",
         )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write structured JSONL trace events (spans, counters) here",
+    )
+    parser.add_argument(
+        "--stats",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="collect run metrics; print them ('-', the default) or "
+        "write them to FILE as JSON",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="cProfile the run; '-' prints a table, *.prof dumps "
+        "pstats data, anything else gets the table as text",
+    )
 
 
 def _control(args: argparse.Namespace, on_checkpoint=None) -> Optional[RunControl]:
@@ -215,14 +255,20 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
     budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
     cfg = sysfile.configuration
 
+    violated = False
+
     def run_check(label, check):
+        nonlocal violated
         if args.escalate:
             verdict, report = escalate(check, budget)
             print(f"{label}: {verdict.describe()}", file=out)
             if len(report.attempts) > 1 or not report.exact:
                 print(f"  {report.describe()}", file=out)
         else:
-            print(f"{label}: {check(budget).describe()}", file=out)
+            verdict = check(budget)
+            print(f"{label}: {verdict.describe()}", file=out)
+        if not verdict.holds:
+            violated = True
 
     with governed(control=_control(args)):
         if args.sender is not None:
@@ -241,6 +287,69 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
                 f"secrecy({secret})",
                 lambda b, s=secret: env_secrecy(cfg, s, budget=b),
             )
+    return 1 if violated else 0
+
+
+def cmd_property(args: argparse.Namespace, out) -> int:
+    """``secrecy`` / ``authentication``: one exit-coded property verdict.
+
+    The target is a system file path when one exists at that path, a
+    protocol-zoo name otherwise.  Execution goes through
+    :func:`repro.runtime.worker.run_job`, so the verdict matches what a
+    ``suite`` job over the same target would journal — stat block
+    included.
+    """
+    import os
+
+    from repro.runtime.worker import Job, run_job
+
+    if os.path.exists(args.target):
+        target = {"sysfile": args.target}
+    else:
+        from repro.protocols.zoo import ZOO
+
+        if args.target not in ZOO:
+            raise ReproError(
+                f"{args.target!r} is neither a system file nor one of the "
+                f"zoo protocols ({', '.join(sorted(ZOO))})"
+            )
+        target = {"zoo": args.target}
+    job = Job(
+        id=f"{args.command}:{args.target}",
+        kind=args.command,
+        target=target,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        secret=getattr(args, "secret", None),
+        sender=getattr(args, "sender", None),
+    )
+    result = run_job(job, deadline=args.deadline)
+    print(result["summary"], file=out)
+    return 1 if result["violated"] else 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:
+    """``stats``: render a suite journal's per-job metrics as a table."""
+    import json
+
+    import os
+
+    from repro.obs.stats import SuiteStats, render_job_table
+    from repro.runtime.journal import journaled_results
+
+    if not os.path.exists(args.journal):
+        raise ReproError(f"no journal at {args.journal!r}")
+    records = list(journaled_results(args.journal).values())
+    print(render_job_table(records), file=out)
+    if args.json is not None:
+        payload = SuiteStats.from_records(records).to_json()
+        if args.json == "-":
+            print(json.dumps(payload, indent=2), file=out)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"stats JSON written to {args.json}", file=out)
     return 0
 
 
@@ -346,6 +455,8 @@ def cmd_suite(args: argparse.Namespace, out) -> int:
         on_outcome=lambda outcome: print(outcome.describe(), file=out),
     )
     print(report.describe(), file=out)
+    # Stash the report for --stats post-processing (see _dispatch).
+    args.suite_report = report
     return 1 if report.violations else 0
 
 
@@ -373,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--max-depth", type=int, default=64)
     p_explore.add_argument("--dot", default=None, help="write Graphviz output ('-' = stdout)")
     _add_runtime_arguments(p_explore, checkpointing=True)
+    _add_obs_arguments(p_explore)
     p_explore.set_defaults(handler=cmd_explore)
 
     p_analyze = sub.add_parser(
@@ -386,7 +498,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--max-states", type=int, default=4000)
     p_analyze.add_argument("--max-depth", type=int, default=18)
     _add_runtime_arguments(p_analyze)
+    _add_obs_arguments(p_analyze)
     p_analyze.set_defaults(handler=cmd_analyze)
+
+    for kind, blurb in (
+        ("secrecy", "does the target keep its secret? (exit 1 = leak)"),
+        ("authentication", "is the sender authenticated? (exit 1 = violation)"),
+    ):
+        p_prop = sub.add_parser(kind, help=blurb)
+        p_prop.add_argument(
+            "target", help="system file path, or a protocol-zoo name"
+        )
+        if kind == "secrecy":
+            p_prop.add_argument(
+                "--secret",
+                default=None,
+                metavar="NAME",
+                help="secret base name (required for system files; "
+                "default KAB for zoo targets)",
+            )
+        else:
+            p_prop.add_argument(
+                "--sender",
+                default=None,
+                metavar="ROLE",
+                help="authenticated sender role (default A)",
+            )
+        p_prop.add_argument("--max-states", type=int, default=4000)
+        p_prop.add_argument("--max-depth", type=int, default=24)
+        p_prop.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock limit; expiry qualifies the verdict",
+        )
+        _add_obs_arguments(p_prop)
+        p_prop.set_defaults(handler=cmd_property)
 
     p_check = sub.add_parser(
         "check", help="Definition 4: does IMPL securely implement SPEC?"
@@ -396,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--max-states", type=int, default=2000)
     p_check.add_argument("--max-depth", type=int, default=24)
     _add_runtime_arguments(p_check)
+    _add_obs_arguments(p_check)
     p_check.set_defaults(handler=cmd_check)
 
     p_suite = sub.add_parser(
@@ -487,9 +636,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="test instrumentation: fail successor call N on each "
         "job's first attempt",
     )
+    _add_obs_arguments(p_suite)
     p_suite.set_defaults(handler=cmd_suite)
 
+    p_stats = sub.add_parser(
+        "stats", help="render a suite journal's per-job metrics as a table"
+    )
+    p_stats.add_argument("journal", help="suite journal (JSONL) to aggregate")
+    p_stats.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="also emit the aggregate as JSON ('-' = stdout)",
+    )
+    p_stats.set_defaults(handler=cmd_stats)
+
     return parser
+
+
+def _emit_stats(args: argparse.Namespace, metrics, out) -> None:
+    """Post-run ``--stats`` output: text to ``out`` or JSON to a file.
+
+    For ``suite`` the payload additionally carries the aggregate and
+    per-job :class:`~repro.obs.stats.SuiteStats` blocks assembled from
+    the run's outcomes.
+    """
+    import json
+
+    report = getattr(args, "suite_report", None)
+    if args.stats == "-":
+        if report is not None:
+            print(report.stats().describe(), file=out)
+        print(metrics.describe(), file=out)
+        return
+    payload = {"metrics": metrics.to_json()}
+    if report is not None:
+        payload.update(report.stats().to_json())
+    with open(args.stats, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"stats written to {args.stats}", file=out)
+
+
+def _dispatch(args: argparse.Namespace, out) -> int:
+    """Run the subcommand handler inside the requested observability
+    contexts (``--trace`` / ``--stats`` / ``--profile``)."""
+    trace_to = getattr(args, "trace", None)
+    stats_to = getattr(args, "stats", None)
+    profile_to = getattr(args, "profile", None)
+    if trace_to is None and stats_to is None and profile_to is None:
+        return args.handler(args, out)
+
+    from contextlib import ExitStack
+
+    from repro.obs import Tracer, collecting, profile, tracing
+
+    metrics = None
+    with ExitStack() as stack:
+        if stats_to is not None:
+            metrics = stack.enter_context(collecting())
+        if trace_to is not None:
+            tracer = stack.enter_context(Tracer.to_path(trace_to))
+            stack.enter_context(tracing(tracer))
+        if profile_to is not None:
+            stack.enter_context(
+                profile(None if profile_to == "-" else profile_to, stream=out)
+            )
+        code = args.handler(args, out)
+    if metrics is not None:
+        _emit_stats(args, metrics, out)
+    if trace_to is not None:
+        print(f"trace written to {trace_to}", file=out)
+    return code
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -499,7 +719,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args, out)
+        return _dispatch(args, out)
     except (ReproError, OSError) as error:
         # Every library failure mode subclasses ReproError (parse errors,
         # corrupt checkpoints/journals, malformed jobs...): one line on

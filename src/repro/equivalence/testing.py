@@ -132,8 +132,15 @@ def passes_result(
     which limit (states/depth/deadline/cancellation/fault) made a
     negative answer inconclusive.
     """
+    from repro.obs.metrics import current_metrics
+    from repro.obs.trace import trace_span
+
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("equivalence.tests")
     system = compose(config, test.tester)
-    return converges_result(system, test.barb, budget, control)
+    with trace_span("equivalence.test", test=test.name):
+        return converges_result(system, test.barb, budget, control)
 
 
 def passes(

@@ -1,0 +1,74 @@
+"""Observability: structured traces, metrics, stat blocks, profiling.
+
+A dependency-free subsystem that makes the library's dominant cost —
+opaque state-space exploration — measurable:
+
+* :mod:`repro.obs.trace` — :class:`Tracer`: structured JSONL trace
+  events (spans, counters, annotations) with monotonic timestamps;
+* :mod:`repro.obs.metrics` — :class:`Metrics`: a registry of counters,
+  gauges and histograms with JSON round-trips and associative merge;
+* :mod:`repro.obs.stats` — per-job stat blocks attached to suite
+  verdicts and the :class:`SuiteStats` aggregate;
+* :mod:`repro.obs.profile` — :func:`profile`: a cProfile context
+  manager behind the CLI's ``--profile``.
+
+Both tracing and metrics collection are *ambient* (install with
+:func:`tracing` / :func:`collecting`, read with
+:func:`current_tracer` / :func:`current_metrics`) and cost one ``None``
+check per instrumented run when disabled — the exploration loops keep
+plain local counters and publish totals once at the end, so the hot
+path carries no per-state indirection.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    collecting,
+    current_metrics,
+)
+from repro.obs.profile import profile, render_profile
+from repro.obs.stats import (
+    SuiteStats,
+    job_stats_block,
+    peak_rss_mb,
+    render_job_table,
+)
+from repro.obs.trace import (
+    TraceError,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    read_trace,
+    trace_counter,
+    trace_event,
+    trace_span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "SuiteStats",
+    "TraceError",
+    "TraceEvent",
+    "Tracer",
+    "collecting",
+    "current_metrics",
+    "current_tracer",
+    "job_stats_block",
+    "peak_rss_mb",
+    "profile",
+    "read_trace",
+    "render_job_table",
+    "render_profile",
+    "trace_counter",
+    "trace_event",
+    "trace_span",
+    "tracing",
+]

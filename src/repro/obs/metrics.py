@@ -1,0 +1,308 @@
+"""The metrics registry: counters, gauges, histograms.
+
+Verification is dominated by opaque state-space exploration; a suite
+run that only reports final verdicts cannot say *where* time, states,
+or retries went.  A :class:`Metrics` registry is the answer: a flat
+namespace of named instruments that the exploration loops, equivalence
+checkers, analysis passes and the supervised suite runner all write
+into when one is *installed* (see :func:`collecting`), and that costs a
+single ``None`` check when none is.
+
+Three instrument kinds, chosen so that registries from independent
+sub-computations (worker processes, escalation attempts, suite jobs)
+can be **merged associatively**:
+
+* :class:`Counter` — a monotone event count; merge adds.
+* :class:`Gauge` — a level (queue depth, RSS); merge takes the maximum,
+  so a merged gauge reads "the highest level any contributor saw".
+* :class:`Histogram` — a value distribution over fixed bucket bounds;
+  merge adds bucket counts and sums, and takes min/max of extrema.
+
+Everything serializes to flat JSON (:meth:`Metrics.to_json` /
+:meth:`Metrics.from_json`), because metrics cross the same process and
+journal boundaries as verdicts do.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional, Sequence
+
+#: Default histogram bucket upper bounds (seconds-flavoured geometric
+#: ladder; the overflow bucket catches everything above the last bound).
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def merge(self, other: "Counter") -> "Counter":
+        return Counter(self.value + other.value)
+
+
+class Gauge:
+    """A sampled level; remembers the last and the highest sample."""
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self, value: float = 0.0, peak: float = 0.0) -> None:
+        self.value = value
+        self.peak = peak
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Merged gauges read the highest level any contributor saw.
+
+        Taking the maximum (for ``value`` too, not just ``peak``) keeps
+        the merge associative and commutative — "last write" has no
+        meaning across concurrent contributors.
+        """
+        return Gauge(max(self.value, other.value), max(self.peak, other.peak))
+
+
+class Histogram:
+    """A value distribution over fixed bucket upper bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final extra
+    bucket is the overflow.  Merging requires identical bounds and is
+    associative: counts and sums add, extrema take min/max.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        merged = Histogram(self.bounds)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxes = [m for m in (self.max, other.max) if m is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxes) if maxes else None
+        return merged
+
+    def approx_equals(self, other: "Histogram", rel_tol: float = 1e-9) -> bool:
+        """Structural equality with float tolerance on the sums.
+
+        Bucket counts and extrema compare exactly; ``total`` is a float
+        accumulation, so two associativity-equivalent merge orders may
+        differ in the last ulps.
+        """
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.min == other.min
+            and self.max == other.max
+            and math.isclose(self.total, other.total, rel_tol=rel_tol, abs_tol=1e-12)
+        )
+
+
+class Metrics:
+    """A flat registry of named instruments.
+
+    Instruments are created on first use (``metrics.counter("x").inc()``
+    never KeyErrors), so instrumented code needs no registration step.
+    Names are conventionally dotted: ``explore.states``,
+    ``suite.retries``.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access --------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(bounds)
+        return histogram
+
+    # -- convenience writers ------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- merge & JSON --------------------------------------------------
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """A new registry combining both; associative and commutative."""
+        merged = Metrics()
+        for name in {*self.counters, *other.counters}:
+            a, b = self.counters.get(name), other.counters.get(name)
+            merged.counters[name] = (
+                a.merge(b) if a and b else Counter((a or b).value)
+            )
+        for name in {*self.gauges, *other.gauges}:
+            a, b = self.gauges.get(name), other.gauges.get(name)
+            source = a.merge(b) if a and b else (a or b)
+            merged.gauges[name] = Gauge(source.value, source.peak)
+        for name in {*self.histograms, *other.histograms}:
+            a, b = self.histograms.get(name), other.histograms.get(name)
+            if a and b:
+                merged.histograms[name] = a.merge(b)
+            else:
+                source = a or b
+                merged.histograms[name] = source.merge(Histogram(source.bounds))
+        return merged
+
+    def absorb(self, other: "Metrics") -> None:
+        """In-place :meth:`merge` — fold ``other`` into this registry."""
+        merged = self.merge(other)
+        self.counters = merged.counters
+        self.gauges = merged.gauges
+        self.histograms = merged.histograms
+
+    def to_json(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: {"value": gauge.value, "peak": gauge.peak}
+                for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "Metrics":
+        metrics = Metrics()
+        for name, value in (data.get("counters") or {}).items():
+            metrics.counters[name] = Counter(int(value))
+        for name, fields in (data.get("gauges") or {}).items():
+            metrics.gauges[name] = Gauge(
+                float(fields["value"]), float(fields.get("peak", fields["value"]))
+            )
+        for name, fields in (data.get("histograms") or {}).items():
+            histogram = Histogram(tuple(fields["bounds"]))
+            histogram.counts = [int(c) for c in fields["counts"]]
+            histogram.count = int(fields["count"])
+            histogram.total = float(fields["total"])
+            histogram.min = fields.get("min")
+            histogram.max = fields.get("max")
+            metrics.histograms[name] = histogram
+        return metrics
+
+    def describe(self) -> str:
+        """A compact multi-line text rendering (for ``--stats -``)."""
+        lines: list[str] = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"{name:32s} {counter.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append(f"{name:32s} {gauge.value:g} (peak {gauge.peak:g})")
+        for name, h in sorted(self.histograms.items()):
+            mean = f"{h.mean:.4g}" if h.count else "-"
+            lines.append(
+                f"{name:32s} n={h.count} mean={mean} "
+                f"min={h.min if h.min is not None else '-'} "
+                f"max={h.max if h.max is not None else '-'}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# ----------------------------------------------------------------------
+# The ambient registry
+# ----------------------------------------------------------------------
+
+_active: list[Metrics] = []
+
+
+def current_metrics() -> Optional[Metrics]:
+    """The installed registry, or ``None`` when collection is off.
+
+    Hot loops should fetch this **once** per run and keep local plain
+    counters, publishing totals at the end — then the disabled cost of
+    instrumentation is one list lookup per exploration, not per state.
+    """
+    return _active[-1] if _active else None
+
+
+@contextmanager
+def collecting(metrics: Optional[Metrics] = None) -> Iterator[Metrics]:
+    """Install a registry for the enclosed block (nestable; innermost
+    wins).  Yields the registry so ``with collecting() as m:`` works."""
+    registry = metrics if metrics is not None else Metrics()
+    _active.append(registry)
+    try:
+        yield registry
+    finally:
+        _active.pop()

@@ -1,0 +1,267 @@
+"""Per-job stat blocks and suite-level aggregation.
+
+Every suite verdict (see :mod:`repro.runtime.worker`) carries a
+``"stats"`` block — elapsed wall-clock, states and transitions
+explored, throughput, the worker's peak RSS, checkpoint autosaves, and
+the full per-job :class:`~repro.obs.metrics.Metrics` dump.  Those
+blocks persist in the journal with the verdicts, so a finished (or
+crashed) batch can be *measured* after the fact.
+
+This module owns the shapes built on top of the blocks:
+
+* :func:`job_stats_block` — assemble a block from a metrics registry
+  (used by :func:`repro.runtime.worker.run_job`);
+* :func:`peak_rss_mb` — the process's lifetime peak resident set;
+* :class:`SuiteStats` — the aggregate over a batch of journal records
+  (totals, throughput, retry and fault counts, RSS peak);
+* :func:`render_job_table` — the ``repro-spi stats`` table.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.obs.metrics import Metrics
+
+#: Metric names whose counters measure explored states, per layer.
+STATE_COUNTERS = ("explore.states", "search.states", "env.states")
+#: Metric names whose counters measure recorded transitions.
+TRANSITION_COUNTERS = ("explore.transitions", "env.transitions")
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Lifetime peak resident set of this process, in MiB.
+
+    Uses ``getrusage`` (ru_maxrss is KiB on Linux, bytes on macOS);
+    returns ``None`` on platforms without it.
+    """
+    try:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - not our CI
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def _summed(metrics: Metrics, names: Iterable[str]) -> int:
+    return sum(
+        counter.value
+        for name, counter in metrics.counters.items()
+        if name in names
+    )
+
+
+def job_stats_block(metrics: Metrics, elapsed: float) -> dict:
+    """The JSON stat block attached to one job's result.
+
+    ``states``/``transitions`` sum the per-layer exploration counters,
+    so the block is meaningful for ``explore`` jobs (LTS exploration),
+    property jobs (environment graphs), and ``check`` jobs (may-testing
+    searches) alike.
+    """
+    states = _summed(metrics, STATE_COUNTERS)
+    transitions = _summed(metrics, TRANSITION_COUNTERS)
+    return {
+        "elapsed": round(elapsed, 6),
+        "states": states,
+        "transitions": transitions,
+        "states_per_s": round(states / elapsed, 2) if elapsed > 0 else None,
+        "peak_rss_mb": peak_rss_mb(),
+        "checkpoints": (
+            metrics.counters["checkpoint.saves"].value
+            if "checkpoint.saves" in metrics.counters
+            else 0
+        ),
+        "metrics": metrics.to_json(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Aggregation over journal records
+# ----------------------------------------------------------------------
+
+
+def _job_row(record: Mapping) -> dict:
+    """One normalized table row from a journal ``result`` record."""
+    result = record.get("result") or {}
+    stats = result.get("stats") or {}
+    return {
+        "job": record.get("job", "?"),
+        "status": record.get("status", "?"),
+        "attempts": int(record.get("attempts", 1)),
+        "violated": bool(result.get("violated")),
+        "exact": bool(result.get("exact")),
+        "states": stats.get("states", result.get("states", 0)) or 0,
+        "transitions": stats.get("transitions", result.get("transitions", 0)) or 0,
+        "states_per_s": stats.get("states_per_s"),
+        "elapsed": stats.get("elapsed", record.get("elapsed")),
+        "peak_rss_mb": stats.get("peak_rss_mb"),
+        "checkpoints": stats.get("checkpoints", 0) or 0,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteStats:
+    """Aggregate metrics of one suite batch.
+
+    Attributes:
+        jobs: total journaled jobs.
+        ok / faults / skipped: jobs per final status.
+        violations: jobs whose verdict reports a broken property.
+        attempts: total attempts across the batch.
+        retries: attempts beyond each job's first.
+        states / transitions: summed exploration work.
+        job_seconds: summed per-job wall-clock (CPU-side cost).
+        wall_seconds: end-to-end batch wall-clock, when known.
+        states_per_s: throughput against ``wall_seconds`` (falls back
+            to ``job_seconds`` for journal-only aggregation).
+        peak_rss_mb: highest worker peak observed.
+        checkpoints: exploration autosaves written.
+        workers / spawned: pool size and total processes spawned, when
+            the aggregation came from a live run.
+    """
+
+    jobs: int
+    ok: int
+    faults: int
+    skipped: int
+    violations: int
+    attempts: int
+    retries: int
+    states: int
+    transitions: int
+    job_seconds: float
+    wall_seconds: Optional[float] = None
+    states_per_s: Optional[float] = None
+    peak_rss_mb: Optional[float] = None
+    checkpoints: int = 0
+    workers: Optional[int] = None
+    spawned: Optional[int] = None
+    per_job: tuple = field(default_factory=tuple)
+
+    @staticmethod
+    def from_records(
+        records: Iterable[Mapping],
+        wall_seconds: Optional[float] = None,
+        workers: Optional[int] = None,
+        spawned: Optional[int] = None,
+    ) -> "SuiteStats":
+        rows = [_job_row(record) for record in records]
+        states = sum(row["states"] for row in rows)
+        job_seconds = sum(row["elapsed"] or 0.0 for row in rows)
+        denominator = wall_seconds if wall_seconds else job_seconds
+        peaks = [row["peak_rss_mb"] for row in rows if row["peak_rss_mb"] is not None]
+        return SuiteStats(
+            jobs=len(rows),
+            ok=sum(1 for row in rows if row["status"] == "ok"),
+            faults=sum(1 for row in rows if row["status"] == "fault"),
+            skipped=sum(1 for row in rows if row["status"] == "skipped"),
+            violations=sum(1 for row in rows if row["violated"]),
+            attempts=sum(row["attempts"] for row in rows),
+            retries=sum(row["attempts"] - 1 for row in rows),
+            states=states,
+            transitions=sum(row["transitions"] for row in rows),
+            job_seconds=round(job_seconds, 4),
+            wall_seconds=round(wall_seconds, 4) if wall_seconds is not None else None,
+            states_per_s=round(states / denominator, 2) if denominator else None,
+            peak_rss_mb=max(peaks) if peaks else None,
+            checkpoints=sum(row["checkpoints"] for row in rows),
+            workers=workers,
+            spawned=spawned,
+            per_job=tuple(rows),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "aggregate": {
+                "jobs": self.jobs,
+                "ok": self.ok,
+                "faults": self.faults,
+                "skipped": self.skipped,
+                "violations": self.violations,
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "states": self.states,
+                "transitions": self.transitions,
+                "job_seconds": self.job_seconds,
+                "wall_seconds": self.wall_seconds,
+                "states_per_s": self.states_per_s,
+                "peak_rss_mb": self.peak_rss_mb,
+                "checkpoints": self.checkpoints,
+                "workers": self.workers,
+                "spawned": self.spawned,
+            },
+            "jobs": {
+                row["job"]: {key: value for key, value in row.items() if key != "job"}
+                for row in self.per_job
+            },
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"stats: {self.jobs} job(s), {self.states} states, "
+            f"{self.transitions} transitions"
+        ]
+        if self.states_per_s is not None:
+            parts.append(f"{self.states_per_s:g} states/s")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.faults:
+            parts.append(f"{self.faults} faults")
+        if self.violations:
+            parts.append(f"{self.violations} violation(s)")
+        if self.peak_rss_mb is not None:
+            parts.append(f"peak rss {self.peak_rss_mb:.0f}MiB")
+        return "; ".join(parts)
+
+
+def render_job_table(records: Iterable[Mapping]) -> str:
+    """Per-job metrics as an aligned text table (``repro-spi stats``)."""
+    records = list(records)
+    rows = [_job_row(record) for record in records]
+    if not rows:
+        return "(empty journal: no verdicted jobs)"
+    headers = (
+        "job", "status", "att", "states", "trans", "st/s", "rss MiB", "seconds"
+    )
+
+    def cell(row: dict, column: str) -> str:
+        if column == "job":
+            return str(row["job"])
+        if column == "status":
+            flag = "!" if row["violated"] else ""
+            return f"{row['status']}{flag}"
+        if column == "att":
+            return str(row["attempts"])
+        if column == "states":
+            return str(row["states"])
+        if column == "trans":
+            return str(row["transitions"])
+        if column == "st/s":
+            return f"{row['states_per_s']:g}" if row["states_per_s"] else "-"
+        if column == "rss MiB":
+            peak = row["peak_rss_mb"]
+            return f"{peak:.0f}" if peak is not None else "-"
+        elapsed = row["elapsed"]
+        return f"{elapsed:.3f}" if elapsed is not None else "-"
+
+    table = [[cell(row, column) for column in headers] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in table))
+        for i in range(len(headers))
+    ]
+
+    def render_line(cells: Iterable[str]) -> str:
+        padded = []
+        for i, text in enumerate(cells):
+            padded.append(text.ljust(widths[i]) if i == 0 else text.rjust(widths[i]))
+        return "  ".join(padded).rstrip()
+
+    lines = [render_line(headers)]
+    lines.extend(render_line(line) for line in table)
+    lines.append(SuiteStats.from_records(records).describe())
+    return "\n".join(lines)

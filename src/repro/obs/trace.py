@@ -1,0 +1,284 @@
+"""Structured JSONL trace events.
+
+Where :mod:`repro.obs.metrics` aggregates, a :class:`Tracer` records
+the *timeline*: one JSON object per line with a monotonic timestamp,
+suitable for replaying where an exploration or a suite run spent its
+time.  Three event kinds:
+
+* ``begin`` / ``end`` — a **span**: a named, possibly-nested interval.
+  Spans carry a per-tracer id and their parent's id, so a trace is a
+  forest reconstructable from the flat event stream; ``end`` events
+  repeat the span id and add the elapsed duration.
+* ``counter`` — a named value at a point in time (queue depth, states
+  explored so far).
+* ``event`` — a point annotation (a worker kill, a retry, a checkpoint
+  autosave).
+
+Tracing is *ambient* like metrics collection: install a tracer with
+:func:`tracing` and instrumented code picks it up through
+:func:`current_tracer`; when none is installed, the helpers
+(:func:`trace_span`, :func:`trace_event`) cost one ``None`` check.
+
+Timestamps are ``time.monotonic()`` — intra-trace ordering and
+durations are meaningful; wall-clock alignment across processes is not
+a goal (each process owns its trace file).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, ContextManager, Iterator, Mapping, Optional, TextIO
+
+#: Recognized event kinds.
+BEGIN = "begin"
+END = "end"
+COUNTER = "counter"
+EVENT = "event"
+
+KINDS = frozenset({BEGIN, END, COUNTER, EVENT})
+
+#: Keys every serialized event uses; everything else is a user field.
+_RESERVED = ("ts", "kind", "name", "span", "parent", "value", "duration")
+
+
+class TraceError(ValueError):
+    """A serialized trace event does not match the schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One line of a trace file.
+
+    Attributes:
+        ts: monotonic timestamp (seconds).
+        kind: ``begin`` | ``end`` | ``counter`` | ``event``.
+        name: the span/counter/annotation name.
+        span: span id (``begin``/``end`` only).
+        parent: enclosing span id, when any.
+        value: the sampled value (``counter`` only).
+        duration: elapsed seconds (``end`` only).
+        fields: free-form extra JSON-scalar fields.
+    """
+
+    ts: float
+    kind: str
+    name: str
+    span: Optional[int] = None
+    parent: Optional[int] = None
+    value: Optional[float] = None
+    duration: Optional[float] = None
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise TraceError(f"unknown trace event kind {self.kind!r}")
+        clash = set(self.fields) & set(_RESERVED)
+        if clash:
+            raise TraceError(f"fields shadow reserved keys: {sorted(clash)}")
+
+    def to_json(self) -> dict:
+        data: dict[str, Any] = {"ts": self.ts, "kind": self.kind, "name": self.name}
+        for key in ("span", "parent", "value", "duration"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        data.update(self.fields)
+        return data
+
+    @staticmethod
+    def from_json(data: Mapping) -> "TraceEvent":
+        try:
+            ts = float(data["ts"])
+            kind = str(data["kind"])
+            name = str(data["name"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise TraceError(f"malformed trace event: {err}")
+        extras = {key: value for key, value in data.items() if key not in _RESERVED}
+        return TraceEvent(
+            ts=ts,
+            kind=kind,
+            name=name,
+            span=data.get("span"),
+            parent=data.get("parent"),
+            value=data.get("value"),
+            duration=data.get("duration"),
+            fields=extras,
+        )
+
+
+class Tracer:
+    """Writes trace events to a text sink, one JSON object per line.
+
+    Thread-safe: span nesting is tracked per thread, writes are
+    serialized under a lock.  Construct over any text handle, or use
+    :meth:`to_path`; a tracer is a context manager that closes what it
+    opened.
+    """
+
+    def __init__(self, sink: TextIO, clock=time.monotonic) -> None:
+        self._sink = sink
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._owns_sink = False
+        self._next_span = 0
+        self._stack = threading.local()
+
+    @classmethod
+    def to_path(cls, path: str, clock=time.monotonic) -> "Tracer":
+        tracer = cls(open(path, "w", encoding="utf-8"), clock)
+        tracer._owns_sink = True
+        return tracer
+
+    # -- internals -----------------------------------------------------
+
+    def _parents(self) -> list[int]:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        return stack
+
+    def _emit(self, event: TraceEvent) -> None:
+        line = json.dumps(event.to_json(), sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._sink.write(line + "\n")
+
+    # -- the emitting API ---------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        """A named interval: emits ``begin`` now and ``end`` on exit."""
+        with self._lock:
+            span_id = self._next_span
+            self._next_span += 1
+        parents = self._parents()
+        parent = parents[-1] if parents else None
+        started = self._clock()
+        self._emit(
+            TraceEvent(started, BEGIN, name, span=span_id, parent=parent, fields=fields)
+        )
+        parents.append(span_id)
+        try:
+            yield
+        finally:
+            parents.pop()
+            now = self._clock()
+            self._emit(
+                TraceEvent(
+                    now, END, name,
+                    span=span_id, parent=parent, duration=now - started,
+                )
+            )
+
+    def counter(self, name: str, value: float, **fields: Any) -> None:
+        parents = self._parents()
+        self._emit(
+            TraceEvent(
+                self._clock(), COUNTER, name,
+                parent=parents[-1] if parents else None,
+                value=value, fields=fields,
+            )
+        )
+
+    def event(self, name: str, **fields: Any) -> None:
+        parents = self._parents()
+        self._emit(
+            TraceEvent(
+                self._clock(), EVENT, name,
+                parent=parents[-1] if parents else None,
+                fields=fields,
+            )
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        self._sink.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_sink and not self._sink.closed:
+            self._sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(source: str | TextIO) -> list[TraceEvent]:
+    """Parse a trace file (path or open handle) back into events.
+
+    A trailing torn line (crash mid-write) is dropped, mirroring the
+    journal's tolerance; malformed complete lines raise
+    :class:`TraceError`.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    events: list[TraceEvent] = []
+    lines = text.split("\n")
+    terminated = text.endswith("\n")
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        complete = index < len(lines) - 1 or terminated
+        try:
+            events.append(TraceEvent.from_json(json.loads(line)))
+        except (ValueError, TraceError):
+            if not complete:
+                continue
+            raise TraceError(f"corrupt trace event on line {index + 1}")
+    return events
+
+
+# ----------------------------------------------------------------------
+# The ambient tracer
+# ----------------------------------------------------------------------
+
+_active: list[Tracer] = []
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is off."""
+    return _active[-1] if _active else None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install a tracer for the enclosed block (nestable; innermost
+    wins)."""
+    _active.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _active.pop()
+
+
+def trace_span(name: str, **fields: Any) -> ContextManager[None]:
+    """A span on the ambient tracer — a no-op context when tracing is
+    off (one ``None`` check, no allocation beyond the nullcontext)."""
+    tracer = current_tracer()
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **fields)
+
+
+def trace_event(name: str, **fields: Any) -> None:
+    """A point annotation on the ambient tracer, if any."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.event(name, **fields)
+
+
+def trace_counter(name: str, value: float, **fields: Any) -> None:
+    """A counter sample on the ambient tracer, if any."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.counter(name, value, **fields)

@@ -57,6 +57,9 @@ from multiprocessing import connection as mp_connection
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.errors import ReproError
+from repro.obs.metrics import current_metrics
+from repro.obs.stats import SuiteStats
+from repro.obs.trace import trace_event
 from repro.runtime.exhaustion import Exhaustion
 from repro.runtime.faults import FaultPlan
 from repro.runtime.journal import Journal, journaled_results
@@ -121,6 +124,7 @@ class SuiteReport:
     outcomes: tuple[JobOutcome, ...]
     elapsed: float
     workers: int
+    spawned: int = 0
 
     def by_status(self, status: str) -> tuple[JobOutcome, ...]:
         return tuple(o for o in self.outcomes if o.status == status)
@@ -133,6 +137,30 @@ class SuiteReport:
     @property
     def violations(self) -> tuple[JobOutcome, ...]:
         return tuple(o for o in self.outcomes if o.violated)
+
+    def records(self) -> list[dict]:
+        """The outcomes as journal-shaped result records."""
+        return [
+            {
+                "job": o.job.id,
+                "status": o.status,
+                "attempts": o.attempts,
+                "elapsed": round(o.elapsed, 4),
+                "result": o.result,
+                "error": o.error,
+                "events": list(o.events),
+            }
+            for o in self.outcomes
+        ]
+
+    def stats(self) -> SuiteStats:
+        """Aggregate per-job stat blocks into one :class:`SuiteStats`."""
+        return SuiteStats.from_records(
+            self.records(),
+            wall_seconds=self.elapsed,
+            workers=self.workers,
+            spawned=self.spawned or None,
+        )
 
     def describe(self) -> str:
         parts = [
@@ -325,6 +353,12 @@ def run_suite(
 
     def decide(outcome: JobOutcome) -> None:
         done[outcome.job.id] = outcome
+        trace_event(
+            "suite.outcome",
+            job=outcome.job.id,
+            status=outcome.status,
+            attempts=outcome.attempts,
+        )
         if on_outcome is not None:
             on_outcome(outcome)
 
@@ -411,6 +445,7 @@ def run_suite(
             for worker, reason in victims:
                 if reason is not None and worker.kill_reason is None:
                     worker.kill_reason = reason
+                    trace_event("suite.kill", worker=worker.index, reason=reason)
                     if worker.pid is not None:
                         try:
                             os.kill(worker.pid, getattr(signal, "SIGKILL", signal.SIGTERM))
@@ -576,6 +611,12 @@ def run_suite(
                         "checkpoint": checkpoint_path(pending.job),
                         "fault_plan": active_plan,
                     })
+                    trace_event(
+                        "suite.dispatch",
+                        job=pending.job.id,
+                        worker=worker.index,
+                        attempt=pending.attempt,
+                    )
                 except (BrokenPipeError, OSError):
                     worker.current = None
                     queue.append(pending)  # the reaper will respawn
@@ -636,8 +677,21 @@ def run_suite(
         if scratch_owned and scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
 
-    return SuiteReport(
+    elapsed = time.monotonic() - started
+    report = SuiteReport(
         outcomes=tuple(done[job.id] for job in jobs),
-        elapsed=time.monotonic() - started,
+        elapsed=elapsed,
         workers=workers,
+        spawned=spawns,
     )
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("suite.jobs", len(jobs))
+        metrics.inc("suite.spawns", spawns)
+        metrics.inc(
+            "suite.retries", sum(max(0, o.attempts - 1) for o in report.outcomes)
+        )
+        metrics.inc("suite.faults", len(report.by_status(FAULT)))
+        metrics.set_gauge("suite.workers", workers)
+        metrics.observe("suite.seconds", elapsed)
+    return report

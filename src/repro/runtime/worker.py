@@ -171,10 +171,18 @@ def _run_explore(job: Job, control: RunControl, checkpoint_path: Optional[str]) 
     from repro.semantics.diagnostics import statistics
     from repro.semantics.lts import Budget, explore, resume_exploration
 
+    from repro.obs.metrics import current_metrics
+
     budget = Budget(job.max_states, job.max_depth)
     sink = None
     if checkpoint_path is not None and job.checkpoint_every:
-        sink = lambda graph: Checkpoint(graph, budget).save(checkpoint_path)
+
+        def sink(graph) -> None:
+            Checkpoint(graph, budget).save(checkpoint_path)
+            metrics = current_metrics()
+            if metrics is not None:
+                metrics.inc("checkpoint.saves")
+
         control = RunControl(
             deadline=control.deadline,
             token=control.token,
@@ -337,14 +345,40 @@ def run_job(
     jobs, ``checkpoint_path`` enables periodic autosave *and* resume
     from a previous attempt's autosave.
     """
+    import time
+
+    from repro.obs.metrics import Metrics, collecting, current_metrics
+    from repro.obs.stats import job_stats_block
+    from repro.obs.trace import trace_span
+
     control = RunControl(
         deadline=Deadline.after(deadline) if deadline is not None else None
     )
-    if job.kind == "explore":
-        return _run_explore(job, control, checkpoint_path)
-    if job.kind == "check":
-        return _run_check(job, control)
-    return _run_property(job, control)
+    outer = current_metrics()
+    started = time.monotonic()
+    with collecting(Metrics()) as metrics:
+        with trace_span("job", job=job.id, job_kind=job.kind):
+            if job.kind == "explore":
+                result = _run_explore(job, control, checkpoint_path)
+            elif job.kind == "check":
+                result = _run_check(job, control)
+            else:
+                result = _run_property(job, control)
+    elapsed = time.monotonic() - started
+    stats = job_stats_block(metrics, elapsed)
+    # Resumed explorations only metered the *new* work; the graph totals
+    # are authoritative when the result carries them.
+    if isinstance(result.get("states"), int):
+        stats["states"] = result["states"]
+        stats["states_per_s"] = (
+            round(result["states"] / elapsed, 2) if elapsed > 0 else None
+        )
+    if isinstance(result.get("transitions"), int):
+        stats["transitions"] = result["transitions"]
+    result["stats"] = stats
+    if outer is not None:
+        outer.absorb(metrics)
+    return result
 
 
 # ----------------------------------------------------------------------

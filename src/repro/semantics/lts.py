@@ -36,6 +36,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import trace_span
 from repro.runtime import exhaustion as ex
 from repro.runtime.deadline import RunControl, resolve_control
 from repro.runtime.exhaustion import Exhaustion
@@ -133,12 +135,27 @@ class Graph:
         ]
 
 
+class _Tally:
+    """Local exploration counters, published to the ambient metrics
+    registry once per run — the hot loop never touches the registry."""
+
+    __slots__ = ("expanded", "transitions", "recorded", "dedup_hits", "max_queue")
+
+    def __init__(self) -> None:
+        self.expanded = 0
+        self.transitions = 0
+        self.recorded = 0
+        self.dedup_hits = 0
+        self.max_queue = 0
+
+
 def _expand(
     graph: Graph,
     state: System,
     depth: int,
     budget: Budget,
     queue: deque[tuple[str, int]],
+    tally: _Tally,
 ) -> tuple[list[tuple[Transition, str]], bool]:
     """Expand one state; returns its (possibly partial) out-edges and
     whether the state budget refused any target."""
@@ -155,7 +172,12 @@ def _expand(
                 continue
             graph.states[target_key] = step.target
             queue.append((target_key, depth + 1))
+            tally.recorded += 1
+        else:
+            tally.dedup_hits += 1
         out.append((step, target_key))
+    tally.expanded += 1
+    tally.transitions += len(out)
     return out, refused
 
 
@@ -192,6 +214,7 @@ def _run_exploration(
     autosave_every = control.checkpoint_every
     autosave = control.on_checkpoint if autosave_every else None
     last_saved = len(graph.states)
+    tally = _Tally()
 
     def note(reason: str) -> None:
         if reason not in reasons:
@@ -199,6 +222,8 @@ def _run_exploration(
 
     try:
         while queue:
+            if len(queue) > tally.max_queue:
+                tally.max_queue = len(queue)
             stop = control.interruption()
             if stop is not None:
                 note(stop)
@@ -210,7 +235,9 @@ def _run_exploration(
                 graph.pending.append((key, depth))
                 continue
             try:
-                out, refused = _expand(graph, graph.states[key], depth, budget, queue)
+                out, refused = _expand(
+                    graph, graph.states[key], depth, budget, queue, tally
+                )
             except FaultError as error:
                 note(ex.FAULT)
                 detail = str(error)
@@ -237,16 +264,26 @@ def _run_exploration(
         detail = "KeyboardInterrupt"
     graph.pending.extend(queue)
     queue.clear()
+    elapsed = time.monotonic() - started
     if reasons:
         graph.exhaustion = Exhaustion(
             tuple(reasons),
             states=len(graph.states),
             depth=deepest,
-            elapsed=time.monotonic() - started,
+            elapsed=elapsed,
             detail=detail,
         )
     else:
         graph.exhaustion = None
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("explore.runs")
+        metrics.inc("explore.states", tally.recorded)
+        metrics.inc("explore.expanded", tally.expanded)
+        metrics.inc("explore.transitions", tally.transitions)
+        metrics.inc("explore.dedup_hits", tally.dedup_hits)
+        metrics.set_gauge("explore.queue_depth", tally.max_queue)
+        metrics.observe("explore.seconds", elapsed)
 
 
 def explore(
@@ -258,8 +295,13 @@ def explore(
     initial_key = system.canonical_key()
     graph = Graph(initial=initial_key)
     graph.states[initial_key] = system
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("explore.states")  # the seeded initial state
     queue: deque[tuple[str, int]] = deque([(initial_key, 0)])
-    _run_exploration(graph, queue, budget, resolve_control(control))
+    with trace_span("lts.explore", max_states=budget.max_states,
+                    max_depth=budget.max_depth):
+        _run_exploration(graph, queue, budget, resolve_control(control))
     return graph
 
 
@@ -287,7 +329,9 @@ def resume_exploration(
     if not queue:
         resumed.exhaustion = graph.exhaustion
         return resumed
-    _run_exploration(resumed, queue, budget, resolve_control(control))
+    with trace_span("lts.resume", prior_states=len(graph.states),
+                    max_states=budget.max_states, max_depth=budget.max_depth):
+        _run_exploration(resumed, queue, budget, resolve_control(control))
     return resumed
 
 
@@ -325,14 +369,29 @@ def search(
     reasons: list[str] = []
     detail: Optional[str] = None
     deepest = 0
+    dedup_hits = 0
+    max_queue = 0
+    found = False
     started = time.monotonic()
 
     def note(reason: str) -> None:
         if reason not in reasons:
             reasons.append(reason)
 
+    def publish() -> None:
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.inc("search.runs")
+            metrics.inc("search.states", len(seen))
+            metrics.inc("search.dedup_hits", dedup_hits)
+            metrics.inc("search.found", 1 if found else 0)
+            metrics.set_gauge("search.queue_depth", max_queue)
+            metrics.observe("search.seconds", time.monotonic() - started)
+
     try:
         while queue:
+            if len(queue) > max_queue:
+                max_queue = len(queue)
             stop = ctl.interruption()
             if stop is not None:
                 note(stop)
@@ -340,6 +399,8 @@ def search(
             state, depth = queue.popleft()
             deepest = max(deepest, depth)
             if predicate(state):
+                found = True
+                publish()
                 return ReachResult(True, None, len(seen))
             if depth >= budget.max_depth:
                 note(ex.DEPTH)
@@ -348,6 +409,7 @@ def search(
                 for step in successors(state):
                     key = step.target.canonical_key()
                     if key in seen:
+                        dedup_hits += 1
                         continue
                     if len(seen) >= budget.max_states:
                         note(ex.STATES)
@@ -372,6 +434,7 @@ def search(
         if reasons
         else None
     )
+    publish()
     return ReachResult(False, exhaustion, len(seen))
 
 

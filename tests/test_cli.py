@@ -226,3 +226,229 @@ class TestUsage:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+SYSTEMS_DIR = __import__("pathlib").Path(__file__).resolve().parent.parent / "examples" / "systems"
+
+
+class TestExitCodeMatrix:
+    """0 = clean, 1 = attack/violation found, 2 = error — across every
+    verdicting subcommand, with and without the observability flags."""
+
+    # -- check ---------------------------------------------------------
+
+    def test_check_clean(self):
+        status, _ = run_cli(
+            "check", str(SYSTEMS_DIR / "p2_impl.spi"), str(SYSTEMS_DIR / "p_spec.spi")
+        )
+        assert status == 0
+
+    def test_check_attack(self):
+        status, output = run_cli(
+            "check", str(SYSTEMS_DIR / "p1_impl.spi"), str(SYSTEMS_DIR / "p_spec.spi")
+        )
+        assert status == 1
+        assert "NOT a secure implementation" in output
+
+    def test_check_error(self, capsys):
+        status, _ = run_cli("check", "/does/not/exist.spi", str(SYSTEMS_DIR / "p_spec.spi"))
+        assert status == 2
+
+    # -- secrecy -------------------------------------------------------
+
+    def test_secrecy_clean(self):
+        status, output = run_cli(
+            "secrecy", str(SYSTEMS_DIR / "p2_impl.spi"), "--secret", "M"
+        )
+        assert status == 0
+        assert "secret kept" in output or "holds" in output
+
+    def test_secrecy_violation(self):
+        status, output = run_cli(
+            "secrecy", str(SYSTEMS_DIR / "p1_impl.spi"), "--secret", "M"
+        )
+        assert status == 1
+        assert "VIOLATED" in output
+
+    def test_secrecy_zoo_target(self):
+        status, output = run_cli("secrecy", "woo-lam")
+        assert status == 0
+        assert "secret kept" in output
+
+    def test_secrecy_unknown_target_is_error(self, capsys):
+        status, _ = run_cli("secrecy", "no-such-thing")
+        assert status == 2
+        assert "neither a system file nor" in capsys.readouterr().err
+
+    def test_secrecy_sysfile_without_secret_is_error(self, capsys):
+        status, _ = run_cli("secrecy", str(SYSTEMS_DIR / "p2_impl.spi"))
+        assert status == 2
+        assert "needs a secret" in capsys.readouterr().err
+
+    # -- authentication ------------------------------------------------
+
+    def test_authentication_clean(self):
+        status, _ = run_cli(
+            "authentication", str(SYSTEMS_DIR / "p2_impl.spi"), "--sender", "A"
+        )
+        assert status == 0
+
+    def test_authentication_violation(self):
+        status, output = run_cli(
+            "authentication", str(SYSTEMS_DIR / "p1_impl.spi"), "--sender", "A"
+        )
+        assert status == 1
+        assert "VIOLATED" in output
+
+    def test_authentication_zoo_target(self):
+        status, output = run_cli("authentication", "woo-lam")
+        assert status == 0
+        assert "holds" in output
+
+    # -- suite ---------------------------------------------------------
+
+    def test_suite_clean(self, tmp_path):
+        source = tmp_path / "demo.spi"
+        source.write_text("a<M>.0 | a(x).0")
+        status, _ = run_cli("suite", str(source), "--jobs", "1")
+        assert status == 0
+
+    def test_suite_violation(self, tmp_path):
+        import json
+
+        suite = tmp_path / "batch.json"
+        suite.write_text(json.dumps([
+            {"id": "secrecy:p1", "kind": "secrecy",
+             "target": {"sysfile": str(SYSTEMS_DIR / "p1_impl.spi")},
+             "secret": "M", "max_states": 500, "max_depth": 12},
+        ]))
+        status, output = run_cli("suite", "--suite-file", str(suite), "--jobs", "1")
+        assert status == 1
+        assert "violation" in output
+
+    def test_suite_error(self, capsys):
+        status, _ = run_cli("suite")
+        assert status == 2
+
+    # -- flags preserve the exit code ----------------------------------
+
+    def test_violation_exit_survives_stats_and_trace(self, tmp_path):
+        stats = tmp_path / "s.json"
+        trace = tmp_path / "t.jsonl"
+        status, output = run_cli(
+            "secrecy", str(SYSTEMS_DIR / "p1_impl.spi"), "--secret", "M",
+            "--stats", str(stats), "--trace", str(trace),
+        )
+        assert status == 1
+        assert stats.exists() and trace.exists()
+
+
+class TestObservabilityFlags:
+    def test_explore_stats_to_stdout(self):
+        status, output = run_cli("explore", "--stats", "-e", EXAMPLE)
+        assert status == 0
+        assert "explore.states" in output
+
+    def test_explore_stats_to_file(self, tmp_path):
+        import json
+
+        stats = tmp_path / "s.json"
+        status, output = run_cli(
+            "explore", "--stats", str(stats), "-e", EXAMPLE
+        )
+        assert status == 0
+        data = json.loads(stats.read_text())
+        assert data["metrics"]["counters"]["explore.runs"] == 1
+        assert f"stats written to {stats}" in output
+
+    def test_explore_trace_file(self, tmp_path):
+        from repro.obs.trace import read_trace
+
+        trace = tmp_path / "t.jsonl"
+        status, _ = run_cli("explore", "--trace", str(trace), "-e", EXAMPLE)
+        assert status == 0
+        names = {event.name for event in read_trace(str(trace))}
+        assert "lts.explore" in names
+
+    def test_explore_profile_to_stdout(self):
+        status, output = run_cli("explore", "--profile", "-e", EXAMPLE)
+        assert status == 0
+        assert "function calls" in output
+
+    def test_explore_profile_to_prof_file(self, tmp_path):
+        import pstats
+
+        target = tmp_path / "run.prof"
+        status, _ = run_cli(
+            "explore", "--profile", str(target), "-e", EXAMPLE
+        )
+        assert status == 0
+        assert pstats.Stats(str(target)).total_calls > 0
+
+    def test_suite_stats_json_has_jobs_and_aggregate(self, tmp_path):
+        import json
+
+        stats = tmp_path / "stats.json"
+        status, _ = run_cli(
+            "suite", "--zoo", "woo-lam", "--jobs", "2",
+            "--stats", str(stats),
+        )
+        assert status == 0
+        data = json.loads(stats.read_text())
+        assert set(data) == {"aggregate", "jobs", "metrics"}
+        assert data["aggregate"]["jobs"] == 2
+        assert data["aggregate"]["workers"] == 2
+        assert data["aggregate"]["states"] > 0
+        for row in data["jobs"].values():
+            assert row["states"] > 0
+            assert row["states_per_s"] > 0
+
+    def test_suite_trace_narrates_scheduling(self, tmp_path):
+        from repro.obs.trace import read_trace
+
+        source = tmp_path / "demo.spi"
+        source.write_text("a<M>.0 | a(x).0")
+        trace = tmp_path / "t.jsonl"
+        status, _ = run_cli(
+            "suite", str(source), "--jobs", "1", "--trace", str(trace)
+        )
+        assert status == 0
+        names = [event.name for event in read_trace(str(trace))]
+        assert "suite.dispatch" in names and "suite.outcome" in names
+
+
+class TestStatsCommand:
+    def _journal(self, tmp_path) -> str:
+        journal = tmp_path / "suite.jsonl"
+        status, _ = run_cli(
+            "suite", "--zoo", "woo-lam", "--jobs", "1",
+            "--journal", str(journal),
+        )
+        assert status == 0
+        return str(journal)
+
+    def test_table_rendering(self, tmp_path):
+        status, output = run_cli("stats", self._journal(tmp_path))
+        assert status == 0
+        lines = output.splitlines()
+        assert lines[0].split()[:3] == ["job", "status", "att"]
+        assert "zoo:woo-lam:secrecy" in output
+        assert "stats:" in output
+
+    def test_json_emission(self, tmp_path):
+        import json
+
+        journal = self._journal(tmp_path)
+        target = tmp_path / "agg.json"
+        status, _ = run_cli("stats", journal, "--json", str(target))
+        assert status == 0
+        data = json.loads(target.read_text())
+        assert data["aggregate"]["jobs"] == 2
+        assert set(data["jobs"]) == {
+            "zoo:woo-lam:secrecy", "zoo:woo-lam:authentication",
+        }
+
+    def test_missing_journal_is_error(self, tmp_path, capsys):
+        status, _ = run_cli("stats", str(tmp_path / "gone.jsonl"))
+        assert status == 2
+        assert "no journal" in capsys.readouterr().err

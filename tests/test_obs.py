@@ -1,0 +1,540 @@
+"""Tests for the observability layer: traces, metrics, stats, profiling.
+
+The property-based half (Hypothesis) pins down the wire contracts the
+rest of the system relies on:
+
+* trace events and metrics registries survive a JSON round trip;
+* a tracer's event stream has monotone timestamps and well-nested,
+  balanced spans whatever the nesting shape;
+* histogram (and whole-registry) merge is associative and commutative,
+  so per-worker registries can be folded in any order.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    collecting,
+    current_metrics,
+)
+from repro.obs.profile import profile, render_profile
+from repro.obs.stats import (
+    SuiteStats,
+    job_stats_block,
+    peak_rss_mb,
+    render_job_table,
+)
+from repro.obs.trace import (
+    TraceError,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    read_trace,
+    trace_counter,
+    trace_event,
+    trace_span,
+    tracing,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_RESERVED = {"ts", "kind", "name", "span", "parent", "value", "duration"}
+
+field_names = st.from_regex(r"[a-z_][a-z0-9_]{0,11}", fullmatch=True).filter(
+    lambda name: name not in _RESERVED
+)
+field_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+trace_events = st.builds(
+    TraceEvent,
+    ts=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    kind=st.sampled_from(["begin", "end", "counter", "event"]),
+    name=st.text(min_size=1, max_size=24),
+    span=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    parent=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    value=st.one_of(st.none(), finite_floats),
+    duration=st.one_of(st.none(), st.floats(min_value=0, max_value=1e6)),
+    fields=st.dictionaries(field_names, field_values, max_size=4),
+)
+
+metric_names = st.from_regex(r"[a-z]{1,8}(\.[a-z]{1,8})?", fullmatch=True)
+observations = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=30
+)
+
+
+def metrics_from_ops(incs, sets, obs) -> Metrics:
+    metrics = Metrics()
+    for name, amount in incs:
+        metrics.inc(name, amount)
+    for name, value in sets:
+        metrics.set_gauge(name, value)
+    for name, value in obs:
+        metrics.observe(name, value)
+    return metrics
+
+
+metrics_registries = st.builds(
+    metrics_from_ops,
+    incs=st.lists(
+        st.tuples(metric_names, st.integers(min_value=0, max_value=10**6)),
+        max_size=10,
+    ),
+    sets=st.lists(st.tuples(metric_names, finite_floats), max_size=10),
+    obs=st.lists(
+        st.tuples(
+            metric_names,
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        ),
+        max_size=10,
+    ),
+)
+
+# Nesting shapes for span traces: a tree as recursively nested lists.
+span_trees = st.recursive(
+    st.just([]), lambda children: st.lists(children, max_size=3), max_leaves=10
+)
+
+
+# ----------------------------------------------------------------------
+# Trace events
+# ----------------------------------------------------------------------
+
+
+class TestTraceEventSchema:
+    @given(event=trace_events)
+    def test_json_round_trip(self, event):
+        over_the_wire = json.loads(json.dumps(event.to_json()))
+        assert TraceEvent.from_json(over_the_wire) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError, match="unknown trace event kind"):
+            TraceEvent(ts=0.0, kind="jazz", name="x")
+
+    def test_reserved_field_keys_rejected(self):
+        with pytest.raises(TraceError, match="reserved"):
+            TraceEvent(ts=0.0, kind="event", name="x", fields={"ts": 1})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(TraceError, match="malformed"):
+            TraceEvent.from_json({"kind": "event"})
+
+
+class TestTracer:
+    def test_span_emits_begin_and_end_with_duration(self):
+        sink = io.StringIO()
+        clock = iter([1.0, 3.5]).__next__
+        tracer = Tracer(sink, clock=clock)
+        with tracer.span("work", files=3):
+            pass
+        begin, end = read_trace(io.StringIO(sink.getvalue()))
+        assert begin.kind == "begin" and begin.fields == {"files": 3}
+        assert end.kind == "end" and end.span == begin.span
+        assert end.duration == pytest.approx(2.5)
+
+    def test_counters_and_events_attach_to_the_open_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            tracer.counter("queue", 7)
+            tracer.event("kill", reason="oom")
+        events = read_trace(io.StringIO(sink.getvalue()))
+        outer = events[0]
+        counter = next(e for e in events if e.kind == "counter")
+        kill = next(e for e in events if e.kind == "event")
+        assert counter.parent == outer.span and counter.value == 7
+        assert kill.parent == outer.span and kill.fields == {"reason": "oom"}
+
+    def test_torn_tail_is_dropped(self):
+        sink = io.StringIO()
+        with Tracer(sink).span("ok"):
+            pass
+        torn = sink.getvalue() + '{"ts": 4.2, "kind": "eve'
+        events = read_trace(io.StringIO(torn))
+        assert [e.kind for e in events] == ["begin", "end"]
+
+    def test_corrupt_complete_line_raises(self):
+        with pytest.raises(TraceError, match="line 1"):
+            read_trace(io.StringIO("not json\n"))
+
+    def test_to_path_owns_and_closes_the_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer.to_path(path) as tracer:
+            tracer.event("ping")
+        assert [e.name for e in read_trace(path)] == ["ping"]
+
+    @settings(max_examples=50)
+    @given(tree=span_trees)
+    def test_span_stream_is_monotone_and_well_nested(self, tree):
+        """Whatever the nesting shape: timestamps never go backwards,
+        every span balances, and each begin's parent is the enclosing
+        span."""
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+
+        def emit(children, depth):
+            with tracer.span(f"d{depth}"):
+                for child in children:
+                    emit(child, depth + 1)
+
+        emit(tree, 0)
+        events = read_trace(io.StringIO(sink.getvalue()))
+
+        stamps = [e.ts for e in events]
+        assert stamps == sorted(stamps)
+
+        stack: list[int] = []
+        open_spans: dict[int, TraceEvent] = {}
+        for event in events:
+            if event.kind == "begin":
+                assert event.parent == (stack[-1] if stack else None)
+                open_spans[event.span] = event
+                stack.append(event.span)
+            else:
+                assert event.kind == "end"
+                assert stack.pop() == event.span
+                begun = open_spans.pop(event.span)
+                assert event.duration == pytest.approx(event.ts - begun.ts)
+        assert not stack and not open_spans
+
+    def test_thread_spans_nest_independently(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        ready = threading.Barrier(2)
+
+        def worker(tag):
+            ready.wait()
+            with tracer.span(tag):
+                tracer.event(f"{tag}.inner")
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = read_trace(io.StringIO(sink.getvalue()))
+        for tag in ("a", "b"):
+            begin = next(
+                e for e in events if e.kind == "begin" and e.name == tag
+            )
+            inner = next(e for e in events if e.name == f"{tag}.inner")
+            # Each thread's annotation attaches to its *own* span, never
+            # to the sibling thread's concurrently-open one.
+            assert begin.parent is None
+            assert inner.parent == begin.span
+
+
+class TestAmbientTracing:
+    def test_off_by_default(self):
+        assert current_tracer() is None
+        with trace_span("ignored"):
+            trace_event("ignored")
+            trace_counter("ignored", 1)
+
+    def test_install_and_nest(self):
+        outer_sink, inner_sink = io.StringIO(), io.StringIO()
+        with tracing(Tracer(outer_sink)) as outer:
+            assert current_tracer() is outer
+            with tracing(Tracer(inner_sink)) as inner:
+                assert current_tracer() is inner
+                trace_event("deep")
+            assert current_tracer() is outer
+        assert current_tracer() is None
+        assert [e.name for e in read_trace(io.StringIO(inner_sink.getvalue()))] == ["deep"]
+        assert outer_sink.getvalue() == ""
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.merge(Counter(10)).value == 15
+
+    def test_gauge_tracks_peak(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0 and gauge.peak == 5.0
+        merged = gauge.merge(Gauge(3.0, 4.0))
+        assert merged.value == 3.0 and merged.peak == 5.0
+
+    def test_histogram_buckets_and_extrema(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.min == 0.5 and histogram.max == 50.0
+        assert histogram.mean == pytest.approx(55.5 / 3)
+
+    def test_histogram_merge_requires_equal_bounds(self):
+        with pytest.raises(ValueError, match="different bounds"):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_registry_creates_on_demand(self):
+        metrics = Metrics()
+        metrics.inc("a.b")
+        metrics.set_gauge("c", 2.0)
+        metrics.observe("d", 0.01)
+        assert metrics.counter("a.b").value == 1
+        assert metrics.gauge("c").peak == 2.0
+        assert metrics.histogram("d").count == 1
+        assert "a.b" in metrics.describe()
+
+    def test_empty_registry_describes_itself(self):
+        assert Metrics().describe() == "(no metrics recorded)"
+
+
+class TestMetricsProperties:
+    @given(metrics=metrics_registries)
+    def test_json_round_trip(self, metrics):
+        over_the_wire = json.loads(json.dumps(metrics.to_json()))
+        assert Metrics.from_json(over_the_wire).to_json() == metrics.to_json()
+
+    @given(a=observations, b=observations, c=observations)
+    def test_histogram_merge_is_associative(self, a, b, c):
+        def build(values):
+            histogram = Histogram(DEFAULT_BOUNDS)
+            for value in values:
+                histogram.observe(value)
+            return histogram
+
+        ha, hb, hc = build(a), build(b), build(c)
+        left = ha.merge(hb).merge(hc)
+        right = ha.merge(hb.merge(hc))
+        assert left.approx_equals(right)
+
+    @given(a=metrics_registries, b=metrics_registries)
+    def test_registry_merge_is_commutative(self, a, b):
+        assert a.merge(b).to_json() == b.merge(a).to_json()
+
+    @given(a=metrics_registries, b=metrics_registries, c=metrics_registries)
+    def test_registry_merge_is_associative(self, a, b, c):
+        left = a.merge(b).merge(c).to_json()
+        right = a.merge(b.merge(c)).to_json()
+        assert left.keys() == right.keys()
+        assert left["counters"] == right["counters"]
+        assert left["gauges"] == right["gauges"]
+        for name, histogram in left["histograms"].items():
+            other = right["histograms"][name]
+            for key in ("bounds", "counts", "count", "min", "max"):
+                assert histogram[key] == other[key]
+            assert histogram["total"] == pytest.approx(other["total"])
+
+    @given(metrics=metrics_registries)
+    def test_absorb_matches_merge(self, metrics):
+        target = Metrics()
+        target.inc("x")
+        expected = target.merge(metrics).to_json()
+        target.absorb(metrics)
+        assert target.to_json() == expected
+
+
+class TestAmbientCollection:
+    def test_off_by_default(self):
+        assert current_metrics() is None
+
+    def test_install_and_nest(self):
+        with collecting() as outer:
+            assert current_metrics() is outer
+            with collecting() as inner:
+                assert current_metrics() is inner
+                current_metrics().inc("hit")
+            assert current_metrics() is outer
+        assert current_metrics() is None
+        assert inner.counter("hit").value == 1
+        assert "hit" not in outer.counters
+
+
+# ----------------------------------------------------------------------
+# Instrumented layers publish into the ambient registry
+# ----------------------------------------------------------------------
+
+
+class TestLayerInstrumentation:
+    SOURCE = "a<M>.0 | a(x).b<x>.0 | b(r).0"
+
+    def _explore(self):
+        from repro.semantics.lts import Budget, explore
+        from repro.semantics.system import instantiate
+        from repro.syntax.parser import parse_process
+
+        return explore(instantiate(parse_process(self.SOURCE)), Budget(100, 16))
+
+    def test_explore_counts_match_the_graph(self):
+        with collecting() as metrics:
+            graph = self._explore()
+        assert metrics.counter("explore.runs").value == 1
+        assert metrics.counter("explore.states").value == graph.state_count()
+        assert (
+            metrics.counter("explore.transitions").value
+            == graph.transition_count()
+        )
+        assert metrics.gauge("explore.queue_depth").peak >= 1
+        assert metrics.histogram("explore.seconds").count == 1
+
+    def test_explore_emits_a_span(self):
+        sink = io.StringIO()
+        with tracing(Tracer(sink)):
+            self._explore()
+        names = [e.name for e in read_trace(io.StringIO(sink.getvalue()))]
+        assert names.count("lts.explore") == 2  # begin + end
+
+    def test_disabled_collection_stays_disabled(self):
+        assert current_metrics() is None
+        self._explore()  # must not blow up nor install anything
+        assert current_metrics() is None
+
+    def test_env_explore_publishes_action_kinds(self):
+        from repro.analysis.environment import env_secrecy
+        from repro.semantics.lts import Budget
+        from repro.syntax.sysfile import load_system_file
+
+        sysfile = load_system_file("examples/systems/p2_impl.spi")
+        with collecting() as metrics:
+            verdict = env_secrecy(
+                sysfile.configuration, "M", budget=Budget(500, 12)
+            )
+        assert verdict.holds
+        assert metrics.counter("env.runs").value == 1
+        assert metrics.counter("env.states").value > 0
+        total = (
+            metrics.counter("env.tau").value
+            + metrics.counter("env.hear").value
+            + metrics.counter("env.say").value
+        )
+        assert total == metrics.counter("env.transitions").value
+
+
+# ----------------------------------------------------------------------
+# Stat blocks and suite aggregation
+# ----------------------------------------------------------------------
+
+
+def _record(job, status="ok", attempts=1, stats=None, violated=False):
+    return {
+        "job": job,
+        "status": status,
+        "attempts": attempts,
+        "result": {"violated": violated, "exact": True, "stats": stats or {}},
+    }
+
+
+class TestStats:
+    def test_peak_rss_is_positive_on_linux(self):
+        peak = peak_rss_mb()
+        assert peak is None or peak > 0
+
+    def test_job_stats_block_shape(self):
+        metrics = Metrics()
+        metrics.inc("explore.states", 40)
+        metrics.inc("explore.transitions", 60)
+        metrics.inc("checkpoint.saves", 2)
+        block = job_stats_block(metrics, elapsed=2.0)
+        assert block["states"] == 40
+        assert block["transitions"] == 60
+        assert block["states_per_s"] == pytest.approx(20.0)
+        assert block["checkpoints"] == 2
+        assert block["metrics"]["counters"]["explore.states"] == 40
+
+    def test_job_stats_block_does_not_mutate_the_registry(self):
+        metrics = Metrics()
+        job_stats_block(metrics, elapsed=1.0)
+        assert metrics.counters == {}
+
+    def test_suite_stats_aggregates(self):
+        records = [
+            _record("a", stats={"states": 10, "elapsed": 1.0, "peak_rss_mb": 30.0}),
+            _record(
+                "b",
+                status="fault",
+                attempts=3,
+                stats={"states": 5, "elapsed": 2.0, "peak_rss_mb": 50.0},
+            ),
+            _record("c", violated=True, stats={"states": 5, "elapsed": 1.0}),
+        ]
+        stats = SuiteStats.from_records(records, wall_seconds=2.0, workers=2)
+        assert stats.jobs == 3 and stats.ok == 2 and stats.faults == 1
+        assert stats.violations == 1
+        assert stats.retries == 2
+        assert stats.states == 20
+        assert stats.states_per_s == pytest.approx(10.0)
+        assert stats.peak_rss_mb == 50.0
+        assert stats.job_seconds == pytest.approx(4.0)
+        payload = stats.to_json()
+        assert set(payload) == {"aggregate", "jobs"}
+        assert payload["jobs"]["b"]["attempts"] == 3
+        assert "3 job(s)" in stats.describe()
+
+    def test_render_job_table(self):
+        text = render_job_table(
+            [_record("zoo:x:secrecy", stats={"states": 12, "elapsed": 0.5})]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("job")
+        assert "zoo:x:secrecy" in lines[1]
+        assert lines[-1].startswith("stats:")
+
+    def test_render_empty_journal(self):
+        assert "empty journal" in render_job_table([])
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_prof_dump(self, tmp_path):
+        import pstats
+
+        target = str(tmp_path / "run.prof")
+        with profile(target):
+            sum(range(1000))
+        assert pstats.Stats(target).total_calls > 0
+
+    def test_text_table(self, tmp_path):
+        target = tmp_path / "run.txt"
+        with profile(str(target)):
+            sum(range(1000))
+        assert "cumulative" in target.read_text()
+
+    def test_stream_output(self):
+        stream = io.StringIO()
+        with profile(stream=stream):
+            sum(range(1000))
+        assert "function calls" in stream.getvalue()
+
+    def test_render_profile(self):
+        with profile(stream=io.StringIO()) as profiler:
+            sum(range(1000))
+        assert "cumulative" in render_profile(profiler, top_n=5)

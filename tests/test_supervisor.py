@@ -5,6 +5,15 @@ These tests spawn real worker processes (spawn context), inject real
 jobs survive worker death, resumed attempts reach state-count parity
 with uninterrupted runs, exhausted retry budgets degrade to qualified
 fault verdicts, and journaled batches resume without re-running work.
+
+Timing discipline: no test sleeps or polls on wall-clock guesses —
+``run_suite`` blocks until every outcome is decided, and every call
+that spawns real processes passes :data:`FAST` so retry backoff is
+near-instant and a loaded CI box cannot trigger false "stalled" kills.
+Only :class:`TestHangRecovery` overrides the grace knobs, because a
+watchdog kill is exactly what it is testing — and there the injected
+latency (30s per successor call) dwarfs the kill deadline by two
+orders of magnitude, so the race has one possible winner.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ import json
 import pytest
 
 from repro.runtime.faults import CRASH_EXIT_CODE, FaultPlan
-from repro.runtime.journal import read_journal
+from repro.runtime.journal import journaled_results, read_journal
 from repro.runtime.supervisor import (
     SupervisorError,
     _kill_reason,
@@ -23,6 +32,12 @@ from repro.runtime.supervisor import (
     zoo_jobs,
 )
 from repro.runtime.worker import Job, JobError, run_job
+
+#: Deterministic-timing knobs for every real-process suite call: retries
+#: re-queue with (effectively) no backoff sleep, and the heartbeat grace
+#: is far above any plausible scheduling hiccup, so the only kills are
+#: the ones a test injects deliberately.
+FAST = {"backoff_base": 0.01, "backoff_cap": 0.05, "heartbeat_grace": 60.0}
 
 EXPLORE_JOB = Job(
     id="explore:otway-rees",
@@ -85,7 +100,7 @@ class TestZooJobs:
 
 class TestSuiteBasics:
     def test_clean_batch_completes(self):
-        report = run_suite([EXPLORE_JOB, INLINE_JOB], workers=2, retries=0)
+        report = run_suite([EXPLORE_JOB, INLINE_JOB], workers=2, retries=0, **FAST)
         assert report.completed
         assert [o.status for o in report.outcomes] == ["ok", "ok"]
         assert [o.job.id for o in report.outcomes] == [
@@ -104,7 +119,7 @@ class TestSuiteBasics:
         bad = Job(
             id="explore:missing", kind="explore", target={"spi": "/does/not/exist.spi"}
         )
-        report = run_suite([bad, INLINE_JOB], workers=2, retries=1)
+        report = run_suite([bad, INLINE_JOB], workers=2, retries=1, **FAST)
         assert report.completed
         broken, fine = report.outcomes
         assert broken.status == "fault" and broken.attempts == 2
@@ -119,7 +134,7 @@ class TestCrashRecovery:
         indistinguishable from SIGKILL to the supervisor) is respawned
         and the retry resumes from the autosaved checkpoint — reaching
         exactly the states an uninterrupted run reaches."""
-        baseline = run_suite([EXPLORE_JOB], workers=1, retries=0).outcomes[0]
+        baseline = run_suite([EXPLORE_JOB], workers=1, retries=0, **FAST).outcomes[0]
         assert baseline.status == "ok"
 
         report = run_suite(
@@ -129,6 +144,7 @@ class TestCrashRecovery:
             checkpoint_dir=str(tmp_path / "ckpts"),
             fault_plan=FaultPlan(exit_at=(7,)),
             fault_attempts=(1,),
+            **FAST,
         )
         outcome = report.outcomes[0]
         assert outcome.status == "ok"
@@ -144,6 +160,7 @@ class TestCrashRecovery:
             retries=1,
             fault_plan=FaultPlan(exit_at=(3,)),
             fault_attempts=(1, 2, 3, 4),
+            **FAST,
         )
         assert report.completed
         doomed, fine = report.outcomes
@@ -163,6 +180,7 @@ class TestCrashRecovery:
             checkpoint_dir=str(tmp_path / "ckpts"),
             fault_plan=FaultPlan(exit_at=(7,)),
             fault_attempts=(1,),
+            **FAST,
         )
         outcome = report.outcomes[0]
         assert outcome.status == "fault"
@@ -173,11 +191,12 @@ class TestJournalResume:
     def test_resume_skips_journaled_jobs(self, tmp_path):
         journal = str(tmp_path / "suite.jsonl")
         first = run_suite(
-            [EXPLORE_JOB, INLINE_JOB], workers=2, journal_path=journal
+            [EXPLORE_JOB, INLINE_JOB], workers=2, journal_path=journal, **FAST
         )
         assert first.completed
         second = run_suite(
-            [EXPLORE_JOB, INLINE_JOB], workers=2, journal_path=journal, resume=True
+            [EXPLORE_JOB, INLINE_JOB], workers=2, journal_path=journal,
+            resume=True, **FAST,
         )
         assert all(o.status == "skipped" for o in second.outcomes)
         assert second.outcomes[0].result == first.outcomes[0].result
@@ -187,9 +206,10 @@ class TestJournalResume:
         """A journal holding one of two verdicts — as left behind by a
         killed supervisor — re-runs exactly the other job."""
         journal = str(tmp_path / "suite.jsonl")
-        run_suite([INLINE_JOB], workers=1, journal_path=journal)
+        run_suite([INLINE_JOB], workers=1, journal_path=journal, **FAST)
         report = run_suite(
-            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal, resume=True
+            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal,
+            resume=True, **FAST,
         )
         statuses = {o.job.id: o.status for o in report.outcomes}
         assert statuses == {
@@ -198,17 +218,19 @@ class TestJournalResume:
         }
         # Both verdicts are journaled now; a third run skips everything.
         third = run_suite(
-            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal, resume=True
+            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal,
+            resume=True, **FAST,
         )
         assert all(o.status == "skipped" for o in third.outcomes)
 
     def test_resume_tolerates_torn_journal_tail(self, tmp_path):
         journal = str(tmp_path / "suite.jsonl")
-        run_suite([INLINE_JOB], workers=1, journal_path=journal)
+        run_suite([INLINE_JOB], workers=1, journal_path=journal, **FAST)
         with open(journal, "a", encoding="utf-8") as handle:
             handle.write('{"type": "result", "job": "explore:otway-re')
         report = run_suite(
-            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal, resume=True
+            [INLINE_JOB, EXPLORE_JOB], workers=1, journal_path=journal,
+            resume=True, **FAST,
         )
         statuses = {o.job.id: o.status for o in report.outcomes}
         assert statuses["explore:inline"] == "skipped"
@@ -222,6 +244,7 @@ class TestJournalResume:
             retries=0,
             journal_path=journal,
             fault_plan=FaultPlan(exit_at=(7,)),
+            **FAST,
         )
         records = read_journal(journal)
         assert len(records) == 1
@@ -288,7 +311,143 @@ class TestHangRecovery:
             hang_grace=0.3,
             fault_plan=FaultPlan(latency=30.0),
             fault_attempts=(1,),
+            backoff_base=0.01,
+            backoff_cap=0.05,
         )
         outcome = report.outcomes[0]
         assert outcome.status == "fault"
         assert any("hang" in event or "stalled" in event for event in outcome.events)
+
+
+# ----------------------------------------------------------------------
+# Observability: per-job stat blocks, aggregation, trace events
+# ----------------------------------------------------------------------
+
+
+class TestSuiteStats:
+    def test_ok_outcomes_carry_stat_blocks(self):
+        report = run_suite([EXPLORE_JOB, INLINE_JOB], workers=2, retries=0, **FAST)
+        for outcome in report.outcomes:
+            stats = outcome.result["stats"]
+            assert stats["states"] == outcome.result["states"]
+            assert stats["transitions"] == outcome.result["transitions"]
+            assert stats["elapsed"] > 0
+            assert stats["states_per_s"] > 0
+            assert stats["peak_rss_mb"] is None or stats["peak_rss_mb"] > 0
+            assert stats["metrics"]["counters"]["explore.runs"] >= 1
+
+    def test_stat_blocks_persist_in_the_journal(self, tmp_path):
+        journal = str(tmp_path / "suite.jsonl")
+        run_suite([INLINE_JOB], workers=1, journal_path=journal, **FAST)
+        record = journaled_results(journal)["explore:inline"]
+        stats = record["result"]["stats"]
+        assert stats["states"] == record["result"]["states"]
+        assert "metrics" in stats
+
+    def test_report_aggregates_suite_stats(self):
+        report = run_suite([EXPLORE_JOB, INLINE_JOB], workers=2, retries=0, **FAST)
+        stats = report.stats()
+        assert stats.jobs == 2 and stats.ok == 2
+        assert stats.states == sum(
+            o.result["states"] for o in report.outcomes
+        )
+        assert stats.wall_seconds == pytest.approx(report.elapsed, abs=1e-3)
+        assert stats.workers == 2
+        assert stats.spawned == report.spawned >= 1
+        assert stats.states_per_s > 0
+        assert stats.per_job[0]["job"] == "explore:otway-rees"
+
+    def test_suite_publishes_ambient_metrics(self):
+        from repro.obs.metrics import collecting
+
+        with collecting() as metrics:
+            run_suite([INLINE_JOB], workers=1, retries=0, **FAST)
+        assert metrics.counter("suite.jobs").value == 1
+        assert metrics.counter("suite.spawns").value == 1
+        assert metrics.histogram("suite.seconds").count == 1
+
+    def test_checkpoint_saves_counted_per_job(self, tmp_path):
+        report = run_suite(
+            [EXPLORE_JOB],
+            workers=1,
+            retries=0,
+            checkpoint_dir=str(tmp_path / "ckpts"),
+            **FAST,
+        )
+        stats = report.outcomes[0].result["stats"]
+        # checkpoint_every=2 on a >1000-state exploration: many autosaves.
+        assert stats["checkpoints"] > 0
+
+    def test_suite_emits_trace_events(self, tmp_path):
+        import io
+
+        from repro.obs.trace import Tracer, read_trace, tracing
+
+        sink = io.StringIO()
+        with tracing(Tracer(sink)):
+            run_suite([INLINE_JOB], workers=1, retries=0, **FAST)
+        events = read_trace(io.StringIO(sink.getvalue()))
+        names = [e.name for e in events]
+        assert "suite.dispatch" in names
+        assert "suite.outcome" in names
+        dispatch = next(e for e in events if e.name == "suite.dispatch")
+        assert dispatch.fields["job"] == "explore:inline"
+
+
+class TestDifferentialParity:
+    """The differential pass: a suite journaled with 1 worker and with 4
+    workers must hold identical verdicts — parallelism may only change
+    timing and scheduling order, never results."""
+
+    @staticmethod
+    def _essence(record: dict) -> dict:
+        """A journal record minus everything timing/scheduling may move:
+        wall-clock, stat blocks, and retry narration."""
+        result = dict(record.get("result") or {})
+        result.pop("stats", None)
+        return {
+            "job": record["job"],
+            "status": record["status"],
+            "attempts": record["attempts"],
+            "result": result,
+        }
+
+    def test_one_vs_four_workers_identical_verdicts(self, tmp_path):
+        jobs = zoo_jobs(max_states=600, max_depth=30) + [INLINE_JOB]
+        journals = {}
+        for workers in (1, 4):
+            path = str(tmp_path / f"w{workers}.jsonl")
+            report = run_suite(jobs, workers=workers, journal_path=path, **FAST)
+            assert report.completed
+            journals[workers] = journaled_results(path)
+
+        # Same job set journaled on both sides...
+        assert set(journals[1]) == set(journals[4]) == {j.id for j in jobs}
+        # ...with verdict-for-verdict identical essence.
+        for job_id in journals[1]:
+            assert self._essence(journals[1][job_id]) == self._essence(
+                journals[4][job_id]
+            ), f"verdicts diverge for {job_id}"
+
+    def test_parity_under_injected_crashes(self, tmp_path):
+        """Recovery does not depend on pool size either: first-attempt
+        crashes retried on 1 worker and on 4 yield the same verdicts."""
+        jobs = [EXPLORE_JOB, INLINE_JOB]
+        journals = {}
+        for workers in (1, 4):
+            path = str(tmp_path / f"crash{workers}.jsonl")
+            run_suite(
+                jobs,
+                workers=workers,
+                retries=2,
+                journal_path=path,
+                checkpoint_dir=str(tmp_path / f"ckpts{workers}"),
+                fault_plan=FaultPlan(exit_at=(7,)),
+                fault_attempts=(1,),
+                **FAST,
+            )
+            journals[workers] = journaled_results(path)
+        for job_id in journals[1]:
+            one, four = journals[1][job_id], journals[4][job_id]
+            assert one["status"] == four["status"] == "ok"
+            assert one["result"]["states"] == four["result"]["states"]

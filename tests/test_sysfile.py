@@ -127,7 +127,7 @@ class TestAnalyzeCommand:
             "analyze", str(SYSTEMS / "p1_impl.spi"),
             "--sender", "A", "--secret", "M",
         )
-        assert status == 0
+        assert status == 1  # a violated property exit-codes like check
         assert "VIOLATED" in output
 
     def test_bad_file_reports_error(self, capsys):
