@@ -37,12 +37,25 @@ def test_ablation_canonical_key_cost(benchmark):
 def test_ablation_dedup_effectiveness():
     # alpha-invariance merges unfoldings that differ only in fresh uids:
     # successive exploration of the same replication must reuse states.
+    from repro.semantics import canonical
+
     system = compose(spec_multi().with_part("E", replayer(C)))
-    raw_targets = [t.target for t in successors(system)]
-    raw_again = [t.target for t in successors(system)]
-    # raw objects differ (fresh uids each enumeration)...
-    assert all(a.root != b.root for a, b in zip(raw_targets, raw_again))
-    # ...but canonical keys coincide pairwise
-    assert sorted(t.canonical_key() for t in raw_targets) == sorted(
-        t.canonical_key() for t in raw_again
-    )
+    # With the successor cache on, re-enumerating the same state returns
+    # the recorded transitions — identical objects, uids included.
+    cached = successors(system)
+    assert successors(system) is not cached  # defensive copy...
+    assert [t.target for t in successors(system)] == [t.target for t in cached]
+    # The ablation proper needs the uncached substrate: each enumeration
+    # then freshens the unfolded copy with new uids.
+    canonical.set_cache_enabled(False)
+    try:
+        raw_targets = [t.target for t in successors(system)]
+        raw_again = [t.target for t in successors(system)]
+        # raw objects differ (fresh uids each enumeration)...
+        assert all(a.root != b.root for a, b in zip(raw_targets, raw_again))
+        # ...but canonical keys coincide pairwise
+        assert sorted(t.canonical_key() for t in raw_targets) == sorted(
+            t.canonical_key() for t in raw_again
+        )
+    finally:
+        canonical.set_cache_enabled(True)

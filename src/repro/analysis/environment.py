@@ -48,6 +48,7 @@ from repro.runtime.exhaustion import (
     Exhaustion,
 )
 from repro.runtime.faults import FaultError
+from repro.semantics import canonical
 from repro.semantics.actions import Comm, PendingAction, Transition
 from repro.semantics.lts import Budget, DEFAULT_BUDGET
 from repro.semantics.normalize import normalize
@@ -237,6 +238,7 @@ def env_explore(
     dedup_hits = 0
     max_queue = 0
     started = time.monotonic()
+    cache_before = canonical.metrics_snapshot()
 
     def note(reason: str, message: Optional[str] = None) -> None:
         nonlocal detail
@@ -300,6 +302,7 @@ def env_explore(
         metrics.inc("env.dedup_hits", dedup_hits)
         metrics.set_gauge("env.queue_depth", max_queue)
         metrics.observe("env.seconds", time.monotonic() - started)
+        canonical.publish_cache_metrics(metrics, cache_before)
     return graph
 
 

@@ -25,7 +25,10 @@ Observability (see :mod:`repro.obs`): ``explore``, ``analyze``,
 (collect metrics; print them, or write JSON — for ``suite`` the file
 also carries per-job and aggregate :class:`~repro.obs.stats.SuiteStats`
 blocks) and ``--profile [FILE]`` (cProfile the run; ``.prof`` files
-take the binary dump, anything else a text table).
+take the binary dump, anything else a text table).  The same commands
+accept ``--no-state-cache`` to bypass the hash-consed canonical state
+cache (see ``docs/performance.md``); verdicts and graphs are identical
+either way.
 
 ``explore``/``analyze``/``check`` share the resilient-runtime flags:
 ``--deadline SECONDS`` bounds wall-clock time (a partial, qualified
@@ -120,6 +123,12 @@ def _add_runtime_arguments(
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-state-cache",
+        action="store_true",
+        help="disable the hash-consed canonical state cache (escape "
+        "hatch; results are byte-identical either way, just slower)",
+    )
     parser.add_argument(
         "--trace",
         default=None,
@@ -682,7 +691,32 @@ def _emit_stats(args: argparse.Namespace, metrics, out) -> None:
 
 def _dispatch(args: argparse.Namespace, out) -> int:
     """Run the subcommand handler inside the requested observability
-    contexts (``--trace`` / ``--stats`` / ``--profile``)."""
+    contexts (``--trace`` / ``--stats`` / ``--profile``), honouring
+    ``--no-state-cache``."""
+    if getattr(args, "no_state_cache", False):
+        import os
+
+        from repro.semantics import canonical
+
+        # The environment variable rides across the spawn boundary so
+        # suite worker processes make the same choice; both it and the
+        # in-process switch are restored afterwards because tests call
+        # main() repeatedly in one interpreter.
+        was_enabled = canonical.set_cache_enabled(False)
+        previous_env = os.environ.get(canonical.DISABLE_ENV)
+        os.environ[canonical.DISABLE_ENV] = "1"
+        try:
+            return _dispatch_observed(args, out)
+        finally:
+            canonical.set_cache_enabled(was_enabled)
+            if previous_env is None:
+                os.environ.pop(canonical.DISABLE_ENV, None)
+            else:
+                os.environ[canonical.DISABLE_ENV] = previous_env
+    return _dispatch_observed(args, out)
+
+
+def _dispatch_observed(args: argparse.Namespace, out) -> int:
     trace_to = getattr(args, "trace", None)
     stats_to = getattr(args, "stats", None)
     profile_to = getattr(args, "profile", None)

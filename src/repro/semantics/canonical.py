@@ -1,0 +1,498 @@
+"""Cached canonical state keys and successor memoization.
+
+This module is the hot-path replacement for rendering every state
+through :func:`repro.syntax.pretty.canonical_process` on every visit.
+It produces **byte-identical** keys — the differential parity suite
+(``tests/test_canonical_parity.py``) holds it to that — but obtains
+them incrementally:
+
+1. the state's process tree is *interned* through a global
+   :class:`~repro.core.intern.InternTable`, so structurally equal
+   subtrees (which transitions rebuild constantly) collapse onto one
+   canonical instance each;
+2. a **whole-key memo** maps the interned root (by identity) to its
+   finished key.  A state whose tree was seen before — the dedup-hit
+   case that dominates explorations — costs one intern walk and one
+   dictionary lookup instead of a full render;
+3. on a miss, assembly runs one linear pass over the root's
+   **flattened token list**: string literals (adjacent ones pre-merged)
+   interleaved with ``(kind, ident, uid)`` identity triples, renumbered
+   globally in first-occurrence order exactly like ``canon_id``.
+   Token lists are memoized per interned subtree, so flattening a new
+   state splices the cached lists of everything below the rewritten
+   spine with C-level copies — only identity renumbering is ever
+   re-done per state (it is global, so it cannot be cached);
+4. a bounded LRU **successor cache** keyed by ``(interned root,
+   private, roles)`` lets repeated expansions of the same state — the
+   attacker enumeration revisits systems under many knowledge sets,
+   and escalation re-explores from scratch — skip the transition
+   enumeration entirely.  Identity keying means a hit returns
+   transitions whose uids match the querying state exactly.
+
+Invalidation rules (see ``docs/performance.md``):
+
+* intern-table keys embed children by ``id()``; the table holds strong
+  references, so ids stay valid until :func:`clear_caches` drops the
+  table, both memos and the successor cache **together** — partial
+  eviction of the table or the fragment/key memos is never allowed;
+* the successor cache may evict individually (its entries keep their
+  interned root alive, so a recycled ``id`` can never alias a live
+  key);
+* the whole layer is bypassed when disabled — by the
+  ``REPRO_NO_STATE_CACHE`` environment variable (read at import, so
+  spawned workers inherit the choice), :func:`set_cache_enabled`, or
+  the CLI's ``--no-state-cache`` — in which case ``state_key`` falls
+  back to :func:`canonical_process` verbatim.
+
+Cache effectiveness is observable through ``canonical.hit`` /
+``canonical.miss`` (and ``successor.hit`` / ``successor.miss``)
+counters published to :mod:`repro.obs.metrics` by the exploration
+loops; see :func:`metrics_snapshot` / :func:`publish_cache_metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.addresses import RelativeAddress, location_str
+from repro.core.intern import InternTable
+from repro.core.processes import (
+    AddrMatch,
+    Case,
+    Channel,
+    Input,
+    IntCase,
+    LocVar,
+    Match,
+    Nil,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+    Split,
+)
+from repro.core.terms import (
+    At,
+    Localized,
+    Name,
+    Pair,
+    SharedEnc,
+    Succ,
+    Var,
+    Zero,
+)
+from repro.syntax.pretty import canonical_process
+
+#: Environment switch honoured at import time so that spawn-context
+#: worker processes (which re-import this module) follow the parent's
+#: ``--no-state-cache`` choice.
+DISABLE_ENV = "REPRO_NO_STATE_CACHE"
+
+#: Full-clear threshold for the intern table (node count).  Clearing is
+#: all-or-nothing by design — see the module docstring.
+MAX_INTERNED_NODES = 2_000_000
+
+#: Entry cap for the successor LRU.
+SUCCESSOR_CACHE_SIZE = 8_192
+
+
+def _env_disabled() -> bool:
+    return os.environ.get(DISABLE_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+_enabled: bool = not _env_disabled()
+
+_table = InternTable()
+_flats: dict[int, list] = {}  # id(interned node) -> flattened tokens
+_keys: dict[int, str] = {}  # id(interned root) -> canonical key
+_successors: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+_canonical_hits = 0
+_canonical_misses = 0
+_successor_hits = 0
+_successor_misses = 0
+
+
+# ----------------------------------------------------------------------
+# Enable / disable / clear
+# ----------------------------------------------------------------------
+
+
+def cache_enabled() -> bool:
+    """Is the hash-consed state cache active?"""
+    return _enabled
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Switch the cache on or off; returns the previous setting.
+
+    Turning the cache off clears it, so a later re-enable starts from
+    an empty (and therefore trivially consistent) table.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    if not _enabled:
+        clear_caches()
+    return previous
+
+
+def clear_caches() -> None:
+    """Drop the intern table, both memos and the successor cache.
+
+    Always clears all four together: the memos key by ``id`` of objects
+    the table keeps alive, so none of them may outlive it.
+    """
+    _table.clear()
+    _flats.clear()
+    _keys.clear()
+    _successors.clear()
+
+
+def interned_size() -> int:
+    """Number of canonical instances currently interned."""
+    return len(_table)
+
+
+def intern_process(root: Process) -> Process:
+    """The canonical (hash-consed) instance of ``root``."""
+    return _table.process(root)
+
+
+# ----------------------------------------------------------------------
+# Fragments: per-node canonical-rendering recipes
+# ----------------------------------------------------------------------
+#
+# A fragment is a flat tuple whose elements are
+#   * ``str``      — literal output,
+#   * 3-tuples     — ``(kind, ident, uid)`` identities, renumbered in
+#                    first-occurrence order at assembly (= ``canon_id``),
+#   * ``_PreNumber`` — assign a number to an identity *now*, emit
+#                    nothing (mirrors ``canonical_process`` evaluating
+#                    binder ids before the surrounding f-string:
+#                    Input/Case/IntCase number their binders first),
+#   * anything else — an interned child node, expanded recursively.
+#
+# Fragments mention children by reference, so they are shared by every
+# state containing the subtree: after a transition only the rewritten
+# spine needs fragment construction, each node in O(arity).
+
+
+class _PreNumber:
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+
+def _name_part(base: str, uid: Optional[int]):
+    # canon_id("n", base, None) keeps the spelling of a free name.
+    return base if uid is None else ("n", base, uid)
+
+
+def _frag_name(t: Name) -> tuple:
+    if t.uid is None:
+        rendered = t.base
+        if t.creator is not None:
+            rendered += location_str(t.creator)
+        return (rendered,)
+    if t.creator is None:
+        return (("n", t.base, t.uid),)
+    return (("n", t.base, t.uid), location_str(t.creator))
+
+
+def _frag_var(t: Var) -> tuple:
+    return (("v", t.ident, t.uid),)
+
+
+def _frag_pair(t: Pair) -> tuple:
+    return ("(", t.first, ", ", t.second, ")")
+
+
+def _frag_zero(t: Zero) -> tuple:
+    return ("zero",)
+
+
+def _frag_succ(t: Succ) -> tuple:
+    return ("suc(", t.term, ")")
+
+
+def _frag_enc(t: SharedEnc) -> tuple:
+    parts: list = ["{"]
+    for i, part in enumerate(t.body):
+        if i:
+            parts.append(", ")
+        parts.append(part)
+    parts.append("}")
+    parts.append(t.key)
+    return tuple(parts)
+
+
+def _frag_localized(t: Localized) -> tuple:
+    return (location_str(t.creator), t.term)
+
+
+def _frag_at(t: At) -> tuple:
+    literal = f"[{t.address.render()}]"
+    return (literal,) if t.term is None else (literal, t.term)
+
+
+def _frag_channel(ch: Channel) -> tuple:
+    index = ch.index
+    if index is None:
+        return (ch.subject,)
+    if isinstance(index, RelativeAddress):
+        return (ch.subject, "@" + index.render())
+    if isinstance(index, LocVar):
+        return (ch.subject, "@", ("l", index.ident, index.uid))
+    return (ch.subject, "@" + location_str(index))
+
+
+def _frag_nil(p: Nil) -> tuple:
+    return ("0",)
+
+
+def _frag_output(p: Output) -> tuple:
+    return (p.channel, "<", p.payload, ">.", p.continuation)
+
+
+def _frag_input(p: Input) -> tuple:
+    binder = ("v", p.binder.ident, p.binder.uid)
+    return (_PreNumber(binder), p.channel, "(", binder, ").", p.continuation)
+
+
+def _frag_restriction(p: Restriction) -> tuple:
+    # canonical_process renders the binder via canon_id directly: the
+    # creator never appears here (contrast with Name occurrences).
+    return ("(nu ", _name_part(p.name.base, p.name.uid), ")(", p.body, ")")
+
+
+def _frag_parallel(p: Parallel) -> tuple:
+    return ("(", p.left, " | ", p.right, ")")
+
+
+def _frag_match(p: Match) -> tuple:
+    return ("[", p.left, " = ", p.right, "] ", p.continuation)
+
+
+def _frag_addrmatch(p: AddrMatch) -> tuple:
+    return ("[", p.left, " =~ ", p.right, "] ", p.continuation)
+
+
+def _frag_replication(p: Replication) -> tuple:
+    return ("!(", p.body, ")")
+
+
+def _frag_case(p: Case) -> tuple:
+    triples = [("v", b.ident, b.uid) for b in p.binders]
+    parts: list = [_PreNumber(t) for t in triples]
+    parts += ["case ", p.scrutinee, " of {"]
+    for i, triple in enumerate(triples):
+        if i:
+            parts.append(", ")
+        parts.append(triple)
+    parts += ["}", p.key, " in ", p.continuation]
+    return tuple(parts)
+
+
+def _frag_intcase(p: IntCase) -> tuple:
+    binder = ("v", p.binder.ident, p.binder.uid)
+    return (
+        _PreNumber(binder),
+        "case ",
+        p.scrutinee,
+        " of zero: ",
+        p.zero_branch,
+        " suc(",
+        binder,
+        "): ",
+        p.succ_branch,
+    )
+
+
+def _frag_split(p: Split) -> tuple:
+    first = ("v", p.first.ident, p.first.uid)
+    second = ("v", p.second.ident, p.second.uid)
+    return ("let (", first, ", ", second, ") = ", p.scrutinee, " in ", p.continuation)
+
+
+_FRAGMENT_BUILDERS: dict[type, object] = {
+    Name: _frag_name,
+    Var: _frag_var,
+    Pair: _frag_pair,
+    Zero: _frag_zero,
+    Succ: _frag_succ,
+    SharedEnc: _frag_enc,
+    Localized: _frag_localized,
+    At: _frag_at,
+    Channel: _frag_channel,
+    Nil: _frag_nil,
+    Output: _frag_output,
+    Input: _frag_input,
+    Restriction: _frag_restriction,
+    Parallel: _frag_parallel,
+    Match: _frag_match,
+    AddrMatch: _frag_addrmatch,
+    Replication: _frag_replication,
+    Case: _frag_case,
+    IntCase: _frag_intcase,
+    Split: _frag_split,
+}
+
+
+def _flatten(node) -> list:
+    """The flattened token list of an interned subtree (memoized).
+
+    Tokens are ``str`` literals (adjacent literals merged at build
+    time), identity triples and ``_PreNumber`` markers, in the pretty
+    printer's left-to-right output order.  Child references in the
+    one-level recipes are expanded recursively, so flattening a
+    transition target splices the cached lists of every shared subtree
+    with C-level copies — only the rewritten spine builds new lists.
+    """
+    flat = _flats.get(id(node))
+    if flat is not None:
+        return flat
+    out: list = []
+    for part in _FRAGMENT_BUILDERS[node.__class__](node):
+        cls = part.__class__
+        if cls is str:
+            if out and out[-1].__class__ is str:
+                out[-1] += part
+            else:
+                out.append(part)
+        elif cls is tuple or cls is _PreNumber:
+            out.append(part)
+        else:
+            child = _flatten(part)
+            if child and out and out[-1].__class__ is str and child[0].__class__ is str:
+                out[-1] += child[0]
+                out.extend(child[1:])
+            else:
+                out.extend(child)
+    _flats[id(node)] = out
+    return out
+
+
+def _assemble(root) -> str:
+    """Render an interned tree from its token list (one linear pass).
+
+    Identity triples are numbered in first-occurrence order with one
+    shared counter across kinds — byte-identical to ``canon_id``.
+    """
+    # Values are the *rendered* ids ("v3", "n7"): repeat occurrences —
+    # the bulk of the tokens — cost one dict hit, no formatting.
+    renumber: dict[tuple, str] = {}
+    out: list[str] = []
+    for item in _flatten(root):
+        cls = item.__class__
+        if cls is str:
+            out.append(item)
+        elif cls is tuple:
+            rendered = renumber.get(item)
+            if rendered is None:
+                rendered = renumber[item] = f"{item[0]}{len(renumber) + 1}"
+            out.append(rendered)
+        else:  # _PreNumber
+            key = item.key
+            if key not in renumber:
+                renumber[key] = f"{key[0]}{len(renumber) + 1}"
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# State keys
+# ----------------------------------------------------------------------
+
+
+def state_key(root: Process) -> str:
+    """The alpha-invariant canonical key of a state's process tree.
+
+    Byte-identical to ``canonical_process(root)``; with the cache
+    enabled the tree is interned first and the key is memoized per
+    interned root.
+    """
+    global _canonical_hits, _canonical_misses
+    if not _enabled:
+        return canonical_process(root)
+    node = _table.process(root)
+    key = _keys.get(id(node))
+    if key is not None:
+        _canonical_hits += 1
+        return key
+    _canonical_misses += 1
+    key = _keys[id(node)] = _assemble(node)
+    if len(_table) > MAX_INTERNED_NODES:
+        clear_caches()
+    return key
+
+
+# ----------------------------------------------------------------------
+# Successor cache
+# ----------------------------------------------------------------------
+
+
+def successor_key(system) -> Optional[tuple]:
+    """Cache handle for ``successors(system)`` (``None`` when disabled).
+
+    ``private`` and ``roles`` are part of the key because equal process
+    trees can belong to systems with different private-name sets, and
+    verdicts depend on them.  Keying on the *identity* of the interned
+    root means a hit hands back transitions whose uids are exactly
+    those of the querying state — not merely alpha-equivalent ones.
+    The handle carries the interned root alongside the key so a stored
+    entry keeps it alive: a live entry's ``id`` can never be recycled
+    onto a different node.
+    """
+    if not _enabled:
+        return None
+    node = _table.process(system.root)
+    return ((id(node), system.private, system.roles), node)
+
+
+def successor_get(handle: tuple) -> Optional[list]:
+    """Cached transition list for ``handle``, or ``None``."""
+    global _successor_hits, _successor_misses
+    key, _node = handle
+    entry = _successors.get(key)
+    if entry is None:
+        _successor_misses += 1
+        return None
+    _successors.move_to_end(key)
+    _successor_hits += 1
+    return list(entry[1])
+
+
+def successor_put(handle: tuple, transitions: list) -> None:
+    """Record the computed transitions of one state (LRU-bounded)."""
+    key, node = handle
+    _successors[key] = (node, tuple(transitions))
+    _successors.move_to_end(key)
+    while len(_successors) > SUCCESSOR_CACHE_SIZE:
+        _successors.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+
+def metrics_snapshot() -> tuple[int, int, int, int]:
+    """Monotonic cache counters ``(canonical hit/miss, successor
+    hit/miss)`` — snapshot before a run, diff after, publish the delta."""
+    return (_canonical_hits, _canonical_misses, _successor_hits, _successor_misses)
+
+
+_METRIC_NAMES = ("canonical.hit", "canonical.miss", "successor.hit", "successor.miss")
+
+
+def publish_cache_metrics(metrics, before: tuple[int, int, int, int]) -> None:
+    """Publish counter deltas since ``before`` to a metrics registry."""
+    after = metrics_snapshot()
+    for name, b, a in zip(_METRIC_NAMES, before, after):
+        if a > b:
+            metrics.inc(name, a - b)
+    metrics.set_gauge("canonical.interned", interned_size())

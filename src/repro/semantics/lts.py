@@ -24,9 +24,14 @@ Explorations are *resilient*:
   so :func:`resume_exploration` — possibly in a later process, via
   :mod:`repro.runtime.checkpoint` — continues instead of restarting.
 
-States are deduplicated up to alpha-equivalence using the canonical
-rendering of :mod:`repro.syntax.pretty`, which renumbers the fresh ids
-introduced by replication unfolding.
+States are deduplicated up to alpha-equivalence by the canonical key of
+:mod:`repro.semantics.canonical`, which renumbers the fresh ids
+introduced by replication unfolding.  With the state cache enabled
+(the default) keys come from hash-consed, memoized rendering and
+repeated expansions hit a successor cache; ``--no-state-cache`` (or
+``REPRO_NO_STATE_CACHE=1``) falls back to rendering every state
+through :func:`repro.syntax.pretty.canonical_process` — the two paths
+produce byte-identical keys, and therefore byte-identical graphs.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.runtime import exhaustion as ex
 from repro.runtime.deadline import RunControl, resolve_control
 from repro.runtime.exhaustion import Exhaustion
 from repro.runtime.faults import FaultError
+from repro.semantics import canonical
 from repro.semantics.actions import Transition
 from repro.semantics.system import System
 from repro.semantics.transitions import successors
@@ -215,6 +221,7 @@ def _run_exploration(
     autosave = control.on_checkpoint if autosave_every else None
     last_saved = len(graph.states)
     tally = _Tally()
+    cache_before = canonical.metrics_snapshot()
 
     def note(reason: str) -> None:
         if reason not in reasons:
@@ -284,6 +291,7 @@ def _run_exploration(
         metrics.inc("explore.dedup_hits", tally.dedup_hits)
         metrics.set_gauge("explore.queue_depth", tally.max_queue)
         metrics.observe("explore.seconds", elapsed)
+        canonical.publish_cache_metrics(metrics, cache_before)
 
 
 def explore(
@@ -373,6 +381,7 @@ def search(
     max_queue = 0
     found = False
     started = time.monotonic()
+    cache_before = canonical.metrics_snapshot()
 
     def note(reason: str) -> None:
         if reason not in reasons:
@@ -387,6 +396,7 @@ def search(
             metrics.inc("search.found", 1 if found else 0)
             metrics.set_gauge("search.queue_depth", max_queue)
             metrics.observe("search.seconds", time.monotonic() - started)
+            canonical.publish_cache_metrics(metrics, cache_before)
 
     try:
         while queue:

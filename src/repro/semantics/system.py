@@ -55,7 +55,8 @@ from repro.core.processes import (
 from repro.core.substitution import rename_names
 from repro.core.terms import Name, fresh_uid
 from repro.runtime.faults import CANONICAL, fault_hook
-from repro.syntax.pretty import canonical_process, render_process
+from repro.semantics.canonical import state_key
+from repro.syntax.pretty import render_process
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,10 +130,15 @@ class System:
         return render_process(self.root, unicode=unicode)
 
     def canonical_key(self) -> str:
-        """Alpha-invariant state key used for deduplication (cached)."""
+        """Alpha-invariant state key used for deduplication (cached).
+
+        Computed through :func:`repro.semantics.canonical.state_key`:
+        hash-consed and memoized when the state cache is enabled,
+        rendered from scratch otherwise — byte-identical either way.
+        """
         if self._key_cache is None:
             fault_hook(CANONICAL)
-            object.__setattr__(self, "_key_cache", canonical_process(self.root))
+            object.__setattr__(self, "_key_cache", state_key(self.root))
         return self._key_cache
 
     def __str__(self) -> str:  # pragma: no cover - trivial

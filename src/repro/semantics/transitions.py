@@ -60,6 +60,7 @@ from repro.core.terms import (
     values_equal,
 )
 from repro.runtime.faults import SUCCESSORS, fault_hook
+from repro.semantics import canonical
 from repro.semantics.actions import Comm, PendingAction, Transition
 from repro.semantics.guards import addr_match_passes, decrypt, int_case, match_passes, split_pair
 from repro.semantics.normalize import normalize
@@ -267,9 +268,22 @@ def successors(system: System) -> list[Transition]:
     """Every silent transition enabled in ``system``.
 
     Instrumented for fault injection (:mod:`repro.runtime.faults`): the
-    hook is free unless a plan is active.
+    hook is free unless a plan is active, and it fires *before* the
+    successor-cache lookup so injected-fault schedules see the same
+    call sequence whether or not the cache is enabled.
+
+    Results are memoized per interned state (see
+    :mod:`repro.semantics.canonical`): re-expanding a state the
+    attacker enumeration or an escalated re-exploration has already
+    visited returns the recorded transitions — uids included, since the
+    cache keys on the identity of the hash-consed root.
     """
     fault_hook(SUCCESSORS)
+    cache_handle = canonical.successor_key(system)
+    if cache_handle is not None:
+        cached = canonical.successor_get(cache_handle)
+        if cached is not None:
+            return cached
     actions = pending_actions(system)
     outputs = [a for a in actions if a.is_output]
     inputs = [a for a in actions if not a.is_output]
@@ -279,4 +293,6 @@ def successors(system: System) -> list[Transition]:
             step = synchronize(out, inp, system)
             if step is not None:
                 transitions.append(step)
+    if cache_handle is not None:
+        canonical.successor_put(cache_handle, transitions)
     return transitions

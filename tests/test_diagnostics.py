@@ -100,3 +100,48 @@ class TestDot:
             if "label=" in line and "->" in line:
                 label = line.split('label="')[1].rstrip('"];')
                 assert len(label) <= 10
+
+
+class TestCornerCases:
+    def test_trivial_graph(self):
+        graph = explore(instantiate(Nil()))
+        stats = statistics(graph)
+        assert stats.states == 1
+        assert stats.transitions == 0
+        assert stats.deadlocks == 1
+        assert stats.depth == 0
+        assert stats.strongly_connected_components == 1
+        assert not stats.truncated
+        dot = to_dot(graph)
+        assert "doublecircle" in dot and "->" not in dot
+
+    def test_replication_unfolding_truncated_stats(self):
+        from repro.syntax.parser import parse_process
+
+        system = instantiate(
+            parse_process("(!((nu m)(a<m>.0)) | !(a(x).0))")
+        )
+        graph = explore(system, Budget(max_states=15, max_depth=6))
+        stats = statistics(graph)
+        assert stats.truncated
+        assert stats.exhaustion is not None
+        assert "(truncated:" in stats.describe()
+        assert stats.depth <= 6
+        # Every recorded edge ends in a recorded state, even mid-unfold.
+        g = to_networkx(graph)
+        assert set(g.nodes) == set(graph.states)
+
+    def test_incomplete_states_are_not_deadlocks(self):
+        graph = explore(diamond_system(), Budget(max_states=2, max_depth=50))
+        assert graph.incomplete
+        stats = statistics(graph)
+        # A state whose targets were refused by the budget must not be
+        # reported as stuck: the exploration never finished expanding it.
+        assert stats.deadlocks == 0
+        assert stats.truncated
+
+    def test_dot_numbering_follows_insertion_order(self):
+        graph = explore(diamond_system())
+        dot = to_dot(graph)
+        # The initial state is inserted first, so it is s0.
+        assert 's0 [shape=doublecircle' in dot

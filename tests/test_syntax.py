@@ -12,16 +12,18 @@ from repro.core.processes import (
     Case,
     Channel,
     Input,
+    IntCase,
     LocVar,
     Match,
     Nil,
     Output,
     Parallel,
+    Process,
     Replication,
     Restriction,
     Split,
 )
-from repro.core.terms import At, Localized, Name, Pair, SharedEnc, Var
+from repro.core.terms import At, Localized, Name, Pair, SharedEnc, Term, Var
 from repro.syntax.lexer import Token, split_ident, tokenize
 from repro.syntax.parser import parse_address, parse_process, parse_term
 from repro.syntax.pretty import canonical_process, render_process, render_term
@@ -306,3 +308,51 @@ class TestParseErrorExcerpts:
         bare = ParseError("boom", line=3, column=7)
         assert str(bare) == "boom at 3:7"
         assert bare.with_source("abc\ndef\nghijklm").source is not None
+
+
+class TestPrettyCornerCases:
+    def test_deep_prefix_nesting_round_trips(self):
+        p: Process = Nil()
+        for _ in range(80):
+            p = Output(Channel(Name("a")), Name("M"), p)
+        rendered = render_process(p)
+        assert parse_process(rendered) == p
+        assert canonical_process(p) == canonical_process(p)
+
+    def test_deep_term_nesting_round_trips(self):
+        t: Term = Name("M")
+        for _ in range(25):
+            t = SharedEnc((Pair(t, Name("N")),), Name("K"))
+        p = Output(Channel(Name("a")), t, Nil())
+        assert parse_process(render_process(p)) == p
+
+    def test_deeply_nested_restrictions(self):
+        source = "(nu m)(" * 10 + "a<m>.0" + ")" * 10
+        p = parse_process(source)
+        assert parse_process(render_process(p)) == p
+        assert render_process(p, unicode=True).count("ν") == 10
+        # All ten binders spell the same; canonicalization keeps the
+        # rendering well-formed (raw uid-less binders share identity).
+        assert canonical_process(p).count("nu ") == 10
+
+    def test_intcase_renders_both_branches(self):
+        p = IntCase(Var("x", 3), Nil(), Var("y", 4), Output(Channel(Name("a")), Var("y", 4), Nil()))
+        rendered = render_process(p)
+        assert "zero:" in rendered and "suc(" in rendered
+
+    def test_replication_unfolding_keys_are_alpha_stable(self):
+        # Unfolding a replication freshens the copy's names; the uids
+        # drawn differ between two instantiations of the same source,
+        # but the canonical state keys must coincide throughout.
+        from repro.semantics.lts import Budget, explore
+        from repro.semantics.system import instantiate
+
+        source = "(!((nu m)(a<m>.b<m>.0)) | !(a(x).0))"
+        budget = Budget(max_states=20, max_depth=6)
+        first = explore(instantiate(parse_process(source)), budget)
+        second = explore(instantiate(parse_process(source)), budget)
+        assert sorted(first.states) == sorted(second.states)
+        for key, system in first.states.items():
+            # Rendering an unfolded state stays parseable ASCII.
+            parse_process(render_process(system.root))
+            assert canonical_process(system.root) == key
