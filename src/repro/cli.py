@@ -1,6 +1,6 @@
 """Command-line interface to the calculus.
 
-Nine subcommands cover the workflows::
+Eleven subcommands cover the workflows::
 
     repro-spi parse   FILE           # parse & pretty-print (+ tree view)
     repro-spi run     FILE           # narrated execution, first-choice
@@ -11,6 +11,8 @@ Nine subcommands cover the workflows::
     repro-spi check   IMPL SPEC      # Definition 4 between system files
     repro-spi suite   [FILE...]      # supervised parallel job batch
     repro-spi stats   JOURNAL        # per-job metrics of a suite journal
+    repro-spi serve                  # long-running verification server
+    repro-spi submit  KIND [TARGET]  # one request against a server
 
 ``parse``/``run``/``explore`` take a bare process in the concrete
 syntax (``-`` reads stdin, ``-e SOURCE`` passes it inline);
@@ -42,11 +44,22 @@ every N explored states, not just at the end).
 worker processes (see :mod:`repro.runtime.supervisor`): crashed, hung or
 OOM-killed workers are restarted and their jobs retried from the last
 checkpoint; verdicts stream to a crash-safe ``--journal`` so an
-interrupted batch continues with ``--resume``.
+interrupted batch continues with ``--resume`` (add ``--retry-faults``
+to also re-run jobs whose journaled verdict was a degraded fault).  A
+first SIGINT/SIGTERM *drains* the batch — in-flight jobs finish and are
+journaled, queued jobs are left for ``--resume`` — and exits 130; a
+second one aborts immediately.
+
+``serve`` / ``submit`` are the service pair (see
+:mod:`repro.service`): a long-running server with admission control,
+per-protocol circuit breakers and graceful SIGTERM drain, and a
+retrying client for it.  ``docs/service.md`` has the wire protocol.
 
 Exit status: 0 on success, 1 when a check finds an attack or a property
-violation, 2 on errors (usage, parse, missing/corrupt files), 130 when
-interrupted from the keyboard outside a recoverable exploration.
+violation, 2 on errors (usage, parse, missing/corrupt files, an
+unreachable server), 3 when a served verdict came back degraded or the
+server was draining, 130 when interrupted (including a drained
+``suite``).
 """
 
 from __future__ import annotations
@@ -355,9 +368,9 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         if args.json == "-":
             print(json.dumps(payload, indent=2), file=out)
         else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-                handle.write("\n")
+            from repro.runtime.atomic import atomic_write_json
+
+            atomic_write_json(args.json, payload)
             print(f"stats JSON written to {args.json}", file=out)
     return 0
 
@@ -441,32 +454,180 @@ def _suite_jobs(args: argparse.Namespace) -> list:
 
 def cmd_suite(args: argparse.Namespace, out) -> int:
     from repro.runtime.faults import FaultPlan
+    from repro.runtime.lifecycle import drain_signals
     from repro.runtime.supervisor import run_suite
 
     if args.resume and args.journal is None:
         raise ReproError("--resume needs --journal PATH to resume from")
+    if args.retry_faults and not args.resume:
+        raise ReproError("--retry-faults only means something with --resume")
     plan = None
     if args.inject_crash_at or args.inject_fail_at:
         plan = FaultPlan(
             fail_at=tuple(args.inject_fail_at or ()),
             exit_at=tuple(args.inject_crash_at or ()),
         )
-    report = run_suite(
-        _suite_jobs(args),
-        workers=args.jobs,
+    # First SIGINT/SIGTERM drains (in-flight jobs finish and are
+    # journaled; queued jobs wait for --resume), a second one aborts.
+    with drain_signals() as drain:
+        report = run_suite(
+            _suite_jobs(args),
+            workers=args.jobs,
+            retries=args.retries,
+            job_deadline=args.job_deadline,
+            max_rss_mb=args.max_rss,
+            journal_path=args.journal,
+            resume=args.resume,
+            retry_faults=args.retry_faults,
+            checkpoint_dir=args.checkpoint_dir,
+            fault_plan=plan,
+            on_outcome=lambda outcome: print(outcome.describe(), file=out),
+            drain=drain,
+        )
+    print(report.describe(), file=out)
+    # Stash the report for --stats post-processing (see _dispatch).
+    args.suite_report = report
+    if report.drained:
+        return 130
+    return 1 if report.violations else 0
+
+
+def _parse_tcp(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ReproError(f"bad --tcp address {spec!r} (expected HOST:PORT)")
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    """``serve``: run the verification service until drained.
+
+    Prints one ``listening on ...`` line per bound endpoint (so
+    launchers can wait for readiness and discover an ephemeral TCP
+    port), then serves until SIGINT/SIGTERM, draining gracefully:
+    listeners close, queued requests are shed with ``draining``
+    responses (journaled, so a batch ``--resume`` completes them),
+    in-flight jobs get ``--drain-grace`` seconds, and the exit status
+    is 0.
+    """
+    from repro.runtime.lifecycle import drain_signals
+    from repro.service.server import Server, ServerConfig
+
+    host, port = _parse_tcp(args.tcp) if args.tcp is not None else (None, None)
+    server = Server(ServerConfig(
+        socket_path=args.socket,
+        host=host,
+        port=port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
         retries=args.retries,
         job_deadline=args.job_deadline,
         max_rss_mb=args.max_rss,
         journal_path=args.journal,
-        resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
-        fault_plan=plan,
-        on_outcome=lambda outcome: print(outcome.describe(), file=out),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_grace=args.drain_grace,
+        allow_fault_injection=args.allow_fault_injection,
+    ))
+    server.bind()
+    if args.socket is not None:
+        print(f"listening on unix:{args.socket}", file=out, flush=True)
+    if server.tcp_address is not None:
+        bound_host, bound_port = server.tcp_address
+        print(f"listening on tcp:{bound_host}:{bound_port}", file=out, flush=True)
+    with drain_signals(on_signal=lambda signum: server.request_drain()):
+        code = server.serve_forever()
+    print("drained", file=out, flush=True)
+    return code
+
+
+def _submit_target(args: argparse.Namespace) -> dict:
+    """Lower the submit positionals to a request ``target`` object,
+    mirroring how ``secrecy``/``explore``/``check`` interpret theirs."""
+    import os
+
+    if args.kind == "check" or args.kind == "may-preorder":
+        if args.target is None or args.spec is None:
+            raise ReproError(f"{args.kind} needs TARGET (impl) and --spec")
+        return {"impl": args.target, "spec": args.spec}
+    if args.target is None:
+        raise ReproError(f"{args.kind} needs a TARGET (zoo name or file path)")
+    if os.path.exists(args.target):
+        key = "spi" if args.kind == "explore" else "sysfile"
+        return {key: args.target}
+    return {"zoo": args.target}
+
+
+def cmd_submit(args: argparse.Namespace, out) -> int:
+    """``submit``: one request against a running server.
+
+    Exit codes: 0 verdict obtained and no violation, 1 violation found,
+    2 unreachable server / request error, 3 degraded verdict or server
+    draining.
+    """
+    import json
+
+    from repro.runtime.deadline import Deadline
+    from repro.service.client import ServiceClient
+
+    if args.socket is not None:
+        address = ("unix", args.socket)
+    elif args.tcp is not None:
+        address = ("tcp", _parse_tcp(args.tcp))
+    else:
+        raise ReproError("submit needs --socket PATH or --tcp HOST:PORT")
+    client = ServiceClient(
+        address, timeout=args.timeout, retries=args.connect_retries
     )
-    print(report.describe(), file=out)
-    # Stash the report for --stats post-processing (see _dispatch).
-    args.suite_report = report
-    return 1 if report.violations else 0
+    deadline = Deadline.after(args.deadline) if args.deadline is not None else None
+    if args.kind in ("ping", "status"):
+        reply = client.call({"kind": args.kind}, deadline=deadline)
+    else:
+        reply = client.submit(
+            args.kind,
+            _submit_target(args),
+            deadline=deadline,
+            id=args.id,
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            secret=args.secret,
+            sender=args.sender,
+        )
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True), file=out)
+    status = reply.get("status")
+    result = reply.get("result") or {}
+    if status == "pong":
+        if not args.json:
+            print(f"pong from pid {reply.get('pid')}", file=out)
+        return 0
+    if status == "status":
+        if not args.json:
+            pool = reply.get("pool") or {}
+            queue = reply.get("queue") or {}
+            print(
+                f"workers {pool.get('busy', 0)}/{pool.get('alive', 0)} busy, "
+                f"queue {queue.get('depth', 0)}/{queue.get('limit', 0)}, "
+                f"{len(reply.get('breakers') or {})} breaker(s) tripped, "
+                f"draining={reply.get('server', {}).get('draining')}",
+                file=out,
+            )
+        return 0
+    if status == "ok":
+        if not args.json:
+            print(result.get("summary", "ok"), file=out)
+        return 1 if result.get("violated") else 0
+    if status == "degraded":
+        if not args.json:
+            print(f"degraded: {reply.get('error')}", file=out)
+        return 3
+    if status == "draining":
+        if not args.json:
+            print(f"draining: {reply.get('error')}", file=out)
+        return 3
+    raise ReproError(f"request failed: {reply.get('error', status)}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -613,6 +774,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip jobs already verdicted in --journal",
     )
     p_suite.add_argument(
+        "--retry-faults",
+        action="store_true",
+        help="with --resume, re-run jobs whose journaled verdict was a "
+        "degraded fault (completes a drained or crash-looped run)",
+    )
+    p_suite.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
@@ -662,6 +829,119 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.set_defaults(handler=cmd_stats)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the verification service (see docs/service.md)"
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH", help="bind this Unix socket"
+    )
+    p_serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="bind this TCP endpoint (port 0 picks an ephemeral port, "
+        "announced on stdout)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="supervised worker processes (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission queue depth; beyond it requests are shed with "
+        "fast 'overloaded' responses (default 64)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="extra attempts per request after a worker crash (default 1)",
+    )
+    p_serve.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request budget (a request's own deadline wins)",
+    )
+    p_serve.add_argument(
+        "--max-rss", type=float, default=None, metavar="MB",
+        help="kill and replace any worker whose resident set exceeds this",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal every verdict/shed/degrade here (suite-journal "
+        "schema; 'suite --resume' over it completes shed work)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="keep exploration autosaves here across worker crashes",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive worker crashes on one protocol that open its "
+        "circuit breaker (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="how long an open breaker waits before letting one probe "
+        "request through (default 30)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="how long a drain waits for in-flight jobs before killing "
+        "their workers (default 10)",
+    )
+    p_serve.add_argument(
+        "--allow-fault-injection",
+        action="store_true",
+        help="test instrumentation: accept fault_plan fields in requests",
+    )
+    p_serve.set_defaults(handler=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one request to a running server"
+    )
+    p_submit.add_argument(
+        "kind",
+        choices=[
+            "ping", "status", "secrecy", "authentication", "freshness",
+            "explore", "check", "may-preorder",
+        ],
+        help="request kind ('may-preorder' is the Definition-4 check)",
+    )
+    p_submit.add_argument(
+        "target", nargs="?", default=None,
+        help="zoo protocol name or file path (impl file for check)",
+    )
+    p_submit.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="specification system file (check/may-preorder)",
+    )
+    p_submit.add_argument(
+        "--socket", default=None, metavar="PATH", help="server Unix socket"
+    )
+    p_submit.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT", help="server TCP endpoint"
+    )
+    p_submit.add_argument("--id", default=None, help="request id (default: derived)")
+    p_submit.add_argument("--max-states", type=int, default=4000)
+    p_submit.add_argument("--max-depth", type=int, default=40)
+    p_submit.add_argument("--secret", default=None, metavar="NAME")
+    p_submit.add_argument("--sender", default=None, metavar="ROLE")
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="total budget: propagated to the server and bounding retries",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-attempt socket timeout (default 60)",
+    )
+    p_submit.add_argument(
+        "--connect-retries", type=int, default=3, metavar="N",
+        help="extra attempts on connection errors or overload sheds "
+        "(default 3, with jittered backoff)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true", help="print the raw response frame"
+    )
+    p_submit.set_defaults(handler=cmd_submit)
+
     return parser
 
 
@@ -680,12 +960,12 @@ def _emit_stats(args: argparse.Namespace, metrics, out) -> None:
             print(report.stats().describe(), file=out)
         print(metrics.describe(), file=out)
         return
+    from repro.runtime.atomic import atomic_write_json
+
     payload = {"metrics": metrics.to_json()}
     if report is not None:
         payload.update(report.stats().to_json())
-    with open(args.stats, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(args.stats, payload)
     print(f"stats written to {args.stats}", file=out)
 
 

@@ -1,0 +1,69 @@
+"""Atomic file replacement for checkpoint and sidecar writes.
+
+Every durable artifact the runtime leaves next to a run — exploration
+checkpoints, ``--stats`` JSON sidecars, service status snapshots — must
+never be observable half-written: a SIGKILL mid-write that leaves a
+truncated checkpoint poisons a later ``--resume``, which defeats the
+whole point of checkpointing.  (The append-only journal is the one
+exception: it is a *log*, repaired by torn-tail truncation on reload,
+not replaced wholesale — see :mod:`repro.runtime.journal`.)
+
+The recipe is the classic one, centralized here so every writer gets it
+right: write to a ``.tmp`` sibling *in the same directory* (``rename``
+is only atomic within a filesystem), flush, ``fsync`` the file, then
+``os.replace`` over the destination.  Readers see either the complete
+old content or the complete new content, never a prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Callable, IO
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    _atomic_write(path, "wb", lambda handle: handle.write(data))
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 2) -> None:
+    """Atomically replace ``path`` with ``payload`` rendered as JSON
+    (trailing newline included, matching the CLI's sidecar format)."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+def atomic_dump(path: str, write: Callable[[IO[bytes]], None]) -> None:
+    """Atomically replace ``path`` with whatever ``write`` streams into
+    the (binary) temp handle — for payloads too large or too stateful to
+    build in memory first (pickled checkpoints)."""
+    _atomic_write(path, "wb", write)
+
+
+def _atomic_write(path: str, mode: str, write: Callable[[IO], None]) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    # tempfile (vs a fixed ``path + ".tmp"``) keeps two concurrent
+    # writers — e.g. a checkpoint autosave racing a final save — from
+    # scribbling into each other's temp file; the loser's replace just
+    # wins last.
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already replaced or gone
+            pass
+        raise

@@ -20,12 +20,12 @@ interchange format.
 
 from __future__ import annotations
 
-import os
 import pickle
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.errors import ReproError
+from repro.runtime.atomic import atomic_dump
 from repro.runtime.deadline import RunControl
 from repro.semantics.lts import Budget, Graph, resume_exploration
 
@@ -65,15 +65,16 @@ class Checkpoint:
         )
 
     def save(self, path: str) -> None:
-        """Atomically write the checkpoint to ``path``."""
-        tmp = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):  # pragma: no cover - only on failure
-                os.unlink(tmp)
+        """Atomically write the checkpoint to ``path``.
+
+        Same-directory temp file, fsync, then ``os.replace`` (see
+        :mod:`repro.runtime.atomic`): a kill mid-save can never leave a
+        truncated checkpoint that poisons a later ``--resume``.
+        """
+        atomic_dump(
+            path,
+            lambda handle: pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":

@@ -47,11 +47,18 @@ class Deadline:
         return cls(clock() + seconds, clock)
 
     def remaining(self) -> float:
-        """Seconds left (negative once expired)."""
-        return self.expires_at - self.clock()
+        """Seconds left, clamped to ``0.0`` once expired.
+
+        The clamp matters because callers feed this straight into
+        ``select``/``poll``/``socket.settimeout`` timeouts, where a
+        negative value either raises or (worse) means "block forever".
+        Use :meth:`expired` to distinguish "just now" from "long past" —
+        both read as ``0.0`` here.
+        """
+        return max(0.0, self.expires_at - self.clock())
 
     def expired(self) -> bool:
-        return self.remaining() <= 0.0
+        return self.expires_at - self.clock() <= 0.0
 
 
 class CancelToken:

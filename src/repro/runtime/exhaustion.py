@@ -121,6 +121,25 @@ class Exhaustion:
     ) -> "Exhaustion":
         return Exhaustion((reason,), states, depth, elapsed, detail)
 
+    def verdict(self, kind: str) -> dict:
+        """A degraded, verdict-shaped result dict carrying this record.
+
+        The shape matches what a completed job of the same ``kind``
+        journals (``exact``/``violated``/``states``/``exhaustion``/
+        ``summary``), so consumers — the suite journal, the service
+        protocol, ``repro-spi stats`` — never need a special case for
+        "the run never verdicted".  ``violated`` is ``False``: no
+        verdict is not a violation, it is an honest "don't know".
+        """
+        return {
+            "kind": kind,
+            "exact": False,
+            "violated": False,
+            "states": self.states,
+            "exhaustion": self.to_json(),
+            "summary": f"no verdict: {self.describe()}",
+        }
+
     @staticmethod
     def merge(*records: Optional["Exhaustion"]) -> Optional["Exhaustion"]:
         """Combine the exhaustion of several sub-computations.

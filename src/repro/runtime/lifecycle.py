@@ -1,0 +1,67 @@
+"""Graceful-drain signal handling, shared by ``suite`` and ``serve``.
+
+Both long-running entry points want the same SIGINT/SIGTERM contract:
+
+* the **first** signal requests a *drain* — stop taking on new work,
+  finish (or checkpoint) what is in flight, flush the journal, and exit
+  through the normal cleanup path;
+* a **second** signal means the operator is out of patience: raise
+  ``KeyboardInterrupt`` so the ordinary teardown (``finally`` blocks,
+  pool SIGKILLs) runs immediately.
+
+:func:`drain_signals` packages that as a context manager yielding a
+``threading.Event`` that flips on the first signal.  Handlers are only
+installable from the main thread; elsewhere (tests driving servers from
+worker threads) the context degrades to a plain never-set event, and the
+caller triggers draining programmatically instead.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence
+
+#: The signals a service process is expected to drain on.
+DRAIN_SIGNALS: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextmanager
+def drain_signals(
+    signals: Sequence[int] = DRAIN_SIGNALS,
+    on_signal: Optional[Callable[[int], None]] = None,
+) -> Iterator[threading.Event]:
+    """Install first-signal-drains / second-signal-interrupts handlers.
+
+    Yields the drain event.  ``on_signal`` (if given) runs inside the
+    handler after the event is set — keep it tiny and reentrant-safe
+    (setting another event, writing a flag); it exists so a server can
+    wake its select loop promptly rather than noticing on the next tick.
+    Previous handlers are restored on exit.
+    """
+    drain = threading.Event()
+
+    def handler(signum: int, frame) -> None:
+        if drain.is_set():
+            raise KeyboardInterrupt
+        drain.set()
+        if on_signal is not None:
+            on_signal(signum)
+
+    previous: dict[int, object] = {}
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(signum, handler)
+    except ValueError:
+        # Not the main thread: signal delivery is the main thread's
+        # business anyway.  Undo any partial installation and fall back
+        # to a programmatic-drain-only event.
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        previous = {}
+    try:
+        yield drain
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

@@ -9,18 +9,22 @@ the batch.
 
 Architecture:
 
-* the **supervisor** (this module) owns a queue of :class:`Job`\\ s and
-  a pool of ``multiprocessing`` *spawn*-context workers, each with its
-  own duplex pipe (a killed worker can only corrupt its own channel);
+* a :class:`WorkerPool` owns the *process mechanics*: a pool of
+  ``multiprocessing`` *spawn*-context workers, each with its own duplex
+  pipe (a killed worker can only corrupt its own channel), a watchdog
+  thread that SIGKILLs workers over their RSS limit, past their hard
+  deadline, or missing heartbeats, and a reaper that turns dead
+  processes into events.  The pool is long-lived and reusable — the
+  batch runner below and the verification service
+  (:mod:`repro.service.server`) drive the same pool;
 * each **worker** (:mod:`repro.runtime.worker`) executes one job at a
   time, streams heartbeats from a daemon thread, and autosaves
   periodic exploration checkpoints;
-* a **watchdog thread** scans the pool: per-job RSS above the limit,
-  wall-clock past the hard deadline, or missed heartbeats get the
-  worker a SIGKILL — recovery is the supervisor's job, not the
-  worker's;
-* every verdict streams to a crash-safe :class:`~repro.runtime.journal.Journal`,
-  so a killed *supervisor* resumes a batch by skipping journaled jobs.
+* :func:`run_suite` supplies the *batch policy* on top: a queue of
+  :class:`Job`\\ s, exponential-backoff retries resuming from
+  checkpoints, degradation to qualified fault verdicts when retries run
+  out, and a crash-safe :class:`~repro.runtime.journal.Journal` so a
+  killed *supervisor* resumes a batch by skipping journaled jobs.
 
 Failure handling matrix:
 
@@ -40,6 +44,9 @@ retries exhausted         degrade to a qualified partial verdict with
 corrupt checkpoint        the retried attempt restarts from scratch
 supervisor killed         ``resume=True`` re-runs only un-journaled
                           jobs
+SIGINT/SIGTERM (drain)    stop dispatching, let in-flight jobs finish,
+                          flush the journal; un-run jobs stay
+                          un-journaled so ``--resume`` completes them
 ========================  =============================================
 """
 
@@ -119,19 +126,29 @@ class JobOutcome:
 
 @dataclass(frozen=True)
 class SuiteReport:
-    """Everything a suite run produced, in job-submission order."""
+    """Everything a suite run produced, in job-submission order.
+
+    ``drained`` marks a run stopped early by a drain request (SIGINT/
+    SIGTERM): in-flight jobs were allowed to finish, but queued jobs
+    never ran and are absent from ``outcomes`` — re-run the batch with
+    ``resume=True`` to complete them.
+    """
 
     outcomes: tuple[JobOutcome, ...]
     elapsed: float
     workers: int
     spawned: int = 0
+    drained: bool = False
+    submitted: int = 0
 
     def by_status(self, status: str) -> tuple[JobOutcome, ...]:
         return tuple(o for o in self.outcomes if o.status == status)
 
     @property
     def completed(self) -> bool:
-        """Every job is verdicted (ok, degraded, or journal-skipped)."""
+        """Every submitted job is verdicted (ok, degraded, or skipped)."""
+        if self.submitted and len(self.outcomes) < self.submitted:
+            return False
         return all(o.status in (OK, FAULT, SKIPPED) for o in self.outcomes)
 
     @property
@@ -175,6 +192,9 @@ class SuiteReport:
             parts.append(f"{faults} degraded to fault verdicts")
         if self.violations:
             parts.append(f"{len(self.violations)} property violation(s)")
+        if self.drained:
+            unrun = max(0, self.submitted - len(self.outcomes))
+            parts.append(f"drained with {unrun} job(s) unrun (resume to complete)")
         return "; ".join(parts)
 
 
@@ -196,15 +216,23 @@ class _Pending:
 
 @dataclass
 class _Worker:
-    """Supervisor-side handle of one pool process."""
+    """Supervisor-side handle of one pool process.
+
+    ``current`` is an opaque caller-owned payload (the suite runner
+    stores a :class:`_Pending`, the service a ticket) — the pool only
+    uses it to mean "busy" and hands it back on death.
+    ``hard_deadline`` optionally overrides the pool-wide hard deadline
+    for the job in flight (services dispatch per-request deadlines).
+    """
 
     index: int
     proc: multiprocessing.process.BaseProcess
     conn: mp_connection.Connection
-    current: Optional[_Pending] = None
+    current: Optional[object] = None
     started_at: float = 0.0
     last_beat: float = 0.0
     kill_reason: Optional[str] = None
+    hard_deadline: Optional[float] = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -254,6 +282,286 @@ def _kill_reason(
 
 
 # ----------------------------------------------------------------------
+# The reusable worker pool
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One thing the pool observed during :meth:`WorkerPool.poll`.
+
+    ``kind`` is ``"message"`` (a non-heartbeat worker message; see
+    :func:`repro.runtime.worker.worker_main` for the schema) or
+    ``"exit"`` (the process died — ``description`` says how, and
+    ``current`` hands back whatever payload the worker was holding so
+    the caller can retry or fail it).
+    """
+
+    kind: str
+    worker: _Worker
+    message: Optional[dict] = None
+    description: Optional[str] = None
+    current: Optional[object] = None
+
+
+class WorkerPool:
+    """A long-lived supervised pool of spawn-context worker processes.
+
+    The pool owns *process mechanics only*: spawning and replacing
+    workers, the heartbeat/RSS/deadline watchdog, SIGKILL, reaping, and
+    the pipe plumbing.  What a job *means* — retries, degradation,
+    journaling, client responses — stays with the caller, which is why
+    both the one-shot batch runner (:func:`run_suite`) and the
+    long-running verification service drive the same class.
+
+    Args:
+        size: target number of live workers (:meth:`ensure` tops up to
+            this after crashes).
+        heartbeat_interval: watchdog scan period and worker heartbeat
+            period.
+        heartbeat_grace: missed-heartbeat window before a SIGKILL.
+        max_rss_mb: per-worker RSS kill limit (needs /proc).
+        hard_deadline: pool-wide wall-clock kill limit per dispatched
+            job; :meth:`dispatch` may override per job.
+        max_spawns: lifetime spawn budget — ``None`` for unbounded
+            (services replace workers forever), a number to break
+            pathological crash loops (batch runs).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        heartbeat_interval: float = 0.25,
+        heartbeat_grace: float = 15.0,
+        max_rss_mb: Optional[float] = None,
+        hard_deadline: Optional[float] = None,
+        max_spawns: Optional[int] = None,
+        name: str = "repro-worker",
+    ) -> None:
+        if size < 1:
+            raise SupervisorError("need at least one worker")
+        self.size = size
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_grace = heartbeat_grace
+        self.max_rss_mb = max_rss_mb
+        self.hard_deadline = hard_deadline
+        self.max_spawns = max_spawns
+        self.name = name
+        self.spawned = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._pool: list[_Worker] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._next_index = 0
+        self._watchdog = threading.Thread(
+            target=self._watch, daemon=True, name=f"{name}-watchdog"
+        )
+        self._watchdog.start()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the lifetime spawn budget is spent."""
+        return self.max_spawns is not None and self.spawned >= self.max_spawns
+
+    def workers(self) -> list[_Worker]:
+        with self._lock:
+            return list(self._pool)
+
+    def idle(self) -> list[_Worker]:
+        return [
+            w for w in self.workers()
+            if w.current is None and w.kill_reason is None
+        ]
+
+    def busy(self) -> list[_Worker]:
+        return [w for w in self.workers() if w.current is not None]
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return len(self._pool)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def spawn(self) -> Optional[_Worker]:
+        """Start one worker process (``None`` when the budget is spent)."""
+        if self.exhausted:
+            return None
+        self.spawned += 1
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._next_index, self.heartbeat_interval),
+            name=f"{self.name}-{self._next_index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(
+            index=self._next_index, proc=proc, conn=parent_conn,
+            last_beat=time.monotonic(),
+        )
+        self._next_index += 1
+        with self._lock:
+            self._pool.append(worker)
+        return worker
+
+    def ensure(self, target: Optional[int] = None) -> None:
+        """Spawn until ``min(target, size)`` workers are alive (or the
+        spawn budget runs out)."""
+        goal = self.size if target is None else min(target, self.size)
+        while self.alive_count() < goal:
+            if self.spawn() is None:
+                break
+
+    def dispatch(
+        self,
+        worker: _Worker,
+        payload: dict,
+        current: object,
+        hard_deadline: Optional[float] = None,
+    ) -> bool:
+        """Send ``payload`` to an idle worker, marking it busy with
+        ``current``.  Returns ``False`` (and condemns the worker) when
+        the pipe is already broken — the caller should requeue."""
+        now = time.monotonic()
+        worker.current = current
+        worker.started_at = now
+        worker.last_beat = now
+        worker.hard_deadline = hard_deadline
+        try:
+            worker.conn.send(payload)
+            return True
+        except (BrokenPipeError, OSError):
+            worker.current = None
+            worker.hard_deadline = None
+            self.kill(worker, "dispatch pipe broken")
+            return False
+
+    def release(self, worker: _Worker) -> None:
+        """Mark a worker idle again (its job was fully handled)."""
+        worker.current = None
+        worker.hard_deadline = None
+
+    def kill(self, worker: _Worker, reason: str) -> None:
+        """Condemn a worker: record why and SIGKILL the process."""
+        if worker.kill_reason is None:
+            worker.kill_reason = reason
+        self._sigkill(worker)
+
+    def poll(self, timeout: float = 0.1) -> list[PoolEvent]:
+        """Reap dead workers and drain worker messages.
+
+        Returns ``"exit"`` events for processes found dead (their
+        in-flight payload attached) followed by ``"message"`` events for
+        everything workers sent (heartbeats are absorbed into
+        ``last_beat`` and not surfaced).  Waits up to ``timeout`` for
+        traffic; pass ``0`` for a non-blocking sweep.
+        """
+        events: list[PoolEvent] = []
+        with self._lock:
+            dead = [w for w in self._pool if not w.proc.is_alive()]
+        for worker in dead:
+            events.append(self._reap(worker))
+        with self._lock:
+            conns = {w.conn: w for w in self._pool}
+        if not conns:
+            if timeout:
+                time.sleep(timeout)
+            return events
+        for conn in mp_connection.wait(list(conns), timeout=timeout):
+            worker = conns[conn]
+            try:
+                while conn.poll():
+                    message = conn.recv()
+                    worker.last_beat = time.monotonic()
+                    if (
+                        isinstance(message, dict)
+                        and message.get("type") != "heartbeat"
+                    ):
+                        events.append(PoolEvent("message", worker, message=message))
+            except (EOFError, OSError):
+                # Pipe torn: the process is dead or dying.  Make it
+                # unambiguous; the next poll reaps it.
+                self._sigkill(worker)
+        return events
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Stop the watchdog and terminate every worker (politely, then
+        with SIGKILL)."""
+        self._stop.set()
+        self._watchdog.join(timeout=timeout)
+        with self._lock:
+            leftovers = list(self._pool)
+            self._pool.clear()
+        for worker in leftovers:
+            try:
+                worker.conn.send({"type": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in leftovers:
+            worker.proc.join(timeout=timeout)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=timeout)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # -- internals -----------------------------------------------------
+
+    def _reap(self, worker: _Worker) -> PoolEvent:
+        """Remove a dead worker; returns its ``"exit"`` event."""
+        with self._lock:
+            if worker in self._pool:
+                self._pool.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=1.0)
+        if worker.kill_reason is not None:
+            description = f"worker killed ({worker.kill_reason})"
+        else:
+            code = worker.proc.exitcode
+            if code is not None and code < 0:
+                description = f"worker died on signal {-code}"
+            else:
+                description = f"worker exited with status {code}"
+        current, worker.current = worker.current, None
+        return PoolEvent("exit", worker, description=description, current=current)
+
+    def _sigkill(self, worker: _Worker) -> None:
+        if worker.pid is not None:
+            try:
+                os.kill(worker.pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+            except (OSError, ProcessLookupError):
+                pass
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            now = time.monotonic()
+            with self._lock:
+                snapshot = list(self._pool)
+            for worker in snapshot:
+                hard = (
+                    worker.hard_deadline
+                    if worker.hard_deadline is not None
+                    else self.hard_deadline
+                )
+                reason = _kill_reason(
+                    worker, now, self.max_rss_mb, hard, self.heartbeat_grace
+                )
+                if reason is not None and worker.kill_reason is None:
+                    worker.kill_reason = reason
+                    trace_event("suite.kill", worker=worker.index, reason=reason)
+                    self._sigkill(worker)
+
+
+# ----------------------------------------------------------------------
 # Suite assembly helpers
 # ----------------------------------------------------------------------
 
@@ -286,8 +594,29 @@ def zoo_jobs(
     ]
 
 
+def job_checkpoint_path(job: Job, directory: Optional[str]) -> Optional[str]:
+    """Where a job's exploration autosaves live (``None``: no autosave)."""
+    if job.kind != "explore" or directory is None:
+        return None
+    safe = "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in job.id)
+    return os.path.join(directory, f"{safe}.ckpt")
+
+
+def checkpointed_states(job: Job, directory: Optional[str]) -> int:
+    """States preserved in a job's autosave (0 when none is loadable)."""
+    path = job_checkpoint_path(job, directory)
+    if path is None or not os.path.exists(path):
+        return 0
+    from repro.runtime.checkpoint import Checkpoint, CheckpointError
+
+    try:
+        return Checkpoint.load(path).graph.state_count()
+    except CheckpointError:
+        return 0
+
+
 # ----------------------------------------------------------------------
-# The supervisor proper
+# The batch runner
 # ----------------------------------------------------------------------
 
 
@@ -299,6 +628,7 @@ def run_suite(
     max_rss_mb: Optional[float] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    retry_faults: bool = False,
     checkpoint_dir: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
     fault_attempts: Sequence[int] = (1,),
@@ -308,6 +638,7 @@ def run_suite(
     backoff_base: float = 0.25,
     backoff_cap: float = 8.0,
     on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+    drain: Optional[threading.Event] = None,
 ) -> SuiteReport:
     """Run a batch of verification jobs under supervision.
 
@@ -324,6 +655,10 @@ def run_suite(
             elsewhere.
         journal_path: stream verdicts to this crash-safe JSONL file.
         resume: skip jobs already verdicted in ``journal_path``.
+        retry_faults: with ``resume``, re-run jobs whose journaled
+            verdict was a degraded ``"fault"`` — the way to complete a
+            batch whose earlier run shed or degraded jobs (service
+            drain, crash-looped workers).
         checkpoint_dir: where ``explore`` autosaves live (default: a
             temporary directory, removed afterwards; pass a real path
             to keep checkpoints across supervisor restarts).
@@ -333,10 +668,16 @@ def run_suite(
             deterministic crash is recovered rather than repeated).
         on_outcome: called with each :class:`JobOutcome` as it is
             decided (progress reporting).
+        drain: optional event; once set, no further jobs are
+            dispatched — in-flight jobs finish (their verdicts are
+            journaled), queued jobs stay un-journaled, and the report
+            comes back ``drained=True``.  Wired to SIGINT/SIGTERM by
+            the CLI (see :mod:`repro.runtime.lifecycle`).
 
     Returns:
         A :class:`SuiteReport`; every submitted job appears exactly
-        once, in submission order, whatever happened to the workers.
+        once, in submission order — except under ``drain``, where jobs
+        that never started are absent.
     """
     jobs = list(jobs)
     ids = [job.id for job in jobs]
@@ -367,7 +708,7 @@ def run_suite(
     queue: list[_Pending] = []
     for job in jobs:
         record = prior.get(job.id)
-        if record is not None:
+        if record is not None and not (retry_faults and record.get("status") == FAULT):
             decide(JobOutcome(
                 job=job,
                 status=SKIPPED,
@@ -394,63 +735,18 @@ def run_suite(
         job_deadline * 1.5 + hang_grace if job_deadline is not None else None
     )
     plan_json = fault_plan.to_json() if fault_plan is not None else None
-    ctx = multiprocessing.get_context("spawn")
-    pool: list[_Worker] = []
-    pool_lock = threading.Lock()
-    stop_watchdog = threading.Event()
-    next_index = 0
-    spawns = 0
     # Every legitimate spawn is a pool slot or a post-crash replacement;
-    # this cap only breaks pathological crash loops (e.g. workers dying
+    # the cap only breaks pathological crash loops (e.g. workers dying
     # on import) instead of spinning forever.
-    max_spawns = workers + len(queue) * (retries + 1)
-
-    def checkpoint_path(job: Job) -> Optional[str]:
-        if job.kind != "explore" or scratch is None:
-            return None
-        safe = "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in job.id)
-        return os.path.join(scratch, f"{safe}.ckpt")
-
-    def spawn() -> Optional[_Worker]:
-        nonlocal next_index, spawns
-        if spawns >= max_spawns:
-            return None
-        spawns += 1
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=worker_main,
-            args=(child_conn, next_index, heartbeat_interval),
-            name=f"repro-suite-worker-{next_index}",
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        worker = _Worker(
-            index=next_index, proc=proc, conn=parent_conn,
-            last_beat=time.monotonic(),
-        )
-        next_index += 1
-        with pool_lock:
-            pool.append(worker)
-        return worker
-
-    def watchdog() -> None:
-        while not stop_watchdog.wait(heartbeat_interval):
-            now = time.monotonic()
-            with pool_lock:
-                victims = [
-                    (w, _kill_reason(w, now, max_rss_mb, hard_deadline, heartbeat_grace))
-                    for w in pool
-                ]
-            for worker, reason in victims:
-                if reason is not None and worker.kill_reason is None:
-                    worker.kill_reason = reason
-                    trace_event("suite.kill", worker=worker.index, reason=reason)
-                    if worker.pid is not None:
-                        try:
-                            os.kill(worker.pid, getattr(signal, "SIGKILL", signal.SIGTERM))
-                        except (OSError, ProcessLookupError):
-                            pass
+    pool = WorkerPool(
+        workers,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_grace=heartbeat_grace,
+        max_rss_mb=max_rss_mb,
+        hard_deadline=hard_deadline,
+        max_spawns=workers + len(queue) * (retries + 1),
+        name="repro-suite-worker",
+    )
 
     def journal_outcome(outcome: JobOutcome) -> None:
         if journal is None:
@@ -468,15 +764,7 @@ def run_suite(
 
     def degrade(pending: _Pending, now: float) -> None:
         """Retry budget exhausted: record a qualified partial verdict."""
-        states = 0
-        path = checkpoint_path(pending.job)
-        if path is not None and os.path.exists(path):
-            from repro.runtime.checkpoint import Checkpoint, CheckpointError
-
-            try:
-                states = Checkpoint.load(path).graph.state_count()
-            except CheckpointError:
-                pass
+        states = checkpointed_states(pending.job, scratch)
         detail = pending.events[-1] if pending.events else "worker lost"
         exhaustion = Exhaustion(
             ("fault",),
@@ -489,14 +777,7 @@ def run_suite(
             status=FAULT,
             attempts=pending.attempt,
             elapsed=(now - pending.started_first) if pending.started_first else 0.0,
-            result={
-                "kind": pending.job.kind,
-                "exact": False,
-                "violated": False,
-                "states": states,
-                "exhaustion": exhaustion.to_json(),
-                "summary": f"no verdict: {exhaustion.describe()}",
-            },
+            result=exhaustion.verdict(pending.job.kind),
             error=detail,
             events=tuple(pending.events),
         )
@@ -516,17 +797,15 @@ def run_suite(
 
     def handle_message(worker: _Worker, message: dict, now: float) -> None:
         kind = message.get("type")
-        if kind == "heartbeat":
-            worker.last_beat = now
-            return
-        if kind == "started":
-            worker.last_beat = now
-            return
         pending = worker.current
-        if pending is None or message.get("job") != pending.job.id:
-            return  # stale chatter from a job we already gave up on
+        if (
+            kind == "started"
+            or pending is None
+            or message.get("job") != pending.job.id
+        ):
+            return  # liveness chatter, or a job we already gave up on
         if kind == "result":
-            worker.current = None
+            pool.release(worker)
             outcome = JobOutcome(
                 job=pending.job,
                 status=OK,
@@ -538,140 +817,85 @@ def run_suite(
             journal_outcome(outcome)
             decide(outcome)
         elif kind == "error":
-            worker.current = None
+            pool.release(worker)
             handle_failure(pending, message.get("error", "worker error"), now)
 
-    def reap(worker: _Worker, now: float) -> None:
-        """A worker process died; recycle its job and its slot."""
-        with pool_lock:
-            if worker in pool:
-                pool.remove(worker)
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
-        worker.proc.join(timeout=1.0)
-        if worker.kill_reason is not None:
-            description = f"worker killed ({worker.kill_reason})"
-        else:
-            code = worker.proc.exitcode
-            if code is not None and code < 0:
-                description = f"worker died on signal {-code}"
-            else:
-                description = f"worker exited with status {code}"
-        if worker.current is not None:
-            handle_failure(worker.current, description, now)
-            worker.current = None
+    def handle_events(events: list[PoolEvent]) -> None:
+        now = time.monotonic()
+        for event in events:
+            if event.kind == "exit":
+                if event.current is not None:
+                    handle_failure(event.current, event.description or "worker lost", now)
+            elif event.message is not None:
+                handle_message(event.worker, event.message, now)
 
-    watchdog_thread = threading.Thread(target=watchdog, daemon=True, name="watchdog")
-    watchdog_thread.start()
+    drained = False
     try:
         while len(done) < len(jobs):
             now = time.monotonic()
+            draining = drain is not None and drain.is_set()
 
             # Reap the dead first so their jobs re-enter the queue.
-            with pool_lock:
-                dead = [w for w in pool if not w.proc.is_alive()]
-            for worker in dead:
-                reap(worker, now)
+            handle_events(pool.poll(timeout=0))
 
-            # Keep the pool sized to the remaining work.
-            outstanding = len(jobs) - len(done)
-            with pool_lock:
-                alive = len(pool)
-            while alive < min(workers, outstanding):
-                if spawn() is None:
+            if draining:
+                # Stop dispatching; once nothing is in flight, stop.
+                if not pool.busy():
+                    drained = True
                     break
-                alive += 1
+            else:
+                # Keep the pool sized to the remaining work.
+                pool.ensure(len(jobs) - len(done))
 
-            # Dispatch ready jobs to idle workers.
-            with pool_lock:
-                idle = [w for w in pool if w.current is None and w.kill_reason is None]
-            for worker in idle:
-                ready = [p for p in queue if p.ready_at <= now]
-                if not ready:
-                    break
-                pending = ready[0]
-                queue.remove(pending)
-                if pending.started_first is None:
-                    pending.started_first = now
-                worker.current = pending
-                worker.started_at = now
-                worker.last_beat = now
-                active_plan = (
-                    plan_json if plan_json is not None and pending.attempt in fault_attempts
-                    else None
-                )
-                try:
-                    worker.conn.send({
+                # Dispatch ready jobs to idle workers.
+                for worker in pool.idle():
+                    ready = [p for p in queue if p.ready_at <= now]
+                    if not ready:
+                        break
+                    pending = ready[0]
+                    queue.remove(pending)
+                    if pending.started_first is None:
+                        pending.started_first = now
+                    sent = pool.dispatch(worker, {
                         "type": "job",
                         "job": pending.job.to_json(),
                         "attempt": pending.attempt,
                         "deadline": job_deadline,
-                        "checkpoint": checkpoint_path(pending.job),
-                        "fault_plan": active_plan,
-                    })
-                    trace_event(
-                        "suite.dispatch",
-                        job=pending.job.id,
-                        worker=worker.index,
-                        attempt=pending.attempt,
-                    )
-                except (BrokenPipeError, OSError):
-                    worker.current = None
-                    queue.append(pending)  # the reaper will respawn
+                        "checkpoint": job_checkpoint_path(pending.job, scratch),
+                        "fault_plan": (
+                            plan_json
+                            if plan_json is not None
+                            and pending.attempt in fault_attempts
+                            else None
+                        ),
+                    }, current=pending)
+                    if sent:
+                        trace_event(
+                            "suite.dispatch",
+                            job=pending.job.id,
+                            worker=worker.index,
+                            attempt=pending.attempt,
+                        )
+                    else:
+                        queue.append(pending)  # the reaper will respawn
 
             if len(done) >= len(jobs):
                 break
 
+            if pool.alive_count() == 0 and pool.exhausted and queue:
+                # Crash-looping pool: degrade whatever is left rather
+                # than spinning forever.
+                for pending in list(queue):
+                    queue.remove(pending)
+                    pending.events.append("worker pool exhausted its respawn budget")
+                    degrade(pending, time.monotonic())
+                continue
+
             # Drain messages (with a timeout so the loop stays live for
             # backoff expiry and death detection).
-            with pool_lock:
-                conns = {w.conn: w for w in pool}
-            if not conns:
-                if spawns >= max_spawns and queue:
-                    # Crash-looping pool: degrade whatever is left
-                    # rather than spinning forever.
-                    for pending in list(queue):
-                        queue.remove(pending)
-                        pending.events.append("worker pool exhausted its respawn budget")
-                        degrade(pending, now)
-                    continue
-                time.sleep(heartbeat_interval)
-                continue
-            for conn in mp_connection.wait(list(conns), timeout=0.1):
-                worker = conns[conn]
-                try:
-                    while conn.poll():
-                        handle_message(worker, conn.recv(), time.monotonic())
-                except (EOFError, OSError):
-                    # Pipe torn: the process is dead or dying.  Make it
-                    # unambiguous, the next iteration reaps it.
-                    if worker.proc.is_alive() and worker.pid is not None:
-                        try:
-                            os.kill(worker.pid, getattr(signal, "SIGKILL", signal.SIGTERM))
-                        except (OSError, ProcessLookupError):
-                            pass
+            handle_events(pool.poll(timeout=0.1))
     finally:
-        stop_watchdog.set()
-        watchdog_thread.join(timeout=2.0)
-        with pool_lock:
-            leftovers = list(pool)
-            pool.clear()
-        for worker in leftovers:
-            try:
-                worker.conn.send({"type": "shutdown"})
-            except (BrokenPipeError, OSError):
-                pass
-        for worker in leftovers:
-            worker.proc.join(timeout=2.0)
-            if worker.proc.is_alive():
-                worker.proc.kill()
-                worker.proc.join(timeout=2.0)
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
+        pool.shutdown()
         if journal is not None:
             journal.close()
         if scratch_owned and scratch is not None:
@@ -679,15 +903,17 @@ def run_suite(
 
     elapsed = time.monotonic() - started
     report = SuiteReport(
-        outcomes=tuple(done[job.id] for job in jobs),
+        outcomes=tuple(done[job.id] for job in jobs if job.id in done),
         elapsed=elapsed,
         workers=workers,
-        spawned=spawns,
+        spawned=pool.spawned,
+        drained=drained,
+        submitted=len(jobs),
     )
     metrics = current_metrics()
     if metrics is not None:
         metrics.inc("suite.jobs", len(jobs))
-        metrics.inc("suite.spawns", spawns)
+        metrics.inc("suite.spawns", pool.spawned)
         metrics.inc(
             "suite.retries", sum(max(0, o.attempts - 1) for o in report.outcomes)
         )

@@ -1,0 +1,62 @@
+"""Verification-as-a-service: ``repro-spi serve`` and its client.
+
+The batch runner (:func:`repro.runtime.supervisor.run_suite`) answers
+"verify this list of jobs once"; this package answers "keep a warm
+worker pool around and verify whatever shows up", with the robustness
+furniture a long-running process needs — bounded admission with load
+shedding, per-request deadlines, per-protocol circuit breakers, and a
+graceful SIGTERM drain that leaves a resumable journal behind.
+
+Layers, bottom up:
+
+* :mod:`repro.service.framing` — length-prefixed JSON frames;
+* :mod:`repro.service.protocol` — the request/response schema;
+* :mod:`repro.service.admission` — the bounded shed-on-full queue;
+* :mod:`repro.service.breaker` — per-protocol circuit breakers;
+* :mod:`repro.service.server` — the selectors event loop on top of the
+  supervised :class:`~repro.runtime.supervisor.WorkerPool`;
+* :mod:`repro.service.client` — blocking client with retry, backoff,
+  jitter, and deadline propagation.
+"""
+
+from repro.service.admission import AdmissionQueue
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.client import ServiceClient, ServiceUnavailable, parse_address
+from repro.service.framing import (
+    MAX_FRAME,
+    FrameDecoder,
+    FramingError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    parse_request,
+)
+from repro.service.server import Server, ServerConfig, ServiceError, serve
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "FrameDecoder",
+    "FramingError",
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Server",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "encode_frame",
+    "parse_address",
+    "parse_request",
+    "recv_frame",
+    "send_frame",
+    "serve",
+]

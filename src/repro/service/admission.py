@@ -1,0 +1,119 @@
+"""Bounded admission queue with load shedding.
+
+The service never lets backlog grow without bound: a request either
+gets one of the ``limit`` queue slots or is *shed* immediately with an
+``overloaded`` response telling the client when to retry.  Fast
+rejection beats slow acceptance — a client that waits thirty seconds to
+learn the server is busy has lost thirty seconds; one told within a
+millisecond can back off, retry elsewhere, or surface the pressure.
+
+Three queue operations matter:
+
+* :meth:`AdmissionQueue.offer` — admit or shed (``False``), FIFO among
+  admitted items;
+* :meth:`AdmissionQueue.requeue` — put a once-admitted item *back*
+  (crash retry with backoff, breaker probe deferral); bypasses the
+  limit, because shedding work the server already accepted would turn
+  a transient worker fault into a client-visible rejection;
+* :meth:`AdmissionQueue.take` — next runnable item whose backoff delay
+  (``ready_at``) has passed, skipping over items still cooling down.
+
+:meth:`AdmissionQueue.expire` sweeps out items whose client-supplied
+deadline passed while they waited — running them would waste a worker
+on an answer nobody is still listening for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class AdmissionQueue(Generic[T]):
+    """FIFO queue of at most ``limit`` externally-admitted items."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._items: deque[T] = deque()
+        #: Total offers rejected because the queue was full.
+        self.shed = 0
+        #: Total offers accepted.
+        self.admitted = 0
+        #: Largest depth ever observed (sizing telemetry).
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: T) -> bool:
+        """Admit ``item`` if a slot is free; ``False`` means *shed*."""
+        if len(self._items) >= self.limit:
+            self.shed += 1
+            return False
+        self._items.append(item)
+        self.admitted += 1
+        self.high_water = max(self.high_water, len(self._items))
+        return True
+
+    def requeue(self, item: T) -> None:
+        """Re-admit an item the server already accepted once.
+
+        Deliberately ignores ``limit``: the admission decision was made
+        at :meth:`offer` time and is not revisited on retry.
+        """
+        self._items.append(item)
+        self.high_water = max(self.high_water, len(self._items))
+
+    def take(self, now: float) -> Optional[T]:
+        """Pop the oldest item that is ready to run at ``now``.
+
+        Items may carry a ``ready_at`` attribute (retry backoff); items
+        without one are always ready.  Not-yet-ready items keep their
+        queue position.
+        """
+        for index, item in enumerate(self._items):
+            ready_at = getattr(item, "ready_at", 0.0) or 0.0
+            if ready_at <= now:
+                del self._items[index]
+                return item
+        return None
+
+    def expire(self, now: float) -> list[T]:
+        """Remove and return every item whose ``deadline_at`` passed."""
+        expired: list[T] = []
+        kept: deque[T] = deque()
+        for item in self._items:
+            deadline_at = getattr(item, "deadline_at", None)
+            if deadline_at is not None and deadline_at <= now:
+                expired.append(item)
+            else:
+                kept.append(item)
+        self._items = kept
+        return expired
+
+    def drain(self) -> list[T]:
+        """Remove and return everything (shutdown path)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def snapshot(self) -> dict:
+        """Queue counters for ``status`` responses and metrics."""
+        return {
+            "depth": self.depth,
+            "limit": self.limit,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "high_water": self.high_water,
+        }

@@ -1,0 +1,169 @@
+"""Per-protocol circuit breakers.
+
+A protocol whose exploration reliably kills workers (a state-space
+bomb, a pathological term, an OOM) must not be allowed to consume the
+retry budget over and over while other clients queue behind it.  Each
+distinct verification target (see
+:func:`repro.service.protocol.protocol_key`) gets its own breaker:
+
+* **CLOSED** — healthy; requests flow.  Worker crashes increment a
+  consecutive-fault counter; any success resets it.
+* **OPEN** — ``threshold`` consecutive crashes tripped it.  Requests
+  for this protocol are answered *immediately* with a degraded
+  ``Exhaustion(reason="fault")`` verdict (the cached detail of the last
+  crash) instead of being queued.  Other protocols are unaffected.
+* **HALF_OPEN** — after ``cooldown`` seconds, exactly one probe request
+  is let through.  Success closes the breaker; another crash reopens it
+  and restarts the cooldown.  While the probe is in flight every other
+  request for the protocol still gets the degraded fast-path.
+
+Only *worker crashes* (process death: signal, hard exit, watchdog kill)
+count as faults.  Deterministic in-worker errors — a parse error, an
+unknown zoo name — are the request's fault, not the protocol's, and are
+reported to the client without touching the breaker.
+
+The clock is injectable so tests can step through cooldowns without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One protocol's crash-isolation state machine."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = CLOSED
+        #: Consecutive faults while CLOSED (reset by any success).
+        self.faults = 0
+        #: Lifetime totals, for ``status``.
+        self.total_faults = 0
+        self.total_opens = 0
+        #: When the current OPEN period ends (monotonic clock).
+        self.opened_until: Optional[float] = None
+        #: Detail string of the crash that (last) tripped the breaker;
+        #: echoed in degraded verdicts so clients see *why*.
+        self.last_fault: Optional[str] = None
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a request for this protocol proceed right now?
+
+        In OPEN state this is where the cooldown expiry is noticed:
+        the first ``allow`` after ``opened_until`` flips to HALF_OPEN
+        and claims the single probe slot.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.opened_until is not None and self.clock() >= self.opened_until:
+                self.state = HALF_OPEN
+                self._probe_inflight = True
+                return True
+            return False
+        # HALF_OPEN: one probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        """A request for this protocol completed without a crash."""
+        self.state = CLOSED
+        self.faults = 0
+        self.opened_until = None
+        self._probe_inflight = False
+
+    def record_fault(self, detail: Optional[str] = None) -> None:
+        """A worker died running this protocol."""
+        self.total_faults += 1
+        if detail:
+            self.last_fault = detail
+        if self.state == HALF_OPEN:
+            # The probe crashed too: straight back to OPEN.
+            self._open()
+            return
+        self.faults += 1
+        if self.faults >= self.threshold:
+            self._open()
+
+    def abandon_probe(self) -> None:
+        """The half-open probe was shed/expired before running; free the
+        slot so the next request can probe instead."""
+        if self.state == HALF_OPEN:
+            self._probe_inflight = False
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.total_opens += 1
+        self.faults = 0
+        self._probe_inflight = False
+        self.opened_until = self.clock() + self.cooldown
+
+    def snapshot(self) -> dict:
+        remaining = None
+        if self.state == OPEN and self.opened_until is not None:
+            remaining = max(0.0, self.opened_until - self.clock())
+        return {
+            "state": self.state,
+            "faults": self.faults,
+            "threshold": self.threshold,
+            "total_faults": self.total_faults,
+            "total_opens": self.total_opens,
+            "cooldown_remaining": remaining,
+            "last_fault": self.last_fault,
+        }
+
+
+class BreakerBoard:
+    """The breakers of every protocol this server has seen."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.threshold, self.cooldown, self.clock)
+            self._breakers[key] = breaker
+        return breaker
+
+    def snapshot(self) -> dict:
+        """Non-trivial breakers only (CLOSED with zero history is the
+        uninteresting default and would bloat ``status``)."""
+        return {
+            key: breaker.snapshot()
+            for key, breaker in sorted(self._breakers.items())
+            if breaker.state != CLOSED or breaker.total_faults
+        }
+
+    @property
+    def open_count(self) -> int:
+        return sum(
+            1 for b in self._breakers.values() if b.state != CLOSED
+        )

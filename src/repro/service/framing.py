@@ -1,0 +1,152 @@
+"""Length-prefixed JSON framing over stream sockets.
+
+The verification service speaks the simplest protocol that is still
+unambiguous under partial reads: every message is one frame —
+
+* a 4-byte big-endian unsigned length ``n``,
+* followed by exactly ``n`` bytes of UTF-8 JSON encoding one object.
+
+Newline-delimited JSON was rejected because request payloads may embed
+inline process source (``{"source": "..."}``) and nobody should have to
+reason about escaping; a binary length prefix makes message boundaries
+a property of the transport, not the payload.
+
+Two consumption styles, one format:
+
+* **blocking** — :func:`send_frame` / :func:`recv_frame` for clients
+  and tests talking over an ordinary blocking socket (honouring its
+  timeout);
+* **incremental** — :class:`FrameDecoder` for the server's non-blocking
+  event loop: feed it whatever ``recv`` returned, get back every
+  complete message, keep the remainder buffered.
+
+Frames above :data:`MAX_FRAME` are refused in both directions: on the
+read side a hostile or corrupt length prefix must not become an
+unbounded allocation, and on the write side a response that large is a
+bug upstream.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.core.errors import ReproError
+
+#: Hard cap on one frame's payload (bytes).  Requests are small;
+#: responses carry at most a status snapshot with metrics.
+MAX_FRAME = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FramingError(ReproError):
+    """A frame was malformed: oversized, truncated, or not one JSON
+    object."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as wire bytes (header + JSON payload)."""
+    payload = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise FramingError(
+            f"refusing to send a {len(payload)}-byte frame (cap {MAX_FRAME})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as err:
+        raise FramingError(f"frame payload is not JSON: {err}")
+    if not isinstance(message, dict):
+        raise FramingError(
+            f"frame payload is {type(message).__name__}, not an object"
+        )
+    return message
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Send one message on a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    """Read exactly ``size`` bytes; ``None`` on EOF *before any byte*,
+    :class:`FramingError` on EOF mid-read (a torn frame)."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < size:
+        chunk = sock.recv(size - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise FramingError(f"connection closed mid-frame ({got}/{size} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame: int = MAX_FRAME
+) -> Optional[dict]:
+    """Receive one message from a blocking socket.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer hung
+    up between messages).  A timeout set on the socket applies to each
+    underlying ``recv``.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FramingError(f"peer announced a {length}-byte frame (cap {max_frame})")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise FramingError("connection closed between header and payload")
+    return _decode_payload(payload)
+
+
+class FrameDecoder:
+    """Incremental decoder for the server's non-blocking reads.
+
+    Feed raw bytes as they arrive; complete messages come back in
+    order, partial frames stay buffered.  The buffer is bounded by the
+    announced frame length (itself capped), so a slow-lorised or
+    garbage-spewing client costs at most ``max_frame`` bytes.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return every message it completed."""
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
+            if length > self.max_frame:
+                raise FramingError(
+                    f"peer announced a {length}-byte frame (cap {self.max_frame})"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            messages.append(_decode_payload(payload))
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)

@@ -1,0 +1,199 @@
+"""Request/response schema of the verification service.
+
+One frame (see :mod:`repro.service.framing`) carries one request or one
+response, both flat JSON objects.
+
+Requests::
+
+    {"v": 1, "id": "...", "kind": "secrecy" | "authentication" |
+     "freshness" | "explore" | "check" | "may-preorder" | "ping" |
+     "status",
+     "target": {...},              # absent for ping/status
+     "max_states": 4000, "max_depth": 40,
+     "secret": "KAB", "sender": "A",          # kind-specific options
+     "deadline": 5.0,                         # seconds of budget left
+     "fault_plan": {...}, "fault_attempts": [1]}   # test-only
+
+``kind`` and ``target`` mirror :class:`repro.runtime.worker.Job` — a
+request *is* a job description plus service envelope, so a verdict
+obtained through the service is byte-comparable with the same job run
+by batch ``check``/``suite`` (the differential-parity tests rely on
+this).  ``may-preorder`` is an alias for ``check``: Definition 4's
+"securely implements" is verified through the may-testing preorder.
+
+Responses carry the request ``id`` and a ``status``:
+
+===========  =========================================================
+status       meaning
+===========  =========================================================
+ok           ``result`` holds the verdict (possibly qualified)
+degraded     no fresh verdict — ``result`` holds an
+             ``Exhaustion(reason="fault"|"deadline")``-qualified stub;
+             sent when a circuit is open, retries were exhausted by
+             worker crashes, or the deadline expired in the queue
+overloaded   shed at admission: the bounded queue was full; retry
+             after ``retry_after`` seconds
+draining     the server is shutting down and took nothing on
+error        the request was malformed or named an unknown system
+pong         answer to ``ping``
+status       answer to ``status`` (queue/breaker/worker/metrics view)
+===========  =========================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.runtime.worker import KINDS, Job, JobError
+
+#: Protocol version; bumped on incompatible schema changes.
+PROTOCOL_VERSION = 1
+
+#: Requests answered inline by the server, no worker involved.
+CONTROL_KINDS = frozenset({"ping", "status"})
+
+#: Accepted spellings -> canonical job kind.
+KIND_ALIASES = {"may-preorder": "check"}
+
+# Response statuses.
+OK = "ok"
+DEGRADED = "degraded"
+OVERLOADED = "overloaded"
+DRAINING = "draining"
+ERROR = "error"
+PONG = "pong"
+STATUS = "status"
+
+
+class ProtocolError(ReproError):
+    """A request frame does not follow the service schema."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed verification request (already validated).
+
+    ``job()`` lowers it to the exact :class:`Job` a batch run would
+    execute.  ``fault_plan``/``fault_attempts`` are test instrumentation —
+    the server refuses them unless started with fault injection
+    explicitly allowed.
+    """
+
+    id: str
+    kind: str
+    target: Mapping[str, str]
+    max_states: int = 4000
+    max_depth: int = 40
+    secret: Optional[str] = None
+    sender: Optional[str] = None
+    deadline: Optional[float] = None
+    checkpoint_every: Optional[int] = 400
+    fault_plan: Optional[dict] = None
+    fault_attempts: Sequence[int] = (1,)
+
+    def job(self) -> Job:
+        return Job(
+            id=self.id,
+            kind=self.kind,
+            target=dict(self.target),
+            max_states=self.max_states,
+            max_depth=self.max_depth,
+            secret=self.secret,
+            sender=self.sender,
+            checkpoint_every=self.checkpoint_every,
+        )
+
+
+def default_id(kind: str, target: Mapping[str, str]) -> str:
+    """The deterministic id a target gets when the client names none.
+
+    Deterministic on purpose: it keys the service journal, so a
+    re-submitted request lands on the same journal slot and a batch
+    ``suite --resume`` over the journal can complete shed work.
+    """
+    for key in ("zoo", "sysfile", "spi"):
+        if key in target:
+            return f"{kind}:{key}:{target[key]}"
+    if {"impl", "spec"} <= set(target):
+        return f"{kind}:{target['impl']}:{target['spec']}"
+    if "source" in target:
+        digest = hashlib.sha256(target["source"].encode("utf-8")).hexdigest()[:12]
+        return f"{kind}:source:{digest}"
+    return f"{kind}:{sorted(target.items())!r}"
+
+
+def protocol_key(target: Mapping[str, str]) -> str:
+    """The circuit-breaker key: one breaker per verified *system*, so a
+    protocol whose exploration keeps killing workers is isolated without
+    taking unrelated protocols down with it."""
+    for key in ("zoo", "sysfile", "spi"):
+        if key in target:
+            return f"{key}:{target[key]}"
+    if {"impl", "spec"} <= set(target):
+        return f"check:{target['impl']}:{target['spec']}"
+    if "source" in target:
+        digest = hashlib.sha256(target["source"].encode("utf-8")).hexdigest()[:12]
+        return f"source:{digest}"
+    return repr(sorted(target.items()))
+
+
+def parse_request(data: Mapping[str, Any]) -> Request:
+    """Validate one request frame (raises :class:`ProtocolError`)."""
+    if not isinstance(data, Mapping):
+        raise ProtocolError("request frame must be a JSON object")
+    version = data.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported (speaking {PROTOCOL_VERSION})"
+        )
+    kind = data.get("kind")
+    if not isinstance(kind, str):
+        raise ProtocolError("request needs a string 'kind'")
+    kind = KIND_ALIASES.get(kind, kind)
+    if kind in CONTROL_KINDS:
+        return Request(id=str(data.get("id") or kind), kind=kind, target={})
+    if kind not in KINDS:
+        raise ProtocolError(
+            f"unknown request kind {kind!r} (one of "
+            f"{sorted(KINDS | CONTROL_KINDS | set(KIND_ALIASES))})"
+        )
+    target = data.get("target")
+    if not isinstance(target, Mapping) or not target:
+        raise ProtocolError(f"a {kind!r} request needs a non-empty 'target' object")
+    deadline = data.get("deadline")
+    if deadline is not None:
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"bad deadline {deadline!r}")
+        if deadline <= 0:
+            raise ProtocolError(f"bad deadline {deadline!r} (must be positive)")
+    fault_attempts = data.get("fault_attempts", (1,))
+    try:
+        request = Request(
+            id=str(data.get("id") or default_id(kind, target)),
+            kind=kind,
+            target={str(k): str(v) for k, v in target.items()},
+            max_states=int(data.get("max_states", 4000)),
+            max_depth=int(data.get("max_depth", 40)),
+            secret=data.get("secret"),
+            sender=data.get("sender"),
+            deadline=deadline,
+            checkpoint_every=data.get("checkpoint_every", 400),
+            fault_plan=data.get("fault_plan"),
+            fault_attempts=tuple(int(n) for n in fault_attempts),
+        )
+        request.job()  # validates kind/target the same way the worker will
+    except (JobError, TypeError, ValueError) as err:
+        raise ProtocolError(f"malformed request: {err}")
+    return request
+
+
+def response(rid: Optional[str], status: str, **fields: Any) -> dict:
+    """Assemble one response frame."""
+    reply = {"v": PROTOCOL_VERSION, "id": rid, "status": status}
+    reply.update(fields)
+    return reply

@@ -1,0 +1,755 @@
+"""The verification server behind ``repro-spi serve``.
+
+A long-running process that accepts framed JSON verification requests
+(see :mod:`repro.service.protocol`) on a Unix socket and/or a TCP
+listener and dispatches them onto the same supervised
+:class:`~repro.runtime.supervisor.WorkerPool` the batch runner uses.
+One event loop (``selectors``), no per-connection threads: client
+sockets are non-blocking, worker pipes are swept with
+``WorkerPool.poll(0)`` every tick.
+
+What makes it a *service* rather than a socket wrapper around
+``run_suite`` is the failure policy:
+
+* **admission control** — a bounded queue
+  (:class:`~repro.service.admission.AdmissionQueue`); when it is full
+  new requests get a fast ``overloaded`` response instead of an
+  unbounded backlog;
+* **per-request deadlines** — a queued request whose budget expires is
+  answered ``degraded`` without wasting a worker; a dispatched one gets
+  the remaining budget as its cooperative deadline plus a scaled
+  hard-kill backstop;
+* **circuit breakers** — repeated worker crashes on one protocol open
+  that protocol's breaker (:mod:`repro.service.breaker`); requests for
+  it are answered immediately with a cached degraded
+  ``Exhaustion(reason="fault")`` verdict while other protocols keep
+  verifying normally;
+* **supervised workers** — crashed/hung/OOM-killed workers are replaced
+  by the pool with no lifetime spawn cap (a service replaces workers
+  forever; the breaker, not a spawn budget, is what stops crash loops);
+* **graceful drain** — on SIGTERM/SIGINT (or
+  :meth:`Server.request_drain`): listeners close, queued requests are
+  shed with ``draining`` responses, in-flight jobs get ``drain_grace``
+  seconds to finish (then are killed and answered ``degraded``), the
+  journal is flushed, and :meth:`Server.serve_forever` returns ``0``.
+
+Every verdict, shed, and degrade is journaled (when a journal is
+configured) in the suite-journal schema, so a batch run can finish what
+the service could not::
+
+    repro-spi suite --suite-file jobs.json --journal service.jsonl \\
+        --resume [--retry-faults]
+
+— shed requests (``type: "shed"``) and in-worker errors (``type:
+"error"``) are invisible to resume filtering and simply re-run;
+degraded fault verdicts (``status: "fault"``) re-run under
+``--retry-faults``.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.obs.metrics import Metrics, current_metrics
+from repro.obs.trace import trace_event
+from repro.runtime.exhaustion import Exhaustion
+from repro.runtime.journal import Journal
+from repro.runtime.supervisor import (
+    WorkerPool,
+    checkpointed_states,
+    job_checkpoint_path,
+)
+from repro.service import protocol
+from repro.service.admission import AdmissionQueue
+from repro.service.breaker import CLOSED, BreakerBoard
+from repro.service.framing import FrameDecoder, FramingError, encode_frame
+from repro.service.protocol import ProtocolError, Request, parse_request
+
+
+class ServiceError(ReproError):
+    """The server was misconfigured (no listener, bad limits...)."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro-spi serve`` can tune.
+
+    ``job_deadline`` is the *default* per-request budget; a request's
+    own ``deadline`` field overrides it.  ``retries`` is deliberately
+    lower than the batch default — an interactive client is better
+    served by a fast degraded answer than a long retry ladder (and can
+    resubmit; the breaker remembers).
+    """
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: Optional[int] = None
+    workers: int = 2
+    queue_limit: int = 64
+    retries: int = 1
+    job_deadline: Optional[float] = None
+    max_rss_mb: Optional[float] = None
+    journal_path: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    drain_grace: float = 10.0
+    heartbeat_interval: float = 0.25
+    heartbeat_grace: float = 15.0
+    hang_grace: float = 5.0
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+    #: Event-loop tick (selector timeout) in seconds.
+    tick: float = 0.05
+    #: Accept ``fault_plan`` fields in requests (crash-injection tests
+    #: only; a production server refuses them).
+    allow_fault_injection: bool = False
+
+
+@dataclass(eq=False)
+class _Client:
+    """One connected peer: its socket, read decoder, and write buffer."""
+
+    sock: socket.socket
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+    outbuf: bytearray = field(default_factory=bytearray)
+    closed: bool = False
+
+
+@dataclass(eq=False)
+class _Ticket:
+    """One admitted request travelling through queue -> worker -> reply.
+
+    ``ready_at``/``deadline_at`` are the attributes
+    :class:`AdmissionQueue` keys on; ``probe`` marks the single request
+    allowed through a half-open breaker.
+    """
+
+    request: Request
+    client: Optional[_Client]
+    key: str
+    admitted_at: float
+    deadline_at: Optional[float] = None
+    attempt: int = 1
+    ready_at: float = 0.0
+    started_first: Optional[float] = None
+    probe: bool = False
+    events: list[str] = field(default_factory=list)
+
+
+class Server:
+    """See the module docstring; constructed from a :class:`ServerConfig`,
+    driven by :meth:`serve_forever`."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        if config.socket_path is None and config.port is None:
+            raise ServiceError("serve needs a unix socket path and/or a TCP port")
+        if config.workers < 1:
+            raise ServiceError("need at least one worker")
+        self.config = config
+        self.queue: AdmissionQueue[_Ticket] = AdmissionQueue(config.queue_limit)
+        self.breakers = BreakerBoard(
+            threshold=config.breaker_threshold, cooldown=config.breaker_cooldown
+        )
+        self.metrics = Metrics()
+        self.pool = WorkerPool(
+            config.workers,
+            heartbeat_interval=config.heartbeat_interval,
+            heartbeat_grace=config.heartbeat_grace,
+            max_rss_mb=config.max_rss_mb,
+            max_spawns=None,  # services replace workers forever
+            name="repro-serve-worker",
+        )
+        self.journal = (
+            Journal(config.journal_path, fresh=False)
+            if config.journal_path is not None
+            else None
+        )
+        self._selector = selectors.DefaultSelector()
+        self._listeners: list[socket.socket] = []
+        self._clients: set[_Client] = set()
+        self._drain = threading.Event()
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
+        self._started_at = time.monotonic()
+        self._bound = False
+        #: Where the TCP listener actually landed (port 0 = ephemeral).
+        self.tcp_address: Optional[tuple[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self) -> None:
+        """Create and register the listeners (idempotent)."""
+        if self._bound:
+            return
+        cfg = self.config
+        if cfg.socket_path is not None:
+            if os.path.exists(cfg.socket_path):
+                # A stale socket file from a dead server blocks bind();
+                # a live server would still hold it open, but two
+                # servers on one path is operator error either way.
+                os.unlink(cfg.socket_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(cfg.socket_path)
+            self._add_listener(listener)
+        if cfg.port is not None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((cfg.host or "127.0.0.1", cfg.port))
+            self.tcp_address = listener.getsockname()[:2]
+            self._add_listener(listener)
+        self._bound = True
+
+    def _add_listener(self, listener: socket.socket) -> None:
+        listener.listen(64)
+        listener.setblocking(False)
+        self._selector.register(listener, selectors.EVENT_READ, ("listener", None))
+        self._listeners.append(listener)
+
+    def request_drain(self) -> None:
+        """Ask the serve loop to drain (thread- and signal-safe)."""
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining or self._drain.is_set()
+
+    def serve_forever(self) -> int:
+        """Run until drained; returns the process exit status (``0``)."""
+        self.bind()
+        try:
+            while True:
+                if self._drain.is_set() and not self._draining:
+                    self._begin_drain()
+                self._pump_sockets(self.config.tick)
+                now = time.monotonic()
+                self._handle_pool_events(now)
+                self._expire_queued(now)
+                if not self._draining:
+                    self.pool.ensure()
+                    self._dispatch_ready(now)
+                else:
+                    if self._drain_finished(now):
+                        break
+                self.metrics.set_gauge("service.queue_depth", self.queue.depth)
+                self.metrics.set_gauge("service.inflight", len(self.pool.busy()))
+        finally:
+            self._shutdown()
+        return 0
+
+    # -- socket plumbing -----------------------------------------------
+
+    def _pump_sockets(self, timeout: float) -> None:
+        for key, mask in self._selector.select(timeout):
+            role, payload = key.data
+            if role == "listener":
+                self._accept(key.fileobj)
+            else:
+                client = payload
+                if mask & selectors.EVENT_READ:
+                    self._read(client)
+                if mask & selectors.EVENT_WRITE and not client.closed:
+                    self._flush(client)
+
+    def _accept(self, listener: socket.socket) -> None:
+        try:
+            sock, _ = listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        client = _Client(sock)
+        self._clients.add(client)
+        self._selector.register(sock, selectors.EVENT_READ, ("client", client))
+        self.metrics.inc("service.connections")
+
+    def _read(self, client: _Client) -> None:
+        try:
+            data = client.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(client)
+            return
+        if not data:
+            self._close(client)
+            return
+        try:
+            frames = client.decoder.feed(data)
+        except FramingError as err:
+            self._respond(client, protocol.response(None, protocol.ERROR, error=str(err)))
+            self._close(client, after_flush=True)
+            return
+        for frame in frames:
+            self._handle_frame(client, frame)
+
+    def _respond(self, client: Optional[_Client], message: dict) -> None:
+        """Queue (and opportunistically send) one response frame.
+
+        A vanished client is not an error: its job still completes and
+        its verdict is still journaled — the resume path is the client's
+        second chance.
+        """
+        if client is None or client.closed:
+            return
+        try:
+            client.outbuf.extend(encode_frame(message))
+        except FramingError:
+            client.outbuf.extend(
+                encode_frame(
+                    protocol.response(
+                        message.get("id"), protocol.ERROR, error="response too large"
+                    )
+                )
+            )
+        self._flush(client)
+
+    def _flush(self, client: _Client) -> None:
+        while client.outbuf:
+            try:
+                sent = client.sock.send(client.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close(client)
+                return
+            del client.outbuf[:sent]
+        self._set_write_interest(client, bool(client.outbuf))
+
+    def _set_write_interest(self, client: _Client, wanted: bool) -> None:
+        if client.closed:
+            return
+        mask = selectors.EVENT_READ | (selectors.EVENT_WRITE if wanted else 0)
+        try:
+            self._selector.modify(client.sock, mask, ("client", client))
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _close(self, client: _Client, after_flush: bool = False) -> None:
+        if client.closed:
+            return
+        if after_flush and client.outbuf:
+            # Best effort: push what we can before hanging up.
+            try:
+                client.sock.setblocking(True)
+                client.sock.settimeout(1.0)
+                client.sock.sendall(bytes(client.outbuf))
+            except OSError:
+                pass
+        client.closed = True
+        self._clients.discard(client)
+        try:
+            self._selector.unregister(client.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            client.sock.close()
+        except OSError:
+            pass
+
+    # -- request handling ----------------------------------------------
+
+    def _handle_frame(self, client: _Client, frame: dict) -> None:
+        self.metrics.inc("service.requests")
+        try:
+            request = parse_request(frame)
+        except ProtocolError as err:
+            self.metrics.inc("service.errors")
+            rid = frame.get("id") if isinstance(frame, dict) else None
+            self._respond(client, protocol.response(rid, protocol.ERROR, error=str(err)))
+            return
+        if request.kind in protocol.CONTROL_KINDS:
+            self._handle_control(client, request)
+            return
+        if request.fault_plan is not None and not self.config.allow_fault_injection:
+            self.metrics.inc("service.errors")
+            self._respond(
+                client,
+                protocol.response(
+                    request.id,
+                    protocol.ERROR,
+                    error="fault injection is disabled on this server",
+                ),
+            )
+            return
+        if self._draining:
+            self._respond(
+                client,
+                protocol.response(
+                    request.id, protocol.DRAINING, error="server is draining"
+                ),
+            )
+            return
+        now = time.monotonic()
+        key = protocol.protocol_key(request.target)
+        breaker = self.breakers.get(key)
+        if not breaker.allow():
+            self._degrade_fast(client, request, breaker.last_fault or "circuit open")
+            return
+        ticket = _Ticket(
+            request=request,
+            client=client,
+            key=key,
+            admitted_at=now,
+            probe=breaker.state != CLOSED,
+        )
+        budget = request.deadline or self.config.job_deadline
+        if budget is not None:
+            ticket.deadline_at = now + budget
+        if not self.queue.offer(ticket):
+            if ticket.probe:
+                breaker.abandon_probe()
+            self.metrics.inc("service.shed")
+            self._journal({"type": "shed", "job": request.id, "reason": "overloaded"})
+            self._respond(
+                client,
+                protocol.response(
+                    request.id,
+                    protocol.OVERLOADED,
+                    error=f"admission queue full ({self.queue.limit})",
+                    retry_after=round(self.config.backoff_base * 4, 3),
+                ),
+            )
+            return
+        trace_event("service.admit", job=request.id, depth=self.queue.depth)
+
+    def _handle_control(self, client: _Client, request: Request) -> None:
+        if request.kind == "ping":
+            self._respond(
+                client,
+                protocol.response(
+                    request.id, protocol.PONG, server="repro-spi", pid=os.getpid()
+                ),
+            )
+        else:
+            self._respond(
+                client,
+                protocol.response(request.id, protocol.STATUS, **self.status()),
+            )
+
+    def status(self) -> dict:
+        """The ``status`` payload (also what the CLI writes as an
+        artifact)."""
+        return {
+            "server": {
+                "pid": os.getpid(),
+                "draining": self.draining,
+                "uptime": round(time.monotonic() - self._started_at, 3),
+            },
+            "pool": {
+                "size": self.config.workers,
+                "alive": self.pool.alive_count(),
+                "busy": len(self.pool.busy()),
+                "spawned": self.pool.spawned,
+            },
+            "queue": self.queue.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "metrics": self.metrics.to_json(),
+        }
+
+    # -- verdict paths -------------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _degrade_fast(self, client: Optional[_Client], request: Request, detail: str) -> None:
+        """Breaker-open fast path: cached fault verdict, no queue time."""
+        exhaustion = Exhaustion.single("fault", detail=detail)
+        result = exhaustion.verdict(request.kind)
+        self.metrics.inc("service.degraded")
+        self._journal({
+            "type": "result",
+            "job": request.id,
+            "status": "fault",
+            "attempts": 0,
+            "elapsed": 0.0,
+            "result": result,
+            "error": detail,
+            "events": ["degraded without dispatch: circuit open"],
+        })
+        self._respond(
+            client,
+            protocol.response(
+                request.id, protocol.DEGRADED, result=result, error=detail
+            ),
+        )
+
+    def _degrade(self, ticket: _Ticket, detail: str, reason: str = "fault") -> None:
+        """Retry budget (or drain grace, or deadline) exhausted."""
+        now = time.monotonic()
+        job = ticket.request.job()
+        exhaustion = Exhaustion.single(
+            reason,
+            states=checkpointed_states(job, self.config.checkpoint_dir),
+            elapsed=(now - ticket.started_first) if ticket.started_first else None,
+            detail=detail,
+        )
+        result = exhaustion.verdict(ticket.request.kind)
+        self.metrics.inc("service.degraded")
+        self._journal({
+            "type": "result",
+            "job": ticket.request.id,
+            "status": "fault",
+            "attempts": ticket.attempt,
+            "elapsed": round(now - ticket.admitted_at, 4),
+            "result": result,
+            "error": detail,
+            "events": list(ticket.events),
+        })
+        self._respond(
+            ticket.client,
+            protocol.response(
+                ticket.request.id, protocol.DEGRADED, result=result, error=detail
+            ),
+        )
+
+    def _complete(self, ticket: _Ticket, result: dict) -> None:
+        now = time.monotonic()
+        elapsed = now - ticket.admitted_at
+        self.metrics.inc("service.completed")
+        self.metrics.observe("service.latency", elapsed)
+        self._journal({
+            "type": "result",
+            "job": ticket.request.id,
+            "status": "ok",
+            "attempts": ticket.attempt,
+            "elapsed": round(elapsed, 4),
+            "result": result,
+            "error": None,
+            "events": list(ticket.events),
+        })
+        self._respond(
+            ticket.client,
+            protocol.response(ticket.request.id, protocol.OK, result=result),
+        )
+
+    def _shed(self, ticket: _Ticket, status: str, reason: str, error: str) -> None:
+        """Bounce an already-queued ticket back to its client un-run."""
+        if ticket.probe:
+            self.breakers.get(ticket.key).abandon_probe()
+        self.metrics.inc("service.shed")
+        self._journal({"type": "shed", "job": ticket.request.id, "reason": reason})
+        self._respond(
+            ticket.client,
+            protocol.response(ticket.request.id, status, error=error),
+        )
+
+    # -- scheduling ----------------------------------------------------
+
+    def _expire_queued(self, now: float) -> None:
+        for ticket in self.queue.expire(now):
+            self._shed(
+                ticket,
+                protocol.DEGRADED,
+                reason="deadline",
+                error="deadline expired before a worker was free",
+            )
+
+    def _dispatch_ready(self, now: float) -> None:
+        for worker in self.pool.idle():
+            ticket = self.queue.take(now)
+            if ticket is None:
+                break
+            breaker = self.breakers.get(ticket.key)
+            if breaker.state != CLOSED and not ticket.probe:
+                # The breaker opened while this ticket queued (another
+                # request for the same protocol crashed its workers).
+                if breaker.allow():
+                    ticket.probe = True
+                else:
+                    self._degrade(ticket, breaker.last_fault or "circuit open")
+                    continue
+            deadline = None
+            if ticket.deadline_at is not None:
+                deadline = max(0.0, ticket.deadline_at - now)
+            hard = (
+                deadline * 1.5 + self.config.hang_grace
+                if deadline is not None
+                else None
+            )
+            job = ticket.request.job()
+            plan = None
+            if (
+                self.config.allow_fault_injection
+                and ticket.request.fault_plan is not None
+                and ticket.attempt in ticket.request.fault_attempts
+            ):
+                plan = ticket.request.fault_plan
+            if ticket.started_first is None:
+                ticket.started_first = now
+            sent = self.pool.dispatch(
+                worker,
+                {
+                    "type": "job",
+                    "job": job.to_json(),
+                    "attempt": ticket.attempt,
+                    "deadline": deadline,
+                    "checkpoint": job_checkpoint_path(job, self.config.checkpoint_dir),
+                    "fault_plan": plan,
+                },
+                current=ticket,
+                hard_deadline=hard,
+            )
+            if sent:
+                trace_event(
+                    "service.dispatch",
+                    job=ticket.request.id,
+                    worker=worker.index,
+                    attempt=ticket.attempt,
+                )
+            else:
+                self.queue.requeue(ticket)  # dead pipe; the reaper respawns
+
+    def _handle_pool_events(self, now: float) -> None:
+        for event in self.pool.poll(timeout=0):
+            if event.kind == "exit":
+                ticket = event.current
+                if ticket is not None:
+                    self._worker_died(ticket, event.description or "worker lost", now)
+            elif event.message is not None:
+                self._worker_message(event.worker, event.message)
+
+    def _worker_died(self, ticket: _Ticket, description: str, now: float) -> None:
+        self.metrics.inc("service.crashes")
+        ticket.events.append(f"attempt {ticket.attempt}: {description}")
+        breaker = self.breakers.get(ticket.key)
+        breaker.record_fault(f"{ticket.request.id}: {description}")
+        ticket.probe = False
+        trace_event(
+            "service.crash", job=ticket.request.id, detail=description,
+            breaker=breaker.state,
+        )
+        if self._draining or ticket.attempt > self.config.retries:
+            self._degrade(ticket, description)
+            return
+        delay = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** (ticket.attempt - 1)),
+        )
+        ticket.attempt += 1
+        ticket.ready_at = now + delay
+        self.queue.requeue(ticket)
+
+    def _worker_message(self, worker, message: dict) -> None:
+        kind = message.get("type")
+        ticket = worker.current
+        if (
+            kind == "started"
+            or ticket is None
+            or message.get("job") != ticket.request.id
+        ):
+            return
+        if kind == "result":
+            self.pool.release(worker)
+            self.breakers.get(ticket.key).record_success()
+            self._complete(ticket, message["result"])
+        elif kind == "error":
+            # Deterministic in-worker failure: the request's fault, not
+            # the protocol's — report it, leave the breaker alone (the
+            # worker demonstrably survived).
+            self.pool.release(worker)
+            self.breakers.get(ticket.key).record_success()
+            error = message.get("error", "worker error")
+            self.metrics.inc("service.errors")
+            self._journal({"type": "error", "job": ticket.request.id, "error": error})
+            self._respond(
+                ticket.client,
+                protocol.response(ticket.request.id, protocol.ERROR, error=error),
+            )
+
+    # -- drain & shutdown ----------------------------------------------
+
+    def _begin_drain(self) -> None:
+        self._draining = True
+        self._drain_deadline = time.monotonic() + self.config.drain_grace
+        trace_event(
+            "service.drain",
+            queued=self.queue.depth,
+            inflight=len(self.pool.busy()),
+        )
+        for listener in self._listeners:
+            try:
+                self._selector.unregister(listener)
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+        self._listeners.clear()
+        if self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+        # Shed everything queued: journaled as "shed" records, which a
+        # batch --resume over the same journal re-runs.
+        for ticket in self.queue.drain():
+            self._shed(
+                ticket,
+                protocol.DRAINING,
+                reason="draining",
+                error="server is draining",
+            )
+
+    def _drain_finished(self, now: float) -> bool:
+        busy = self.pool.busy()
+        if not busy:
+            return True
+        if self._drain_deadline is not None and now > self._drain_deadline:
+            for worker in busy:
+                self.pool.kill(worker, "drain grace expired")
+        return False
+
+    def _shutdown(self) -> None:
+        self._draining = True
+        self.pool.shutdown()
+        if self.journal is not None:
+            self.journal.close()
+        for client in list(self._clients):
+            self._close(client, after_flush=True)
+        for listener in self._listeners:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        self._listeners.clear()
+        if self._bound and self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+        self._selector.close()
+        ambient = current_metrics()
+        if ambient is not None:
+            ambient.absorb(self.metrics)
+
+
+def serve(config: ServerConfig) -> int:
+    """Blocking entry point used by the CLI: bind, install drain-on-
+    SIGINT/SIGTERM handlers, serve until drained.  Returns the exit
+    status (``0`` after a clean drain)."""
+    from repro.runtime.lifecycle import drain_signals
+
+    server = Server(config)
+    server.bind()
+    with drain_signals(on_signal=lambda signum: server.request_drain()) as drain:
+        if drain.is_set():  # signal raced bind
+            server.request_drain()
+
+        # Mirror the externally-installed event into the server so a
+        # programmatic set (tests) also drains.
+        def _watch_drain() -> None:
+            drain.wait()
+            server.request_drain()
+
+        watcher = threading.Thread(target=_watch_drain, daemon=True)
+        watcher.start()
+        return server.serve_forever()

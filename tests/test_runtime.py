@@ -141,6 +141,19 @@ class TestControl:
         assert not deadline.expired()
         assert deadline.expired()  # clock reached 3
 
+    def test_remaining_clamps_to_zero_when_expired(self):
+        """A past deadline must report 0 remaining, never a negative
+        number — callers feed ``remaining()`` straight into select/poll
+        timeouts and ``socket.settimeout``, where negatives raise."""
+        clock = FakeClock()  # returns 0, 1, 2, 3, ...
+        deadline = Deadline(expires_at=2.5, clock=clock)
+        assert deadline.remaining() == 2.5  # clock at 0
+        assert deadline.remaining() == 1.5  # clock at 1
+        assert deadline.remaining() == 0.5  # clock at 2
+        assert deadline.remaining() == 0.0  # clock at 3: clamped
+        assert deadline.remaining() == 0.0  # clock at 4: still 0, not -1.5
+        assert deadline.expired()
+
     def test_cancel_token(self):
         token = CancelToken()
         assert not token.cancelled

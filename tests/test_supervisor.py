@@ -252,6 +252,177 @@ class TestJournalResume:
         assert records[0]["result"]["exhaustion"]["reasons"] == ["fault"]
 
 
+class TestDrain:
+    def test_drain_stops_dispatch_and_finishes_inflight(self, tmp_path):
+        """With one worker and the drain flag raised as the first job's
+        outcome lands, the second job is never dispatched: the report
+        comes back partial, marked drained, and the journal holds
+        exactly the finished job — the un-run one stays resumable."""
+        import threading
+
+        journal = str(tmp_path / "drained.jsonl")
+        drain = threading.Event()
+        report = run_suite(
+            [INLINE_JOB, EXPLORE_JOB],
+            workers=1,
+            retries=0,
+            journal_path=journal,
+            on_outcome=lambda outcome: drain.set(),
+            drain=drain,
+            **FAST,
+        )
+        assert report.drained
+        assert not report.completed
+        assert report.submitted == 2
+        assert [o.job.id for o in report.outcomes] == ["explore:inline"]
+        assert "drained with 1 job(s) unrun" in report.describe()
+        assert set(journaled_results(journal)) == {"explore:inline"}
+
+        resumed = run_suite(
+            [INLINE_JOB, EXPLORE_JOB],
+            workers=1,
+            journal_path=journal,
+            resume=True,
+            **FAST,
+        )
+        assert resumed.completed and not resumed.drained
+        statuses = {o.job.id: o.status for o in resumed.outcomes}
+        assert statuses == {
+            "explore:inline": "skipped",
+            "explore:otway-rees": "ok",
+        }
+
+    def test_drain_set_before_start_runs_nothing(self, tmp_path):
+        import threading
+
+        drain = threading.Event()
+        drain.set()
+        report = run_suite(
+            [INLINE_JOB], workers=1, journal_path=str(tmp_path / "j.jsonl"),
+            drain=drain, **FAST,
+        )
+        assert report.drained and report.outcomes == ()
+
+    # An infinite state space (replication) makes exploration time
+    # proportional to the budget — the slow jobs below run for seconds,
+    # which turns the SIGTERM-mid-batch race into a sure thing.
+    SLOW_SOURCE = "!((nu m)(a<m>.0)) | !(a(x).b<x>.0) | !(b(y).0)"
+
+    def _drain_batch(self):
+        jobs = [Job(
+            id="fast", kind="explore",
+            target={"source": "a<M>.0 | a(x).0"},
+            max_states=50, max_depth=10,
+        )]
+        jobs += [
+            Job(
+                id=f"slow-{n}", kind="explore",
+                target={"source": self.SLOW_SOURCE},
+                max_states=2000, max_depth=10000,
+            )
+            for n in range(3)
+        ]
+        return jobs
+
+    def test_suite_cli_exits_130_on_drained_run(self, tmp_path):
+        """End to end through the CLI: SIGTERM mid-batch drains (exit
+        130) and leaves a journal that --resume completes."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        jobs = self._drain_batch()
+        suite_file = tmp_path / "drain-batch.json"
+        suite_file.write_text(json.dumps([job.to_json() for job in jobs]))
+        journal = tmp_path / "cli-drain.jsonl"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "suite",
+                "--suite-file", str(suite_file),
+                "--jobs", "1", "--retries", "0",
+                "--journal", str(journal),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        # Drain as soon as the first verdict is journaled: the fast job
+        # is done, a multi-second slow job is in flight, two more are
+        # queued and will never run.
+        for _ in range(1200):
+            if journal.exists() and journal.stat().st_size > 0:
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("no verdict journaled within 60s")
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 130, output
+        assert "drained" in output
+        done = journaled_results(str(journal))
+        assert 0 < len(done) < len(jobs)
+        assert "fast" in done
+        # The journal is valid JSONL and the batch is completable.
+        resumed = run_suite(
+            jobs, workers=2, journal_path=str(journal), resume=True, **FAST,
+        )
+        assert resumed.completed
+        assert len(resumed.outcomes) == len(jobs)
+
+
+class TestRetryFaults:
+    def test_retry_faults_reruns_degraded_jobs(self, tmp_path):
+        """A journal holding a degraded fault verdict: plain --resume
+        keeps it, --retry-faults re-runs it to a real verdict."""
+        journal = str(tmp_path / "faulty.jsonl")
+        first = run_suite(
+            [EXPLORE_JOB],
+            workers=1,
+            retries=0,
+            journal_path=journal,
+            fault_plan=FaultPlan(exit_at=(3,)),
+            fault_attempts=(1,),
+            **FAST,
+        )
+        assert first.outcomes[0].status == "fault"
+
+        kept = run_suite(
+            [EXPLORE_JOB], workers=1, journal_path=journal, resume=True, **FAST
+        )
+        assert kept.outcomes[0].status == "skipped"
+
+        retried = run_suite(
+            [EXPLORE_JOB],
+            workers=1,
+            journal_path=journal,
+            resume=True,
+            retry_faults=True,
+            **FAST,
+        )
+        assert retried.outcomes[0].status == "ok"
+        # The fresh verdict supersedes the fault record on later resumes.
+        assert journaled_results(journal)[EXPLORE_JOB.id]["status"] == "ok"
+
+    def test_retry_faults_still_skips_ok_jobs(self, tmp_path):
+        journal = str(tmp_path / "mixed.jsonl")
+        run_suite([INLINE_JOB], workers=1, journal_path=journal, **FAST)
+        report = run_suite(
+            [INLINE_JOB],
+            workers=1,
+            journal_path=journal,
+            resume=True,
+            retry_faults=True,
+            **FAST,
+        )
+        assert report.outcomes[0].status == "skipped"
+
+
 class TestWatchdogPolicy:
     """Unit tests of the pure kill-decision logic (no real processes)."""
 
