@@ -1,6 +1,6 @@
 """Command-line interface to the calculus.
 
-Eleven subcommands cover the workflows::
+The subcommands cover the workflows::
 
     repro-spi parse   FILE           # parse & pretty-print (+ tree view)
     repro-spi run     FILE           # narrated execution, first-choice
@@ -12,6 +12,7 @@ Eleven subcommands cover the workflows::
     repro-spi suite   [FILE...]      # supervised parallel job batch
     repro-spi stats   JOURNAL        # per-job metrics of a suite journal
     repro-spi serve                  # long-running verification server
+    repro-spi cluster                # sharded fault-tolerant cluster
     repro-spi submit  KIND [TARGET]  # one request against a server
 
 ``parse``/``run``/``explore`` take a bare process in the concrete
@@ -54,6 +55,11 @@ second one aborts immediately.
 :mod:`repro.service`): a long-running server with admission control,
 per-protocol circuit breakers and graceful SIGTERM drain, and a
 retrying client for it.  ``docs/service.md`` has the wire protocol.
+``cluster`` scales ``serve`` out: a health-checked router shards
+requests by protocol key across N supervised ``serve`` backends, with
+crash respawn, failover, and journal-keyed exactly-once re-drive
+(``docs/cluster.md``); ``submit --cluster DIR`` targets it via the
+cluster's discovery file.
 
 Exit status: 0 on success, 1 when a check finds an attack or a property
 violation, 2 on errors (usage, parse, missing/corrupt files, an
@@ -66,7 +72,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.core.errors import ReproError
 from repro.runtime.deadline import Deadline, RunControl, governed
@@ -528,6 +534,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         checkpoint_dir=args.checkpoint_dir,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        breaker_max=args.breaker_max or None,  # 0 = unbounded
+        rebuild_breakers=args.rebuild_breakers,
         drain_grace=args.drain_grace,
         allow_fault_injection=args.allow_fault_injection,
     ))
@@ -541,6 +549,76 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         code = server.serve_forever()
     print("drained", file=out, flush=True)
     return code
+
+
+def cmd_cluster(args: argparse.Namespace, out) -> int:
+    """``cluster``: run a fault-tolerant sharded cluster until drained.
+
+    Spawns and supervises ``--shards`` local ``serve`` backends under
+    ``--dir`` (sockets, journals, logs, and the ``cluster.json``
+    discovery file all live there), routes requests to them by protocol
+    key over a consistent-hash ring, health-checks them, respawns
+    crashes with backoff, and fails over in-flight requests with
+    journal-keyed exactly-once dedupe.  See docs/cluster.md.
+    """
+    from repro.runtime.lifecycle import drain_signals
+    from repro.service.router import Router, RouterConfig
+
+    host, port = _parse_tcp(args.tcp) if args.tcp is not None else (None, None)
+    router = Router(RouterConfig(
+        dir=args.dir,
+        socket_path=args.socket,
+        host=host,
+        port=port,
+        shards=args.shards,
+        remote=tuple(args.remote or ()),
+        workers_per_shard=args.workers_per_shard,
+        queue_limit=args.queue_limit,
+        retries=args.retries,
+        job_deadline=args.job_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        shard_drain_grace=args.shard_drain_grace,
+        drain_grace=args.drain_grace,
+        health_interval=args.health_interval,
+        health_timeout=args.health_timeout,
+        health_failures=args.health_failures,
+        health_cooldown=args.health_cooldown,
+        respawn_base=args.respawn_base,
+        respawn_cap=args.respawn_cap,
+        allow_fault_injection=args.allow_fault_injection,
+    ))
+    router.bind()
+    if args.socket is not None:
+        print(f"listening on unix:{args.socket}", file=out, flush=True)
+    if router.tcp_address is not None:
+        bound_host, bound_port = router.tcp_address
+        print(f"listening on tcp:{bound_host}:{bound_port}", file=out, flush=True)
+    with drain_signals(on_signal=lambda signum: router.request_drain()):
+        code = router.serve_forever()
+    print("drained", file=out, flush=True)
+    return code
+
+
+def _cluster_router_address(cluster_dir: str) -> Any:
+    """Resolve the router address from a cluster directory's
+    ``cluster.json`` discovery file."""
+    import json
+    import os
+
+    path = os.path.join(cluster_dir, "cluster.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            discovery = json.load(handle)
+    except (OSError, ValueError) as err:
+        raise ReproError(f"cannot read cluster discovery file {path}: {err}")
+    router = discovery.get("router") or {}
+    if router.get("socket"):
+        return ("unix", router["socket"])
+    if router.get("tcp"):
+        host, port = router["tcp"]
+        return ("tcp", (host, int(port)))
+    raise ReproError(f"{path} names no router endpoint")
 
 
 def _submit_target(args: argparse.Namespace) -> dict:
@@ -564,20 +642,24 @@ def cmd_submit(args: argparse.Namespace, out) -> int:
     """``submit``: one request against a running server.
 
     Exit codes: 0 verdict obtained and no violation, 1 violation found,
-    2 unreachable server / request error, 3 degraded verdict or server
-    draining.
+    2 unreachable server / request error, 3 degraded or expired verdict
+    or server draining.
     """
     import json
 
     from repro.runtime.deadline import Deadline
     from repro.service.client import ServiceClient
 
-    if args.socket is not None:
+    if args.cluster is not None:
+        address = _cluster_router_address(args.cluster)
+    elif args.socket is not None:
         address = ("unix", args.socket)
     elif args.tcp is not None:
         address = ("tcp", _parse_tcp(args.tcp))
     else:
-        raise ReproError("submit needs --socket PATH or --tcp HOST:PORT")
+        raise ReproError(
+            "submit needs --socket PATH, --tcp HOST:PORT, or --cluster DIR"
+        )
     client = ServiceClient(
         address, timeout=args.timeout, retries=args.connect_retries
     )
@@ -605,15 +687,25 @@ def cmd_submit(args: argparse.Namespace, out) -> int:
         return 0
     if status == "status":
         if not args.json:
-            pool = reply.get("pool") or {}
-            queue = reply.get("queue") or {}
-            print(
-                f"workers {pool.get('busy', 0)}/{pool.get('alive', 0)} busy, "
-                f"queue {queue.get('depth', 0)}/{queue.get('limit', 0)}, "
-                f"{len(reply.get('breakers') or {})} breaker(s) tripped, "
-                f"draining={reply.get('server', {}).get('draining')}",
-                file=out,
-            )
+            if "cluster" in reply:
+                cluster = reply.get("cluster") or {}
+                print(
+                    f"cluster pid {cluster.get('pid')}: "
+                    f"{cluster.get('healthy', 0)}/{cluster.get('shards', 0)} "
+                    f"shard(s) healthy, "
+                    f"draining={cluster.get('draining')}",
+                    file=out,
+                )
+            else:
+                pool = reply.get("pool") or {}
+                queue = reply.get("queue") or {}
+                print(
+                    f"workers {pool.get('busy', 0)}/{pool.get('alive', 0)} busy, "
+                    f"queue {queue.get('depth', 0)}/{queue.get('limit', 0)}, "
+                    f"{len(reply.get('breakers') or {})} breaker(s) tripped, "
+                    f"draining={reply.get('server', {}).get('draining')}",
+                    file=out,
+                )
         return 0
     if status == "ok":
         if not args.json:
@@ -622,6 +714,10 @@ def cmd_submit(args: argparse.Namespace, out) -> int:
     if status == "degraded":
         if not args.json:
             print(f"degraded: {reply.get('error')}", file=out)
+        return 3
+    if status == "expired":
+        if not args.json:
+            print(f"expired: {reply.get('error')}", file=out)
         return 3
     if status == "draining":
         if not args.json:
@@ -883,6 +979,19 @@ def build_parser() -> argparse.ArgumentParser:
         "request through (default 30)",
     )
     p_serve.add_argument(
+        "--breaker-max", type=int, default=1024, metavar="N",
+        help="most breakers kept on the board; idle CLOSED breakers are "
+        "evicted LRU beyond this, open ones never (default 1024, "
+        "0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--rebuild-breakers",
+        action="store_true",
+        help="replay the journal at startup to rebuild circuit-breaker "
+        "state (used by cluster shards so an open breaker survives "
+        "the crash that killed the process)",
+    )
+    p_serve.add_argument(
         "--drain-grace", type=float, default=10.0, metavar="SECONDS",
         help="how long a drain waits for in-flight jobs before killing "
         "their workers (default 10)",
@@ -893,6 +1002,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="test instrumentation: accept fault_plan fields in requests",
     )
     p_serve.set_defaults(handler=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run a fault-tolerant sharded cluster (see docs/cluster.md)",
+    )
+    p_cluster.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="cluster working directory: shard sockets, journals, logs "
+        "and the cluster.json discovery file live here",
+    )
+    p_cluster.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="bind the router on this Unix socket",
+    )
+    p_cluster.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="bind the router on this TCP endpoint (port 0 picks an "
+        "ephemeral port, announced on stdout)",
+    )
+    p_cluster.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="local serve shards to spawn and supervise (default 3)",
+    )
+    p_cluster.add_argument(
+        "--remote", action="append", default=None, metavar="ADDR",
+        help="register a pre-started remote shard (host:port or socket "
+        "path); repeatable, not supervised",
+    )
+    p_cluster.add_argument(
+        "--workers-per-shard", type=int, default=2, metavar="N",
+        help="worker processes per local shard (default 2)",
+    )
+    p_cluster.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission queue depth per shard (default 64)",
+    )
+    p_cluster.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="per-shard retry budget after a worker crash (default 1)",
+    )
+    p_cluster.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request budget on every shard",
+    )
+    p_cluster.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="per-protocol breaker threshold on every shard (default 3)",
+    )
+    p_cluster.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="per-protocol breaker cooldown on every shard (default 30)",
+    )
+    p_cluster.add_argument(
+        "--health-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between health pings to each shard (default 1)",
+    )
+    p_cluster.add_argument(
+        "--health-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="per-ping timeout (default 2)",
+    )
+    p_cluster.add_argument(
+        "--health-failures", type=int, default=2, metavar="N",
+        help="consecutive failed pings that eject a shard from the ring "
+        "(default 2)",
+    )
+    p_cluster.add_argument(
+        "--health-cooldown", type=float, default=2.0, metavar="SECONDS",
+        help="how long an ejected shard waits before its recovery probe "
+        "(default 2)",
+    )
+    p_cluster.add_argument(
+        "--respawn-base", type=float, default=0.25, metavar="SECONDS",
+        help="respawn backoff for a crashed shard's first death "
+        "(doubles per consecutive death, default 0.25)",
+    )
+    p_cluster.add_argument(
+        "--respawn-cap", type=float, default=8.0, metavar="SECONDS",
+        help="respawn backoff ceiling (default 8)",
+    )
+    p_cluster.add_argument(
+        "--shard-drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="per-shard --drain-grace when the cluster drains (default 10)",
+    )
+    p_cluster.add_argument(
+        "--drain-grace", type=float, default=15.0, metavar="SECONDS",
+        help="how long the router waits for in-flight forwards before "
+        "terminating shards (default 15)",
+    )
+    p_cluster.add_argument(
+        "--allow-fault-injection",
+        action="store_true",
+        help="test instrumentation: shards accept fault_plan fields",
+    )
+    p_cluster.set_defaults(handler=cmd_cluster)
 
     p_submit = sub.add_parser(
         "submit", help="submit one request to a running server"
@@ -918,6 +1121,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "--tcp", default=None, metavar="HOST:PORT", help="server TCP endpoint"
+    )
+    p_submit.add_argument(
+        "--cluster", default=None, metavar="DIR",
+        help="cluster working directory; the router address is read "
+        "from its cluster.json discovery file",
     )
     p_submit.add_argument("--id", default=None, help="request id (default: derived)")
     p_submit.add_argument("--max-states", type=int, default=4000)

@@ -138,3 +138,88 @@ def journaled_results(path: str) -> dict[str, dict]:
         if record.get("type") == "result" and isinstance(record.get("job"), str):
             results[record["job"]] = record
     return results
+
+
+class JournalIndex:
+    """Incremental job-id -> ``result``-record lookup over a *growing*
+    journal another process is appending to.
+
+    The cluster router uses this as its idempotency oracle: before
+    re-driving a request whose shard died mid-flight, it asks the dead
+    shard's journal whether the job already completed — a journaled
+    verdict is returned to the client as-is instead of being recomputed
+    (and re-journaled) on another shard.
+
+    Unlike :func:`journaled_results`, a lookup does not re-read the
+    whole file: :meth:`refresh` resumes from the byte offset of the
+    previous read and only parses appended data.  The reader must
+    tolerate every state a ``kill -9`` of the writer can leave:
+
+    * **torn final line** — buffered until its newline arrives (the
+      writer fsyncs whole lines, but a reader can race mid-append); it
+      is never parsed as a record;
+    * **corrupt complete line** — skipped, not fatal: for *dedupe* the
+      safe failure direction is a miss (recompute) rather than an
+      exception that wedges failover;
+    * **truncation/replacement** — a shard restart repairs torn tails
+      by truncating, shrinking the file; a shrink below our offset
+      resets the index and re-reads from the start.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._offset = 0
+        self._tail = b""
+        self._results: dict[str, dict] = {}
+
+    def refresh(self) -> None:
+        """Absorb any bytes appended since the last refresh."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size < self._offset:
+                    # The file shrank (torn-tail repair on reopen, or a
+                    # wholesale replacement): start over.
+                    self._offset = 0
+                    self._tail = b""
+                    self._results = {}
+                if size == self._offset:
+                    return
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            self._offset = 0
+            self._tail = b""
+            self._results = {}
+            return
+        self._offset += len(data)
+        buffer = self._tail + data
+        lines = buffer.split(b"\n")
+        self._tail = lines.pop()  # b"" when the data ended on a newline
+        for line in lines:
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8", errors="replace"))
+            except ValueError:
+                continue  # damaged line: a dedupe miss, never a crash
+            if (
+                isinstance(record, dict)
+                and record.get("type") == "result"
+                and isinstance(record.get("job"), str)
+            ):
+                self._results[record["job"]] = record
+
+    def result(self, job_id: str) -> Optional[dict]:
+        """The journaled ``result`` record for ``job_id``, if any
+        (refreshes first)."""
+        self.refresh()
+        return self._results.get(job_id)
+
+    def completed(self, job_id: str) -> bool:
+        """Has ``job_id`` a journaled verdict already?"""
+        return self.result(job_id) is not None
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -16,7 +16,12 @@ Layers, bottom up:
 * :mod:`repro.service.server` — the selectors event loop on top of the
   supervised :class:`~repro.runtime.supervisor.WorkerPool`;
 * :mod:`repro.service.client` — blocking client with retry, backoff,
-  jitter, and deadline propagation.
+  jitter, and deadline propagation;
+* :mod:`repro.service.shards` / :mod:`repro.service.health` /
+  :mod:`repro.service.router` — the ``repro-spi cluster`` layer: a
+  consistent-hash ring over supervised shard processes, breaker-backed
+  active health checks, and a router with journal-keyed exactly-once
+  failover (see ``docs/cluster.md``).
 """
 
 from repro.service.admission import AdmissionQueue
@@ -36,20 +41,30 @@ from repro.service.protocol import (
     Request,
     parse_request,
 )
+from repro.service.health import HealthMonitor
+from repro.service.router import ClusterError, Router, RouterConfig, run_cluster
 from repro.service.server import Server, ServerConfig, ServiceError, serve
+from repro.service.shards import HashRing, LocalShard, ShardSpec
 
 __all__ = [
     "AdmissionQueue",
     "BreakerBoard",
     "CircuitBreaker",
+    "ClusterError",
     "FrameDecoder",
     "FramingError",
+    "HashRing",
+    "HealthMonitor",
+    "LocalShard",
     "MAX_FRAME",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "Request",
+    "Router",
+    "RouterConfig",
     "Server",
     "ServerConfig",
+    "ShardSpec",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
@@ -57,6 +72,7 @@ __all__ = [
     "parse_address",
     "parse_request",
     "recv_frame",
+    "run_cluster",
     "send_frame",
     "serve",
 ]

@@ -133,25 +133,69 @@ class CircuitBreaker:
 
 
 class BreakerBoard:
-    """The breakers of every protocol this server has seen."""
+    """The breakers of every protocol this server has seen.
+
+    A long-lived server meets an unbounded stream of distinct protocol
+    keys (inline ``source`` targets hash to fresh keys every time), so
+    the board is LRU-bounded: when ``max_size`` is set and exceeded, the
+    least-recently-touched breaker that is CLOSED *and idle* (no probe
+    in flight) is evicted.  OPEN and HALF_OPEN breakers are never
+    evicted — forgetting that a protocol is poisonous is exactly the
+    memory the board exists to keep — so the board can transiently
+    exceed ``max_size`` while many breakers are tripped.
+    """
 
     def __init__(
         self,
         threshold: int = 3,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        max_size: Optional[int] = None,
     ) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"breaker board max_size must be >= 1, got {max_size}")
         self.threshold = threshold
         self.cooldown = cooldown
         self.clock = clock
+        self.max_size = max_size
+        #: Total CLOSED/idle breakers dropped to honour ``max_size``.
+        self.evicted = 0
+        # dict preserves insertion order; ``get`` re-inserts on access,
+        # so iteration order is least-recently-used first.
         self._breakers: dict[str, CircuitBreaker] = {}
 
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._breakers
+
     def get(self, key: str) -> CircuitBreaker:
-        breaker = self._breakers.get(key)
+        breaker = self._breakers.pop(key, None)
         if breaker is None:
             breaker = CircuitBreaker(self.threshold, self.cooldown, self.clock)
-            self._breakers[key] = breaker
+        self._breakers[key] = breaker  # (re-)insert at the MRU end
+        self._evict()
         return breaker
+
+    def _evict(self) -> None:
+        if self.max_size is None or len(self._breakers) <= self.max_size:
+            return
+        excess = len(self._breakers) - self.max_size
+        # The newest (just-touched) breaker is exempt: evicting the
+        # entry ``get`` is about to hand out would silently discard
+        # every fault recorded on it — a protocol arriving while the
+        # board is full of OPEN breakers could then never trip its own.
+        keys = list(self._breakers)
+        newest = keys[-1]
+        for key in keys:
+            if excess <= 0:
+                break
+            if key == newest or self._breakers[key].state != CLOSED:
+                continue
+            del self._breakers[key]
+            self.evicted += 1
+            excess -= 1
 
     def snapshot(self) -> dict:
         """Non-trivial breakers only (CLOSED with zero history is the
@@ -167,3 +211,38 @@ class BreakerBoard:
         return sum(
             1 for b in self._breakers.values() if b.state != CLOSED
         )
+
+    def rebuild(self, records) -> int:
+        """Replay journaled verdict history into this board.
+
+        A crashed-and-respawned shard must not greet a poisonous
+        protocol with a fresh CLOSED breaker and relearn the crash loop
+        from scratch: the supervisor restarts it against the *same*
+        journal, and this replay reconstructs the breaker state the old
+        process died with.  Journal ``result`` records carry the
+        ``protocol`` key they verdicted (see
+        :mod:`repro.service.server`); ``ok`` records replay as
+        successes, ``fault`` records as faults, in journal order — so a
+        trailing crash streak at or past ``threshold`` leaves the
+        breaker OPEN (with the cooldown restarted at rebuild time,
+        monotonic clocks not being comparable across processes).
+
+        Returns the number of records replayed.  Records without a
+        ``protocol`` field (pre-cluster journals) are skipped.
+        """
+        replayed = 0
+        for record in records:
+            key = record.get("protocol")
+            if record.get("type") != "result" or not isinstance(key, str):
+                continue
+            status = record.get("status")
+            if status == "ok":
+                self.get(key).record_success()
+            elif status == "fault":
+                self.get(key).record_fault(
+                    record.get("error") or "journaled fault (rebuilt)"
+                )
+            else:
+                continue
+            replayed += 1
+        return replayed

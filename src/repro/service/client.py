@@ -14,7 +14,15 @@ discipline a robust caller wants baked in:
   retrying once the budget is spent;
 * **``draining`` is not retried** — the server is going away; the
   caller should fail over or fall back to a batch run, not hammer a
-  closing door.
+  closing door;
+* **backoff never outlives the deadline** — every sleep (backoff jitter
+  and server ``retry_after`` hints alike) is capped at the remaining
+  budget, and a sleep that *would* consume the entire remainder is not
+  taken at all: the client fails fast instead of waking up expired;
+* **address failover** — constructed with a *list* of addresses (a
+  router and its standby, say) the client rotates to the next endpoint
+  after a connection-level failure, so one dead listener costs a
+  rotation, not the whole retry budget.
 
 One connection per call: requests are rare and heavy (seconds of
 verification), so connection reuse buys nothing and per-call sockets
@@ -59,7 +67,11 @@ class ServiceClient:
     """Blocking client with retry/backoff/jitter.
 
     Args:
-        address: a ``parse_address`` result, or the string form.
+        address: a ``parse_address`` result or its string form — or a
+            *list* of either, tried in rotation: a connection-level
+            failure advances to the next address for the following
+            attempt (replies, including ``overloaded``, keep the
+            current one).
         timeout: per-attempt socket timeout (connect and each read).
         retries: extra attempts after the first.
         jitter: uniform-[0,1) source, injectable for deterministic
@@ -76,7 +88,13 @@ class ServiceClient:
         jitter: Optional[Callable[[], float]] = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        self.address = parse_address(address) if isinstance(address, str) else address
+        specs = address if isinstance(address, list) else [address]
+        if not specs:
+            raise ValueError("ServiceClient needs at least one address")
+        self.addresses = [
+            parse_address(spec) if isinstance(spec, str) else spec for spec in specs
+        ]
+        self._cursor = 0
         self.timeout = timeout
         self.retries = retries
         self.backoff_base = backoff_base
@@ -85,6 +103,14 @@ class ServiceClient:
         self.sleep = sleep
 
     # -- transport -----------------------------------------------------
+
+    @property
+    def address(self) -> Any:
+        """The endpoint the next attempt will use."""
+        return self.addresses[self._cursor]
+
+    def _rotate(self) -> None:
+        self._cursor = (self._cursor + 1) % len(self.addresses)
 
     def _connect(self, timeout: float) -> socket.socket:
         family, target = self.address
@@ -140,8 +166,10 @@ class ServiceClient:
                 reply = self._attempt(message, timeout)
             except ServiceUnavailable as err:
                 last_error = str(err)
+                self._rotate()
             except _RETRIABLE as err:
                 last_error = f"{type(err).__name__}: {err}"
+                self._rotate()
             else:
                 if reply.get("status") != "overloaded":
                     return reply
@@ -154,7 +182,16 @@ class ServiceClient:
             if hinted is not None:
                 delay = max(delay, float(hinted) * (0.5 + 0.5 * self.jitter()))
             if deadline is not None:
-                delay = min(delay, deadline.remaining())
+                # Cap every sleep — backoff and retry_after hint alike —
+                # at the remaining budget, and refuse a sleep that would
+                # consume all of it: waking up expired helps nobody.
+                left = deadline.remaining()
+                if delay >= left:
+                    raise ServiceUnavailable(
+                        f"deadline expired backing off before attempt "
+                        f"{attempt + 2} ({last_error})"
+                    )
+                delay = min(delay, left)
             if delay > 0:
                 self.sleep(delay)
         raise ServiceUnavailable(

@@ -125,25 +125,42 @@ class FrameDecoder:
     def __init__(self, max_frame: int = MAX_FRAME) -> None:
         self.max_frame = max_frame
         self._buffer = bytearray()
+        self._failed: Optional[str] = None
 
     def feed(self, data: bytes) -> list[dict]:
-        """Absorb ``data``; return every message it completed."""
+        """Absorb ``data``; return every message it completed.
+
+        An oversize declared length is rejected the moment the 4-byte
+        header is complete — *before* any payload byte is accepted, so
+        a hostile length prefix costs 4 bytes of buffer, not
+        ``max_frame``.  After any :class:`FramingError` the decoder is
+        poisoned: the stream has lost frame alignment and every further
+        ``feed`` re-raises rather than mis-parsing payload bytes as
+        headers.
+        """
+        if self._failed is not None:
+            raise FramingError(self._failed)
         self._buffer.extend(data)
         messages: list[dict] = []
-        while True:
-            if len(self._buffer) < _HEADER.size:
-                break
-            (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
-            if length > self.max_frame:
-                raise FramingError(
-                    f"peer announced a {length}-byte frame (cap {self.max_frame})"
-                )
-            end = _HEADER.size + length
-            if len(self._buffer) < end:
-                break
-            payload = bytes(self._buffer[_HEADER.size:end])
-            del self._buffer[:end]
-            messages.append(_decode_payload(payload))
+        try:
+            while True:
+                if len(self._buffer) < _HEADER.size:
+                    break
+                (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
+                if length > self.max_frame:
+                    raise FramingError(
+                        f"peer announced a {length}-byte frame (cap {self.max_frame})"
+                    )
+                end = _HEADER.size + length
+                if len(self._buffer) < end:
+                    break
+                payload = bytes(self._buffer[_HEADER.size:end])
+                del self._buffer[:end]
+                messages.append(_decode_payload(payload))
+        except FramingError as err:
+            self._failed = str(err)
+            self._buffer.clear()
+            raise
         return messages
 
     @property

@@ -28,9 +28,12 @@ status       meaning
 ===========  =========================================================
 ok           ``result`` holds the verdict (possibly qualified)
 degraded     no fresh verdict — ``result`` holds an
-             ``Exhaustion(reason="fault"|"deadline")``-qualified stub;
-             sent when a circuit is open, retries were exhausted by
-             worker crashes, or the deadline expired in the queue
+             ``Exhaustion(reason="fault")``-qualified stub; sent when a
+             circuit is open or retries were exhausted by worker
+             crashes
+expired      the request's deadline lapsed while it sat in the
+             admission queue; it was shed un-run (distinct from
+             ``overloaded``: retrying is pointless, the budget is gone)
 overloaded   shed at admission: the bounded queue was full; retry
              after ``retry_after`` seconds
 draining     the server is shutting down and took nothing on
@@ -38,6 +41,15 @@ error        the request was malformed or named an unknown system
 pong         answer to ``ping``
 status       answer to ``status`` (queue/breaker/worker/metrics view)
 ===========  =========================================================
+
+``ping`` doubles as the cluster's health probe, so a pong carries a
+lightweight load snapshot besides liveness: ``draining`` (a draining
+shard must be ejected from the routing ring even though it still
+answers), ``queue_depth``, ``busy``, and ``breakers_open``.  Responses
+relayed through the ``repro-spi cluster`` router additionally carry the
+``shard`` that produced them, and ``cached: true`` when the verdict was
+served from a dead shard's journal instead of being recomputed (see
+:mod:`repro.service.router`).
 """
 
 from __future__ import annotations
@@ -61,11 +73,15 @@ KIND_ALIASES = {"may-preorder": "check"}
 # Response statuses.
 OK = "ok"
 DEGRADED = "degraded"
+EXPIRED = "expired"
 OVERLOADED = "overloaded"
 DRAINING = "draining"
 ERROR = "error"
 PONG = "pong"
 STATUS = "status"
+
+#: Statuses that carry a (possibly qualified) verdict in ``result``.
+VERDICT_STATUSES = frozenset({OK, DEGRADED})
 
 
 class ProtocolError(ReproError):

@@ -100,6 +100,13 @@ class ServerConfig:
     checkpoint_dir: Optional[str] = None
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
+    #: LRU bound on distinct per-protocol breakers (None = unbounded);
+    #: only CLOSED, idle breakers are ever evicted.
+    breaker_max: Optional[int] = 1024
+    #: Replay the existing journal's verdict history into the breaker
+    #: board at startup, so a respawned shard does not relearn a crash
+    #: loop from scratch (see :meth:`BreakerBoard.rebuild`).
+    rebuild_breakers: bool = False
     drain_grace: float = 10.0
     heartbeat_interval: float = 0.25
     heartbeat_grace: float = 15.0
@@ -156,8 +163,17 @@ class Server:
         self.config = config
         self.queue: AdmissionQueue[_Ticket] = AdmissionQueue(config.queue_limit)
         self.breakers = BreakerBoard(
-            threshold=config.breaker_threshold, cooldown=config.breaker_cooldown
+            threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+            max_size=config.breaker_max,
         )
+        if config.rebuild_breakers and config.journal_path is not None:
+            from repro.runtime.journal import read_journal
+
+            try:
+                self.breakers.rebuild(read_journal(config.journal_path))
+            except ReproError:
+                pass  # a damaged journal must not block the restart
         self.metrics = Metrics()
         self.pool = WorkerPool(
             config.workers,
@@ -406,7 +422,10 @@ class Server:
             if ticket.probe:
                 breaker.abandon_probe()
             self.metrics.inc("service.shed")
-            self._journal({"type": "shed", "job": request.id, "reason": "overloaded"})
+            self._journal({
+                "type": "shed", "job": request.id, "protocol": key,
+                "reason": "overloaded",
+            })
             self._respond(
                 client,
                 protocol.response(
@@ -421,10 +440,19 @@ class Server:
 
     def _handle_control(self, client: _Client, request: Request) -> None:
         if request.kind == "ping":
+            # The pong doubles as the cluster health probe: liveness
+            # plus the load signals a router ejects/weighs shards on.
             self._respond(
                 client,
                 protocol.response(
-                    request.id, protocol.PONG, server="repro-spi", pid=os.getpid()
+                    request.id,
+                    protocol.PONG,
+                    server="repro-spi",
+                    pid=os.getpid(),
+                    draining=self.draining,
+                    queue_depth=self.queue.depth,
+                    busy=len(self.pool.busy()),
+                    breakers_open=self.breakers.open_count,
                 ),
             )
         else:
@@ -467,6 +495,7 @@ class Server:
         self._journal({
             "type": "result",
             "job": request.id,
+            "protocol": protocol.protocol_key(request.target),
             "status": "fault",
             "attempts": 0,
             "elapsed": 0.0,
@@ -496,6 +525,7 @@ class Server:
         self._journal({
             "type": "result",
             "job": ticket.request.id,
+            "protocol": ticket.key,
             "status": "fault",
             "attempts": ticket.attempt,
             "elapsed": round(now - ticket.admitted_at, 4),
@@ -518,6 +548,7 @@ class Server:
         self._journal({
             "type": "result",
             "job": ticket.request.id,
+            "protocol": ticket.key,
             "status": "ok",
             "attempts": ticket.attempt,
             "elapsed": round(elapsed, 4),
@@ -535,7 +566,12 @@ class Server:
         if ticket.probe:
             self.breakers.get(ticket.key).abandon_probe()
         self.metrics.inc("service.shed")
-        self._journal({"type": "shed", "job": ticket.request.id, "reason": reason})
+        self._journal({
+            "type": "shed",
+            "job": ticket.request.id,
+            "protocol": ticket.key,
+            "reason": reason,
+        })
         self._respond(
             ticket.client,
             protocol.response(ticket.request.id, status, error=error),
@@ -544,11 +580,15 @@ class Server:
     # -- scheduling ----------------------------------------------------
 
     def _expire_queued(self, now: float) -> None:
+        # Expiry is its own status, not ``overloaded`` (a retry cannot
+        # help: the budget is gone) and not ``degraded`` (nothing ran,
+        # there is no verdict stub to qualify).  The journal keeps the
+        # same distinction, so a batch resume re-runs expired work.
         for ticket in self.queue.expire(now):
             self._shed(
                 ticket,
-                protocol.DEGRADED,
-                reason="deadline",
+                protocol.EXPIRED,
+                reason="expired",
                 error="deadline expired before a worker was free",
             )
 
@@ -658,7 +698,10 @@ class Server:
             self.breakers.get(ticket.key).record_success()
             error = message.get("error", "worker error")
             self.metrics.inc("service.errors")
-            self._journal({"type": "error", "job": ticket.request.id, "error": error})
+            self._journal({
+                "type": "error", "job": ticket.request.id,
+                "protocol": ticket.key, "error": error,
+            })
             self._respond(
                 ticket.client,
                 protocol.response(ticket.request.id, protocol.ERROR, error=error),

@@ -1,0 +1,288 @@
+"""Consistent-hash sharding and local shard processes.
+
+The cluster router partitions verification traffic across N backend
+``repro-spi serve`` processes by *protocol key* (see
+:func:`repro.service.protocol.protocol_key`): every request for one
+protocol lands on the same shard, so that shard's circuit breakers,
+checkpoint files, and journal accumulate exactly the history that
+protocol needs — and a protocol that crashes workers takes down at most
+its own shard's retry budget.
+
+Two pieces live here, both deliberately free of routing policy:
+
+* :class:`HashRing` — the classic consistent-hash ring with virtual
+  nodes.  Hashing is ``sha256``-based, **not** Python's builtin
+  ``hash`` (which is salted per process: a router restart must not
+  reshuffle the whole keyspace).  When a shard is ejected only *its*
+  arc of the ring remaps to the surviving successors; every other key
+  keeps its owner — the property that makes failover cheap.
+* :class:`LocalShard` — one supervised ``repro-spi serve`` child
+  process: spawn (in its own session, so terminal signals reach the
+  router alone and shard shutdown stays the router's decision), liveness
+  polling, SIGTERM/SIGKILL, and the respawn-backoff bookkeeping the
+  router's supervision loop drives.
+
+Remote shards (pre-started servers registered by address) need neither:
+they are a :class:`ShardSpec` with ``local=False`` and their lifecycle
+belongs to whoever started them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.errors import ReproError
+
+
+class ShardError(ReproError):
+    """A shard definition or spawn went wrong."""
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for ``label``."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each member contributes ``vnodes`` points on a 2**64 ring; a key is
+    owned by the member of the first point clockwise from the key's own
+    hash.  More vnodes smooth the load split at the cost of a larger
+    sorted array — 64 keeps any member's share within a few percent of
+    fair for small clusters.
+    """
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ShardError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> frozenset[str]:
+        return frozenset(self._members)
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        self._rebuild()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_point(f"{member}#{v}"), member)
+            for member in self._members
+            for v in range(self.vnodes)
+        )
+        self._points = [p for p, _ in pairs]
+        self._owners = [m for _, m in pairs]
+
+    def owner(self, key: str, exclude: frozenset = frozenset()) -> Optional[str]:
+        """The member owning ``key``, skipping ``exclude`` — or ``None``
+        when no eligible member remains."""
+        candidates = self.owners(key)
+        for member in candidates:
+            if member not in exclude:
+                return member
+        return None
+
+    def owners(self, key: str) -> list[str]:
+        """Every member in failover order for ``key``: the owner first,
+        then each distinct successor clockwise around the ring."""
+        if not self._points:
+            return []
+        start = bisect.bisect_left(self._points, _point(key))
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._points)):
+            member = self._owners[(start + step) % len(self._points)]
+            if member not in seen:
+                seen.add(member)
+                ordered.append(member)
+                if len(ordered) == len(self._members):
+                    break
+        return ordered
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard as the router sees it: a stable id, an address in
+    :func:`repro.service.client.parse_address` form, and (local shards
+    only) the journal the shard appends verdicts to — which is also the
+    router's idempotency oracle during failover."""
+
+    id: str
+    address: Any
+    journal_path: Optional[str] = None
+    local: bool = True
+
+
+@dataclass(eq=False)
+class LocalShard:
+    """One supervised local ``repro-spi serve`` child.
+
+    The router's supervision loop owns the policy (when to respawn, how
+    long to back off); this class owns the mechanics.  ``fail_streak``
+    counts consecutive health failures *and* process deaths since the
+    shard last answered a ping — it drives the respawn backoff and
+    resets the moment the shard proves healthy again.
+    """
+
+    spec: ShardSpec
+    argv: Sequence[str]
+    log_path: str
+    proc: Optional[subprocess.Popen] = None
+    restarts: int = 0
+    fail_streak: int = 0
+    next_spawn_at: float = 0.0
+    _log_handle: Any = field(default=None, repr=False)
+
+    @property
+    def socket_path(self) -> Optional[str]:
+        family, target = self.spec.address
+        return target if family == "unix" else None
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        return self.proc.poll() if self.proc is not None else None
+
+    def spawn(self) -> None:
+        """Start (or restart) the serve child.
+
+        A stale socket file from the previous incarnation is removed
+        first so the child's bind cannot race a connect against a dead
+        endpoint.  stdout/stderr append to the shard's log file; the
+        child gets its own session so only the router signals it.
+        """
+        if self.alive():
+            return
+        if self.socket_path is not None and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        if self._log_handle is None or self._log_handle.closed:
+            self._log_handle = open(self.log_path, "ab")
+        if self.proc is not None:
+            self.restarts += 1
+        self.proc = subprocess.Popen(
+            list(self.argv),
+            stdout=self._log_handle,
+            stderr=subprocess.STDOUT,
+            start_new_session=True,
+        )
+
+    def terminate(self) -> None:
+        if self.alive():
+            try:
+                self.proc.terminate()
+            except OSError:
+                pass
+
+    def kill(self) -> None:
+        if self.alive():
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+
+    def wait(self, timeout: float) -> Optional[int]:
+        """Best-effort wait; returns the exit code or ``None`` on
+        timeout."""
+        if self.proc is None:
+            return None
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def close(self) -> None:
+        if self._log_handle is not None and not self._log_handle.closed:
+            self._log_handle.close()
+
+
+def local_shard_argv(
+    socket_path: str,
+    journal_path: str,
+    checkpoint_dir: str,
+    workers: int,
+    queue_limit: int,
+    retries: int,
+    job_deadline: Optional[float],
+    breaker_threshold: int,
+    breaker_cooldown: float,
+    drain_grace: float,
+    allow_fault_injection: bool,
+    python: str = sys.executable,
+) -> list[str]:
+    """The ``repro-spi serve`` command line for one local shard.
+
+    Always passes ``--rebuild-breakers``: a respawned shard replays its
+    journal so an open breaker survives the crash that killed the
+    process (see :meth:`repro.service.breaker.BreakerBoard.rebuild`).
+    """
+    argv = [
+        python, "-m", "repro.cli", "serve",
+        "--socket", socket_path,
+        "--journal", journal_path,
+        "--checkpoint-dir", checkpoint_dir,
+        "--workers", str(workers),
+        "--queue-limit", str(queue_limit),
+        "--retries", str(retries),
+        "--breaker-threshold", str(breaker_threshold),
+        "--breaker-cooldown", str(breaker_cooldown),
+        "--drain-grace", str(drain_grace),
+        "--rebuild-breakers",
+    ]
+    if job_deadline is not None:
+        argv += ["--job-deadline", str(job_deadline)]
+    if allow_fault_injection:
+        argv.append("--allow-fault-injection")
+    return argv
+
+
+def backoff_delay(base: float, cap: float, streak: int) -> float:
+    """Exponential respawn backoff for a shard on its ``streak``-th
+    consecutive failure (streak 1 = first failure)."""
+    return min(cap, base * (2 ** max(0, streak - 1)))
+
+
+__all__ = [
+    "HashRing",
+    "LocalShard",
+    "ShardError",
+    "ShardSpec",
+    "backoff_delay",
+    "local_shard_argv",
+]

@@ -837,3 +837,210 @@ class TestServeCli:
         from repro.cli import main
 
         assert main(["submit", "ping"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Framing hardening: header-time rejection, poisoned decoders
+# ----------------------------------------------------------------------
+
+
+class TestFramingHardening:
+    def test_oversize_rejected_on_header_alone(self):
+        """A hostile length prefix is refused the moment the 4-byte
+        header is complete — no payload byte is ever buffered."""
+        decoder = FrameDecoder()  # default 8 MiB cap
+        header_only = (64 * 1024 * 1024).to_bytes(4, "big")
+        with pytest.raises(FramingError, match="announced a 67108864-byte"):
+            decoder.feed(header_only)
+        assert decoder.pending_bytes == 0  # nothing kept, not even the header
+
+    def test_oversize_header_split_across_feeds(self):
+        """The check fires on whichever feed completes the header."""
+        decoder = FrameDecoder(max_frame=16)
+        header = (1 << 30).to_bytes(4, "big")
+        assert decoder.feed(header[:3]) == []  # header incomplete: no verdict yet
+        with pytest.raises(FramingError, match="cap 16"):
+            decoder.feed(header[3:])
+
+    def test_failed_decoder_is_poisoned(self):
+        """After a framing error the stream has lost alignment; every
+        further feed re-raises instead of mis-parsing payload bytes as
+        headers."""
+        decoder = FrameDecoder(max_frame=16)
+        with pytest.raises(FramingError):
+            decoder.feed((1 << 20).to_bytes(4, "big"))
+        with pytest.raises(FramingError, match="announced"):
+            decoder.feed(encode_frame({"kind": "ping"}))  # a valid frame: too late
+        assert decoder.pending_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# Client backoff vs deadline (satellite: never sleep past the budget)
+# ----------------------------------------------------------------------
+
+
+class TestClientDeadlineBackoff:
+    def test_huge_retry_after_hint_fails_fast_within_deadline(self):
+        """A server-hinted ``retry_after`` far beyond the remaining
+        deadline must not be slept: the client refuses the backoff and
+        fails fast instead of waking up expired."""
+        from repro.runtime.deadline import Deadline
+
+        clock = _Clock(now=0.0)
+        deadline = Deadline(expires_at=5.0, clock=clock)
+        sleeps = []
+        with stub_server([
+            {"status": "overloaded", "id": "x", "retry_after": 3600.0},
+        ]) as (path, served):
+            client = ServiceClient(
+                ("unix", path), timeout=30.0, retries=5,
+                jitter=lambda: 1.0,  # hinted delay = full 3600 s
+                sleep=sleeps.append,
+            )
+            with pytest.raises(
+                ServiceUnavailable, match="deadline expired backing off"
+            ):
+                client.call({"kind": "ping"}, deadline=deadline)
+        assert sleeps == []  # the 3600 s nap was refused, not taken
+        assert len(served) == 1
+
+    def test_short_hint_is_capped_at_remaining_budget(self):
+        """A sleep smaller than the budget is taken, but clipped to the
+        remaining deadline when the two race."""
+        from repro.runtime.deadline import Deadline
+
+        clock = _Clock(now=0.0)
+        deadline = Deadline(expires_at=10.0, clock=clock)
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.now += seconds
+
+        with stub_server([
+            {"status": "overloaded", "id": "x", "retry_after": 2.0},
+            {"status": "ok", "id": "x"},
+        ]) as (path, served):
+            client = ServiceClient(
+                ("unix", path), timeout=30.0, retries=2,
+                jitter=lambda: 1.0, sleep=sleep,
+            )
+            reply = client.call({"kind": "ping"}, deadline=deadline)
+        assert reply["status"] == "ok"
+        assert sleeps == [pytest.approx(2.0)]  # hint honoured: under budget
+        assert served[1]["deadline"] == pytest.approx(8.0)  # remaining, not total
+
+
+# ----------------------------------------------------------------------
+# Breaker board bounds (satellite: LRU eviction) and journal rebuild
+# ----------------------------------------------------------------------
+
+
+class TestBreakerBoardBounds:
+    def test_idle_closed_breakers_evicted_lru(self):
+        board = BreakerBoard(threshold=3, clock=_Clock(), max_size=2)
+        board.get("zoo:a")
+        board.get("zoo:b")
+        board.get("zoo:c")  # evicts a, the least recently used
+        assert len(board) == 2
+        assert "zoo:a" not in board
+        assert "zoo:b" in board and "zoo:c" in board
+        assert board.evicted == 1
+
+    def test_touch_refreshes_recency(self):
+        board = BreakerBoard(threshold=3, clock=_Clock(), max_size=2)
+        board.get("zoo:a")
+        board.get("zoo:b")
+        board.get("zoo:a")  # a is now the most recent
+        board.get("zoo:c")  # so b is the one to go
+        assert "zoo:a" in board and "zoo:c" in board
+        assert "zoo:b" not in board
+
+    def test_open_breakers_are_never_evicted(self):
+        """Forgetting that a protocol is poisonous is the one piece of
+        state eviction must not lose; the board exceeds max_size rather
+        than dropping an OPEN breaker."""
+        clock = _Clock()
+        board = BreakerBoard(threshold=1, cooldown=30.0, clock=clock, max_size=2)
+        board.get("zoo:bad1").record_fault("boom")
+        board.get("zoo:bad2").record_fault("boom")
+        board.get("zoo:c")
+        board.get("zoo:d")  # only CLOSED candidates (c) can be evicted
+        assert "zoo:bad1" in board and "zoo:bad2" in board
+        assert "zoo:c" not in board
+        assert len(board) == 3  # transiently over max: 2 OPEN + newest
+
+    def test_max_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_size"):
+            BreakerBoard(max_size=0)
+
+    def test_rebuild_replays_journal_history(self):
+        """A respawned shard replays its journal: a trailing fault
+        streak at threshold leaves the breaker OPEN; intervening
+        successes break streaks; non-result and pre-cluster records
+        are skipped."""
+        board = BreakerBoard(threshold=2, cooldown=30.0, clock=_Clock())
+        replayed = board.rebuild([
+            {"type": "result", "job": "1", "protocol": "zoo:p", "status": "fault",
+             "error": "worker crashed"},
+            {"type": "result", "job": "2", "protocol": "zoo:p", "status": "ok"},
+            {"type": "result", "job": "3", "protocol": "zoo:p", "status": "fault",
+             "error": "worker crashed"},
+            {"type": "result", "job": "4", "protocol": "zoo:p", "status": "fault",
+             "error": "worker crashed"},
+            {"type": "result", "job": "5", "protocol": "zoo:q", "status": "ok"},
+            {"type": "shed", "job": "6", "protocol": "zoo:q", "reason": "draining"},
+            {"type": "result", "job": "7", "status": "ok"},  # pre-cluster: no key
+        ])
+        assert replayed == 5
+        assert board.get("zoo:p").state == OPEN
+        assert board.get("zoo:p").last_fault == "worker crashed"
+        assert board.get("zoo:q").state == CLOSED
+
+
+# ----------------------------------------------------------------------
+# Admission expiry (satellite: expired is its own verdict, not overload)
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionExpiry:
+    def test_queued_request_expires_with_expired_status(self):
+        """A request whose deadline lapses while queued is shed with
+        ``expired`` — not ``overloaded`` (a retry cannot help) and not
+        ``degraded`` (nothing ran) — and journaled under that reason so
+        a batch resume re-runs it."""
+        scratch = tempfile.mkdtemp(prefix="repro-exp-")
+        journal = os.path.join(scratch, "svc.jsonl")
+        try:
+            with running_server(
+                workers=1, queue_limit=4, retries=0, drain_grace=0.3,
+                allow_fault_injection=True, journal_path=journal,
+            ) as (server, client):
+                slow_conn = raw_connect(server.config.socket_path)
+                send_frame(slow_conn, {
+                    "v": 1, "id": "slow", "kind": "explore",
+                    "target": {"zoo": "otway-rees"},
+                    "max_states": 1200, "max_depth": 30,
+                    "fault_plan": {"latency": 120.0}, "fault_attempts": [1],
+                })
+                wait_until(lambda: client.status()["pool"]["busy"] == 1)
+
+                doomed_conn = raw_connect(server.config.socket_path)
+                send_frame(doomed_conn, {
+                    "v": 1, "id": "doomed", "kind": "secrecy",
+                    "target": {"zoo": "yahalom"},
+                    "max_states": 400, "max_depth": 24,
+                    "deadline": 0.15,  # lapses in the queue
+                })
+                reply = recv_frame(doomed_conn)
+                doomed_conn.close()
+                assert reply["status"] == "expired"
+                assert "deadline expired" in reply["error"]
+                slow_conn.close()
+            records = read_journal(journal)
+            sheds = {
+                r["job"]: r["reason"] for r in records if r["type"] == "shed"
+            }
+            assert sheds["doomed"] == "expired"
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
