@@ -171,6 +171,7 @@ class JournalIndex:
         self._offset = 0
         self._tail = b""
         self._results: dict[str, dict] = {}
+        self._claims: dict[str, dict] = {}
 
     def refresh(self) -> None:
         """Absorb any bytes appended since the last refresh."""
@@ -184,6 +185,7 @@ class JournalIndex:
                     self._offset = 0
                     self._tail = b""
                     self._results = {}
+                    self._claims = {}
                 if size == self._offset:
                     return
                 handle.seek(self._offset)
@@ -192,6 +194,7 @@ class JournalIndex:
             self._offset = 0
             self._tail = b""
             self._results = {}
+            self._claims = {}
             return
         self._offset += len(data)
         buffer = self._tail + data
@@ -204,12 +207,12 @@ class JournalIndex:
                 record = json.loads(line.decode("utf-8", errors="replace"))
             except ValueError:
                 continue  # damaged line: a dedupe miss, never a crash
-            if (
-                isinstance(record, dict)
-                and record.get("type") == "result"
-                and isinstance(record.get("job"), str)
-            ):
+            if not isinstance(record, dict) or not isinstance(record.get("job"), str):
+                continue
+            if record.get("type") == "result":
                 self._results[record["job"]] = record
+            elif record.get("type") == "claim":
+                self._claims[record["job"]] = record
 
     def result(self, job_id: str) -> Optional[dict]:
         """The journaled ``result`` record for ``job_id``, if any
@@ -220,6 +223,47 @@ class JournalIndex:
     def completed(self, job_id: str) -> bool:
         """Has ``job_id`` a journaled verdict already?"""
         return self.result(job_id) is not None
+
+    def ids(self) -> frozenset[str]:
+        """Every job id with a journaled verdict (refreshes first).
+
+        This is what a standby router rebuilds its completed-work
+        picture from after adopting a fleet: anything a client re-drives
+        that is *not* in some shard's ``ids()`` genuinely never
+        finished.
+        """
+        self.refresh()
+        return frozenset(self._results)
+
+    def records(self) -> dict[str, dict]:
+        """Job id -> latest ``result`` record (refreshes first; the
+        returned dict is a snapshot copy)."""
+        self.refresh()
+        return dict(self._results)
+
+    def known_result(self, job_id: str) -> Optional[dict]:
+        """The ``result`` record for ``job_id`` as of the last refresh
+        (deliberately refresh-free, like :meth:`pending_claim` — for
+        routing decisions that must be consistent with the claim
+        table)."""
+        return self._results.get(job_id)
+
+    def pending_claim(self, job_id: str) -> Optional[dict]:
+        """The latest ``claim`` record for ``job_id`` with no verdict
+        yet — evidence that some shard incarnation *admitted* the job
+        and may be computing it right now.
+
+        Deliberately does **not** refresh: the routing hot path calls
+        this immediately after a dedupe sweep already refreshed every
+        shard index, and a stale miss only costs the shard-side
+        coalescer one extra arrival.
+        """
+        if job_id in self._results:
+            return None
+        return self._claims.get(job_id)
+
+    def __contains__(self, job_id: str) -> bool:
+        return self.completed(job_id)
 
     def __len__(self) -> int:
         return len(self._results)

@@ -1,0 +1,564 @@
+"""Deterministic network fault injection for the cluster's socket hops.
+
+The engine-level harness (:mod:`repro.runtime.faults`) proves that a
+failing *primitive* degrades a verdict instead of corrupting it.  This
+module is the same instrument one layer down: the cluster's resilience
+claims — exactly-once verdicts, journal-keyed failover, standby
+takeover — are only worth anything against an adversarial *network*,
+so the chaos suite runs every socket hop through a
+:class:`ChaosProxy` executing a seeded :class:`NetFaultPlan`:
+
+* **connection refusal** — the hop accepts and immediately hangs up
+  (the client sees EOF — or a reset, on TCP with the request still
+  unread — before any reply byte: a dead endpoint);
+* **connection reset** — the request is delivered, the reply dropped
+  (exercises the dedupe half of failover: the shard journaled, the
+  router must serve the journaled verdict, never recompute);
+* **frame truncation** — only a prefix of the reply is relayed
+  (``FramingError: connection closed mid-frame``);
+* **byte corruption** — one reply byte is flipped (the decoder must
+  poison, the router must fail over);
+* **latency** — seconds injected ahead of the reply (exercises
+  timeouts and deadline propagation);
+* **blackhole partitions** — ordinal windows during which connections
+  are accepted but nothing is ever relayed in either direction (the
+  shard never sees the request; the caller rides its timeout).
+
+The plan API deliberately mirrors :class:`~repro.runtime.faults
+.FaultPlan` — ``*_at`` ordinals for deterministic schedules, ``*_rate``
+probabilities on a seeded PRNG, JSON round-trips rejecting unknown
+keys — so engine-level and network-level chaos compose in one schedule
+(:class:`ChaosPlan`): one seed reproduces one storm.
+
+Determinism model: fault decisions are a pure function of
+``(plan, connection ordinal)`` — each connection draws from its own
+``Random(f"{seed}:{ordinal}")`` so thread scheduling cannot reorder
+draws.  Under concurrent load the *assignment* of ordinals to requests
+still depends on accept order; reproducing a failure therefore means
+re-running with the printed seed, not replaying a byte-exact trace
+(see ``docs/chaos.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+from repro.core.errors import ReproError
+from repro.runtime.faults import FaultPlan
+
+#: Fault decisions, in priority order (one fault per connection).
+BLACKHOLE = "blackhole"
+REFUSE = "refuse"
+RESET = "reset"
+TRUNCATE = "truncate"
+CORRUPT = "corrupt"
+
+_DECISIONS = (BLACKHOLE, REFUSE, RESET, TRUNCATE, CORRUPT)
+
+
+class ChaosError(ReproError):
+    """A chaos plan or proxy was misconfigured."""
+
+
+def _ordinals(value: Any, field_name: str) -> tuple[int, ...]:
+    try:
+        ordinals = tuple(int(n) for n in value)
+    except (TypeError, ValueError):
+        raise ChaosError(f"{field_name} must be a sequence of integers")
+    if any(n < 1 for n in ordinals):
+        raise ChaosError(f"{field_name} ordinals are 1-based, got {ordinals}")
+    return ordinals
+
+
+@dataclass(frozen=True, slots=True)
+class NetFaultPlan:
+    """What one socket hop does to its connections, and when.
+
+    Ordinals are 1-based *connection* counts through the hop (the
+    network analogue of :class:`FaultPlan`'s call ordinals); rates are
+    per-connection probabilities drawn from a PRNG derived from
+    ``seed`` and the ordinal, so a given plan misbehaves reproducibly.
+
+    Attributes:
+        refuse_at / refuse_rate: hang up before relaying anything.
+        reset_at / reset_rate: deliver the request, drop the reply.
+        truncate_at / truncate_rate: relay only ``truncate_bytes``
+            bytes of the reply, then hang up (a torn frame).
+        corrupt_at / corrupt_rate: flip the reply byte at
+            ``corrupt_offset`` (default 4: the first payload byte after
+            the length header, so the frame stays aligned but its JSON
+            does not parse).
+        latency: seconds slept ahead of the first reply byte.
+        blackhole: inclusive ``(start, end)`` ordinal windows during
+            which the hop is a partition: connections are accepted and
+            swallowed, nothing crosses in either direction.
+        seed: PRNG seed for the ``*_rate`` draws.
+    """
+
+    refuse_at: tuple[int, ...] = ()
+    refuse_rate: float = 0.0
+    reset_at: tuple[int, ...] = ()
+    reset_rate: float = 0.0
+    truncate_at: tuple[int, ...] = ()
+    truncate_rate: float = 0.0
+    truncate_bytes: int = 6
+    corrupt_at: tuple[int, ...] = ()
+    corrupt_rate: float = 0.0
+    corrupt_offset: int = 4
+    latency: float = 0.0
+    blackhole: tuple[tuple[int, int], ...] = ()
+    seed: int = 0
+
+    def decide(self, ordinal: int) -> Optional[str]:
+        """The fault (if any) connection ``ordinal`` suffers.
+
+        Pure in ``(self, ordinal)``: every rate draw comes from a PRNG
+        seeded by both, in a fixed order, so concurrent connections
+        cannot perturb each other's decisions.
+        """
+        for start, end in self.blackhole:
+            if start <= ordinal <= end:
+                return BLACKHOLE
+        rng = random.Random(f"{self.seed}:{ordinal}")
+        for decision, at, rate in (
+            (REFUSE, self.refuse_at, self.refuse_rate),
+            (RESET, self.reset_at, self.reset_rate),
+            (TRUNCATE, self.truncate_at, self.truncate_rate),
+            (CORRUPT, self.corrupt_at, self.corrupt_rate),
+        ):
+            # Draw unconditionally: the PRNG stream must not depend on
+            # which ordinals appear in the *_at schedules.
+            draw = rng.random()
+            if ordinal in at or (rate > 0.0 and draw < rate):
+                return decision
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "refuse_at": list(self.refuse_at),
+            "refuse_rate": self.refuse_rate,
+            "reset_at": list(self.reset_at),
+            "reset_rate": self.reset_rate,
+            "truncate_at": list(self.truncate_at),
+            "truncate_rate": self.truncate_rate,
+            "truncate_bytes": self.truncate_bytes,
+            "corrupt_at": list(self.corrupt_at),
+            "corrupt_rate": self.corrupt_rate,
+            "corrupt_offset": self.corrupt_offset,
+            "latency": self.latency,
+            "blackhole": [list(window) for window in self.blackhole],
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "NetFaultPlan":
+        known = {
+            "refuse_at", "refuse_rate", "reset_at", "reset_rate",
+            "truncate_at", "truncate_rate", "truncate_bytes",
+            "corrupt_at", "corrupt_rate", "corrupt_offset",
+            "latency", "blackhole", "seed",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ChaosError(f"unknown NetFaultPlan fields: {sorted(unknown)}")
+        blackhole = []
+        for window in data.get("blackhole", ()):
+            try:
+                start, end = (int(window[0]), int(window[1]))
+            except (TypeError, ValueError, IndexError):
+                raise ChaosError(f"bad blackhole window {window!r} (want [start, end])")
+            blackhole.append((start, end))
+        return NetFaultPlan(
+            refuse_at=_ordinals(data.get("refuse_at", ()), "refuse_at"),
+            refuse_rate=float(data.get("refuse_rate", 0.0)),
+            reset_at=_ordinals(data.get("reset_at", ()), "reset_at"),
+            reset_rate=float(data.get("reset_rate", 0.0)),
+            truncate_at=_ordinals(data.get("truncate_at", ()), "truncate_at"),
+            truncate_rate=float(data.get("truncate_rate", 0.0)),
+            truncate_bytes=int(data.get("truncate_bytes", 6)),
+            corrupt_at=_ordinals(data.get("corrupt_at", ()), "corrupt_at"),
+            corrupt_rate=float(data.get("corrupt_rate", 0.0)),
+            corrupt_offset=int(data.get("corrupt_offset", 4)),
+            latency=float(data.get("latency", 0.0)),
+            blackhole=tuple(blackhole),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """A stable per-hop seed (sha256-based, like the hash ring — never
+    Python's salted ``hash``)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One schedule for a whole cluster: per-hop network plans plus an
+    optional engine-level :class:`FaultPlan` — so a single seed drives
+    dropped connections *and* failing successor computations.
+
+    ``hops`` keys are shard ids; ``"*"`` matches every shard without an
+    exact entry.  A hop plan whose ``seed`` is 0 gets a per-shard seed
+    derived from the schedule seed, so every hop misbehaves differently
+    but the whole storm reproduces from one number.
+    """
+
+    hops: tuple[tuple[str, NetFaultPlan], ...] = ()
+    engine: Optional[FaultPlan] = None
+    seed: int = 0
+
+    def plan_for(self, shard_id: str) -> Optional[NetFaultPlan]:
+        chosen = None
+        for key, plan in self.hops:
+            if key == shard_id:
+                chosen = plan
+                break
+            if key == "*" and chosen is None:
+                chosen = plan
+        if chosen is None:
+            return None
+        if chosen.seed == 0:
+            chosen = replace(chosen, seed=_derive_seed(self.seed, shard_id))
+        return chosen
+
+    def to_json(self) -> dict:
+        payload: dict = {
+            "seed": self.seed,
+            "hops": {key: plan.to_json() for key, plan in self.hops},
+        }
+        if self.engine is not None:
+            payload["engine"] = self.engine.to_json()
+        return payload
+
+    @staticmethod
+    def from_json(data: Mapping) -> "ChaosPlan":
+        unknown = set(data) - {"hops", "engine", "seed"}
+        if unknown:
+            raise ChaosError(f"unknown ChaosPlan fields: {sorted(unknown)}")
+        hops_data = data.get("hops", {})
+        if not isinstance(hops_data, Mapping):
+            raise ChaosError("ChaosPlan 'hops' must map hop names to plans")
+        hops = tuple(
+            (str(key), NetFaultPlan.from_json(value))
+            for key, value in hops_data.items()
+        )
+        engine = data.get("engine")
+        return ChaosPlan(
+            hops=hops,
+            engine=FaultPlan.from_json(engine) if engine is not None else None,
+            seed=int(data.get("seed", 0)),
+        )
+
+
+def load_chaos_plan(path: str) -> ChaosPlan:
+    """Read a :class:`ChaosPlan` from a JSON file (``--chaos-plan``)."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as err:
+        raise ChaosError(f"cannot read chaos plan {path}: {err}")
+    if not isinstance(data, Mapping):
+        raise ChaosError(f"{path}: a chaos plan is a JSON object")
+    return ChaosPlan.from_json(data)
+
+
+class ChaosProxy:
+    """A fault-injecting relay on one socket hop.
+
+    Listens on its own endpoint (Unix path or ephemeral TCP) and
+    forwards byte streams to ``upstream``, subjecting each connection
+    to its :class:`NetFaultPlan` decision.  The request direction is
+    relayed verbatim (except under refusal/blackhole, where nothing is
+    relayed at all); faults that need a *computed-but-undelivered*
+    verdict (reset, truncation, corruption) act on the reply direction,
+    which is exactly the adversarial window the cluster's journal-keyed
+    dedupe exists for.
+
+    Thread-per-connection, like the router it impersonates: requests
+    are rare and heavy, and blocking relays with short poll timeouts
+    keep :meth:`stop` prompt.
+    """
+
+    def __init__(
+        self,
+        upstream: Any,
+        plan: NetFaultPlan,
+        listen_path: Optional[str] = None,
+        listen_host: str = "127.0.0.1",
+        name: str = "hop",
+        connect_timeout: float = 10.0,
+    ) -> None:
+        from repro.service.client import parse_address
+
+        self.upstream = (
+            parse_address(upstream) if isinstance(upstream, str) else upstream
+        )
+        self.plan = plan
+        self.name = name
+        self.connect_timeout = connect_timeout
+        self._listen_path = listen_path
+        self._listen_host = listen_host
+        self._listener: Optional[socket.socket] = None
+        self._address: Optional[tuple[str, Any]] = None
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._ordinal = 0
+        self._open: set[socket.socket] = set()
+        self.counters: dict[str, int] = {"connections": 0, "relayed": 0}
+        for decision in _DECISIONS:
+            self.counters[decision] = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, Any]:
+        """Where peers should connect (valid after :meth:`start`)."""
+        if self._address is None:
+            raise ChaosError("proxy not started")
+        return self._address
+
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            return self
+        if self._listen_path is not None:
+            import os
+
+            if os.path.exists(self._listen_path):
+                os.unlink(self._listen_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self._listen_path)
+            self._address = ("unix", self._listen_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._listen_host, 0))
+            self._address = ("tcp", listener.getsockname()[:2])
+        listener.listen(64)
+        listener.settimeout(0.25)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"chaos-{self.name}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            open_socks = list(self._open)
+        for sock in open_socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if self._listen_path is not None:
+            import os
+
+            try:
+                os.unlink(self._listen_path)
+            except OSError:
+                pass
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self.counters)
+
+    def _count(self, what: str) -> None:
+        with self._lock:
+            self.counters[what] = self.counters.get(what, 0) + 1
+
+    # -- the relay -----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self._ordinal += 1
+                ordinal = self._ordinal
+                self.counters["connections"] += 1
+                self._open.add(conn)
+            thread = threading.Thread(
+                target=self._serve, args=(conn, ordinal), daemon=True
+            )
+            thread.start()
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._open.add(sock)
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._open.discard(sock)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _serve(self, conn: socket.socket, ordinal: int) -> None:
+        decision = self.plan.decide(ordinal)
+        try:
+            if decision == REFUSE:
+                self._count(REFUSE)
+                return
+            if decision == BLACKHOLE:
+                self._count(BLACKHOLE)
+                self._swallow(conn)
+                return
+            self._relay(conn, decision)
+        finally:
+            self._untrack(conn)
+
+    def _swallow(self, conn: socket.socket) -> None:
+        """A partitioned connection: read and discard until the peer
+        gives up or the proxy stops.  Nothing ever crosses."""
+        conn.settimeout(0.25)
+        while not self._stopping.is_set():
+            try:
+                if not conn.recv(65536):
+                    return
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+
+    def _connect_upstream(self) -> Optional[socket.socket]:
+        family, target = self.upstream
+        sock = socket.socket(
+            socket.AF_UNIX if family == "unix" else socket.AF_INET,
+            socket.SOCK_STREAM,
+        )
+        sock.settimeout(self.connect_timeout)
+        try:
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            return None
+        return sock
+
+    def _relay(self, conn: socket.socket, decision: Optional[str]) -> None:
+        upstream = self._connect_upstream()
+        if upstream is None:
+            return  # the hop is honest about a dead upstream: EOF
+        self._track(upstream)
+        try:
+            pump = threading.Thread(
+                target=self._pump_request, args=(conn, upstream), daemon=True
+            )
+            pump.start()
+            self._pump_reply(upstream, conn, decision)
+            # The reply side is done (EOF or an injected fault): hang up
+            # on the client *now* — a reset must look like a reset, not
+            # like a stall until the request pump gives up.
+            self._untrack(conn)
+            pump.join(timeout=5.0)
+        finally:
+            self._untrack(upstream)
+
+    def _pump_request(self, conn: socket.socket, upstream: socket.socket) -> None:
+        """client -> upstream, verbatim; half-close on client EOF so the
+        upstream sees a complete request."""
+        conn.settimeout(0.25)
+        while not self._stopping.is_set():
+            try:
+                data = conn.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if not data:
+                try:
+                    upstream.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            try:
+                upstream.sendall(data)
+            except OSError:
+                return
+
+    def _pump_reply(
+        self, upstream: socket.socket, conn: socket.socket, decision: Optional[str]
+    ) -> None:
+        """upstream -> client, with the reply-direction faults applied."""
+        plan = self.plan
+        upstream.settimeout(0.25)
+        first = True
+        sent = 0
+        while not self._stopping.is_set():
+            try:
+                data = upstream.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if not data:
+                try:
+                    conn.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            if first:
+                first = False
+                if plan.latency > 0.0:
+                    time.sleep(plan.latency)
+                if decision == RESET:
+                    # The upstream answered; the network ate it.
+                    self._count(RESET)
+                    return
+                if decision == CORRUPT:
+                    self._count(CORRUPT)
+                    index = min(plan.corrupt_offset, len(data) - 1)
+                    mangled = bytearray(data)
+                    mangled[index] ^= 0xFF
+                    data = bytes(mangled)
+            if decision == TRUNCATE:
+                keep = max(0, plan.truncate_bytes - sent)
+                if keep < len(data):
+                    self._count(TRUNCATE)
+                    try:
+                        conn.sendall(data[:keep])
+                    except OSError:
+                        pass
+                    return
+            try:
+                conn.sendall(data)
+            except OSError:
+                return
+            sent += len(data)
+            self._count("relayed")
+
+
+__all__ = [
+    "BLACKHOLE",
+    "CORRUPT",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosProxy",
+    "NetFaultPlan",
+    "REFUSE",
+    "RESET",
+    "TRUNCATE",
+    "load_chaos_plan",
+]

@@ -63,6 +63,34 @@ def parse_address(spec: str) -> tuple[str, Any]:
     return ("unix", spec)
 
 
+def cluster_addresses(cluster_dir: str) -> list[tuple[str, Any]]:
+    """The router endpoints currently advertised by a cluster
+    directory's ``cluster.json`` — Unix socket first, TCP second.
+
+    Returns ``[]`` when the file is missing, partial, or unreadable
+    (discovery is advisory: the caller keeps its last-known list).
+    Suitable directly as a :class:`ServiceClient` ``refresh`` source:
+    ``ServiceClient(addrs, refresh=lambda: cluster_addresses(dir))``.
+    """
+    import json
+    import os
+
+    path = os.path.join(cluster_dir, "cluster.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    router = data.get("router") or {}
+    addresses: list[tuple[str, Any]] = []
+    if router.get("socket"):
+        addresses.append(("unix", router["socket"]))
+    if router.get("tcp"):
+        host, port = router["tcp"]
+        addresses.append(("tcp", (host, int(port))))
+    return addresses
+
+
 class ServiceClient:
     """Blocking client with retry/backoff/jitter.
 
@@ -87,6 +115,7 @@ class ServiceClient:
         backoff_cap: float = 2.0,
         jitter: Optional[Callable[[], float]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        refresh: Optional[Callable[[], Any]] = None,
     ) -> None:
         specs = address if isinstance(address, list) else [address]
         if not specs:
@@ -101,6 +130,16 @@ class ServiceClient:
         self.backoff_cap = backoff_cap
         self.jitter = jitter if jitter is not None else random.random
         self.sleep = sleep
+        #: Optional discovery source re-consulted after connection-level
+        #: failures: a callable returning the *current* address list (or
+        #: ``None``/empty to keep the present one).  With a static list
+        #: the client can only rotate among the endpoints it was born
+        #: with — after a standby-router takeover rewrites
+        #: ``cluster.json``, that list points exclusively at the dead
+        #: primary.  ``refresh`` is how a running client follows the
+        #: topology instead of restarting (see
+        #: :func:`cluster_addresses`).
+        self.refresh = refresh
 
     # -- transport -----------------------------------------------------
 
@@ -111,6 +150,28 @@ class ServiceClient:
 
     def _rotate(self) -> None:
         self._cursor = (self._cursor + 1) % len(self.addresses)
+
+    def _refresh_or_rotate(self) -> None:
+        """After a connection-level failure: re-read discovery if we
+        can; fall back to plain rotation when discovery is unavailable,
+        unreadable, or unchanged."""
+        if self.refresh is not None:
+            try:
+                specs = self.refresh()
+            except Exception:
+                specs = None
+            if specs:
+                if not isinstance(specs, list):
+                    specs = [specs]
+                fresh = [
+                    parse_address(spec) if isinstance(spec, str) else spec
+                    for spec in specs
+                ]
+                if fresh and fresh != self.addresses:
+                    self.addresses = fresh
+                    self._cursor = 0
+                    return
+        self._rotate()
 
     def _connect(self, timeout: float) -> socket.socket:
         family, target = self.address
@@ -166,10 +227,10 @@ class ServiceClient:
                 reply = self._attempt(message, timeout)
             except ServiceUnavailable as err:
                 last_error = str(err)
-                self._rotate()
+                self._refresh_or_rotate()
             except _RETRIABLE as err:
                 last_error = f"{type(err).__name__}: {err}"
-                self._rotate()
+                self._refresh_or_rotate()
             else:
                 if reply.get("status") != "overloaded":
                     return reply

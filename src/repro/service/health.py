@@ -54,6 +54,7 @@ class ShardHealth:
     breaker: CircuitBreaker
     address: Any
     last_checked: float = 0.0
+    next_check: float = 0.0
     last_pong: Optional[dict] = None
     last_error: Optional[str] = None
     checks: int = 0
@@ -92,6 +93,7 @@ class HealthMonitor:
         cooldown: float = 2.0,
         clock: Callable[[], float] = time.monotonic,
         pinger: Callable[[Any, float], dict] = ping_shard,
+        jitter: Optional[Callable[[], float]] = None,
     ) -> None:
         self.interval = interval
         self.timeout = timeout
@@ -99,7 +101,18 @@ class HealthMonitor:
         self.cooldown = cooldown
         self.clock = clock
         self.pinger = pinger
+        #: Optional ``random()``-style source spreading each shard's
+        #: next probe over ``[0.5, 1.5) × interval``.  Without it probes
+        #: stay exactly interval-paced (what the injected-clock tests
+        #: pin down); with it a fleet that was ejected together does not
+        #: re-probe (and re-recover, and re-stampede) in lockstep.
+        self.jitter = jitter
         self._shards: dict[str, ShardHealth] = {}
+
+    def _next_gap(self) -> float:
+        if self.jitter is None:
+            return self.interval
+        return self.interval * (0.5 + self.jitter())
 
     # -- membership ----------------------------------------------------
 
@@ -210,8 +223,9 @@ class HealthMonitor:
         transitions: list[tuple[str, str]] = []
         for shard_id, health in list(self._shards.items()):
             if health.healthy:
-                if now - health.last_checked < self.interval:
+                if now < health.next_check:
                     continue
+                health.next_check = now + self._next_gap()
                 if not self.check(shard_id) and not health.healthy:
                     transitions.append((shard_id, "ejected"))
             else:

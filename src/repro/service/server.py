@@ -49,6 +49,7 @@ degraded fault verdicts (``status: "fault"``) re-run under
 from __future__ import annotations
 
 import os
+import random
 import selectors
 import socket
 import threading
@@ -118,6 +119,15 @@ class ServerConfig:
     #: Accept ``fault_plan`` fields in requests (crash-injection tests
     #: only; a production server refuses them).
     allow_fault_injection: bool = False
+    #: Treat the request id as an idempotency key (``serve --dedupe``):
+    #: a request whose id already has an ``ok`` verdict in this server's
+    #: journal is answered from the journal (``cached: true``), and a
+    #: request whose id is currently queued or running is *coalesced*
+    #: onto the in-flight ticket instead of computed twice.  Cluster
+    #: shards run with this on — it is the shard-side backstop that
+    #: keeps verdicts exactly-once when a promoted standby re-drives
+    #: work the dead primary already delivered here.
+    dedupe: bool = False
 
 
 @dataclass(eq=False)
@@ -149,6 +159,9 @@ class _Ticket:
     started_first: Optional[float] = None
     probe: bool = False
     events: list[str] = field(default_factory=list)
+    #: Duplicate submitters coalesced onto this ticket (``--dedupe``);
+    #: they receive the same final answer as the original client.
+    extra_clients: list = field(default_factory=list)
 
 
 class Server:
@@ -188,6 +201,16 @@ class Server:
             if config.journal_path is not None
             else None
         )
+        if config.dedupe and config.journal_path is not None:
+            from repro.runtime.journal import JournalIndex
+
+            self._journal_index: Optional[JournalIndex] = JournalIndex(
+                config.journal_path
+            )
+        else:
+            self._journal_index = None
+        #: request id -> live ticket, for coalescing duplicates.
+        self._inflight_ids: dict[str, _Ticket] = {}
         self._selector = selectors.DefaultSelector()
         self._listeners: list[socket.socket] = []
         self._clients: set[_Client] = set()
@@ -402,6 +425,19 @@ class Server:
                 ),
             )
             return
+        if self.config.dedupe:
+            if self._serve_cached(client, request):
+                return
+            existing = self._inflight_ids.get(request.id)
+            if existing is not None and existing.request.kind == request.kind:
+                # Same idempotency key, already queued or running: both
+                # submitters get the one verdict.  This is what makes a
+                # re-driven request from a second router a no-op instead
+                # of a duplicate computation.
+                existing.extra_clients.append(client)
+                self.metrics.inc("service.coalesced")
+                trace_event("service.coalesce", job=request.id)
+                return
         now = time.monotonic()
         key = protocol.protocol_key(request.target)
         breaker = self.breakers.get(key)
@@ -436,7 +472,51 @@ class Server:
                 ),
             )
             return
+        if self.config.dedupe:
+            self._inflight_ids[request.id] = ticket
+            # Claim the idempotency key durably *before* any verdict
+            # exists.  A router promoted mid-compute sees no result for
+            # a re-driven id, but it does see this claim — and pins the
+            # retry back to this shard, where the in-flight coalescer
+            # above turns it into the one verdict instead of a second
+            # computation on a different shard.  Wall-clock (not
+            # monotonic) time: claim recency is compared across shard
+            # processes.
+            self._journal({
+                "type": "claim", "job": request.id, "protocol": key,
+                "time": time.time(), "pid": os.getpid(),
+            })
         trace_event("service.admit", job=request.id, depth=self.queue.depth)
+
+    def _serve_cached(self, client: Optional[_Client], request: Request) -> bool:
+        """Answer from this shard's own journal when the id already has
+        an ``ok`` verdict.  Only ``ok`` records dedupe here: serving a
+        cached *fault* verdict would freeze a transient degradation into
+        a permanent answer (and break parity with a fault-free run) —
+        those keep their recompute-on-resubmit semantics."""
+        if self._journal_index is None:
+            return False
+        record = self._journal_index.result(request.id)
+        if record is None or record.get("status") != "ok":
+            return False
+        self.metrics.inc("service.deduped")
+        trace_event("service.dedupe", job=request.id)
+        self._respond(
+            client,
+            protocol.response(
+                request.id, protocol.OK, result=record["result"], cached=True
+            ),
+        )
+        return True
+
+    def _answer(self, ticket: _Ticket, message: dict) -> None:
+        """Deliver a ticket's final answer to its client *and* every
+        coalesced duplicate, retiring its idempotency-key entry."""
+        if self._inflight_ids.get(ticket.request.id) is ticket:
+            del self._inflight_ids[ticket.request.id]
+        self._respond(ticket.client, message)
+        for client in ticket.extra_clients:
+            self._respond(client, message)
 
     def _handle_control(self, client: _Client, request: Request) -> None:
         if request.kind == "ping":
@@ -533,8 +613,8 @@ class Server:
             "error": detail,
             "events": list(ticket.events),
         })
-        self._respond(
-            ticket.client,
+        self._answer(
+            ticket,
             protocol.response(
                 ticket.request.id, protocol.DEGRADED, result=result, error=detail
             ),
@@ -556,8 +636,8 @@ class Server:
             "error": None,
             "events": list(ticket.events),
         })
-        self._respond(
-            ticket.client,
+        self._answer(
+            ticket,
             protocol.response(ticket.request.id, protocol.OK, result=result),
         )
 
@@ -572,8 +652,8 @@ class Server:
             "protocol": ticket.key,
             "reason": reason,
         })
-        self._respond(
-            ticket.client,
+        self._answer(
+            ticket,
             protocol.response(ticket.request.id, status, error=error),
         )
 
@@ -673,6 +753,10 @@ class Server:
             self.config.backoff_cap,
             self.config.backoff_base * (2 ** (ticket.attempt - 1)),
         )
+        # Half-to-full jitter: a whole fleet of shards whose workers
+        # were OOM-killed by the same machine-wide event must not all
+        # re-dispatch on the same exponential schedule.
+        delay *= 0.5 + 0.5 * random.random()
         ticket.attempt += 1
         ticket.ready_at = now + delay
         self.queue.requeue(ticket)
@@ -702,8 +786,8 @@ class Server:
                 "type": "error", "job": ticket.request.id,
                 "protocol": ticket.key, "error": error,
             })
-            self._respond(
-                ticket.client,
+            self._answer(
+                ticket,
                 protocol.response(ticket.request.id, protocol.ERROR, error=error),
             )
 

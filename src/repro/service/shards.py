@@ -32,8 +32,10 @@ from __future__ import annotations
 import bisect
 import hashlib
 import os
+import signal
 import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
@@ -42,6 +44,28 @@ from repro.core.errors import ReproError
 
 class ShardError(ReproError):
     """A shard definition or spawn went wrong."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is *running* (signal-0 probe; EPERM still means
+    alive).  A zombie answers signal 0 but is already dead — it can
+    serve nothing and will vanish as soon as someone reaps it — so on
+    platforms with ``/proc`` the state field gets the final say."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            # Field 3, after the parenthesised (possibly space-ridden)
+            # command name: a single state letter; "Z" is a zombie.
+            return handle.read().rsplit(b") ", 1)[1][:1] != b"Z"
+    except (OSError, IndexError):
+        return True  # no /proc: the signal probe is the best we have
 
 
 def _point(label: str) -> int:
@@ -159,6 +183,11 @@ class LocalShard:
     restarts: int = 0
     fail_streak: int = 0
     next_spawn_at: float = 0.0
+    #: Pid of an *inherited* incarnation: shards run in their own
+    #: session, so they survive a router ``kill -9`` as orphans, and a
+    #: standby router adopts them by pid instead of respawning (which
+    #: would double any in-flight computation).  Cleared on spawn.
+    adopted_pid: Optional[int] = None
     _log_handle: Any = field(default=None, repr=False)
 
     @property
@@ -167,11 +196,17 @@ class LocalShard:
         return target if family == "unix" else None
 
     def alive(self) -> bool:
-        return self.proc is not None and self.proc.poll() is None
+        if self.proc is not None and self.proc.poll() is None:
+            return True
+        if self.proc is None and self.adopted_pid is not None:
+            return _pid_alive(self.adopted_pid)
+        return False
 
     @property
     def pid(self) -> Optional[int]:
-        return self.proc.pid if self.proc is not None else None
+        if self.proc is not None:
+            return self.proc.pid
+        return self.adopted_pid
 
     @property
     def exit_code(self) -> Optional[int]:
@@ -187,6 +222,8 @@ class LocalShard:
         """
         if self.alive():
             return
+        # Any adopted incarnation is conclusively dead by now.
+        self.adopted_pid = None
         if self.socket_path is not None and os.path.exists(self.socket_path):
             try:
                 os.unlink(self.socket_path)
@@ -204,28 +241,45 @@ class LocalShard:
         )
 
     def terminate(self) -> None:
-        if self.alive():
-            try:
+        if not self.alive():
+            return
+        try:
+            if self.proc is not None:
                 self.proc.terminate()
-            except OSError:
-                pass
+            elif self.adopted_pid is not None:
+                os.kill(self.adopted_pid, signal.SIGTERM)
+        except OSError:
+            pass
 
     def kill(self) -> None:
-        if self.alive():
-            try:
+        if not self.alive():
+            return
+        try:
+            if self.proc is not None:
                 self.proc.kill()
-            except OSError:
-                pass
+            elif self.adopted_pid is not None:
+                os.kill(self.adopted_pid, signal.SIGKILL)
+        except OSError:
+            pass
 
     def wait(self, timeout: float) -> Optional[int]:
         """Best-effort wait; returns the exit code or ``None`` on
-        timeout."""
-        if self.proc is None:
+        timeout.  Adopted pids are not our children, so ``waitpid`` is
+        unavailable — they are polled, and report exit code 0 once gone
+        (the real code is unknowable)."""
+        if self.proc is not None:
+            try:
+                return self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                return None
+        if self.adopted_pid is not None:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if not _pid_alive(self.adopted_pid):
+                    return 0
+                time.sleep(0.05)
             return None
-        try:
-            return self.proc.wait(timeout=timeout)
-        except subprocess.TimeoutExpired:
-            return None
+        return None
 
     def close(self) -> None:
         if self._log_handle is not None and not self._log_handle.closed:
@@ -245,12 +299,18 @@ def local_shard_argv(
     drain_grace: float,
     allow_fault_injection: bool,
     python: str = sys.executable,
+    dedupe: bool = True,
 ) -> list[str]:
     """The ``repro-spi serve`` command line for one local shard.
 
     Always passes ``--rebuild-breakers``: a respawned shard replays its
     journal so an open breaker survives the crash that killed the
     process (see :meth:`repro.service.breaker.BreakerBoard.rebuild`).
+    Cluster shards also get ``--dedupe`` by default: the shard treats
+    the request id as an idempotency key against its own journal and
+    in-flight table, the backstop that keeps verdicts exactly-once even
+    when *two* routers (a wedged primary and a promoted standby)
+    briefly forward the same work.
     """
     argv = [
         python, "-m", "repro.cli", "serve",
@@ -265,6 +325,8 @@ def local_shard_argv(
         "--drain-grace", str(drain_grace),
         "--rebuild-breakers",
     ]
+    if dedupe:
+        argv.append("--dedupe")
     if job_deadline is not None:
         argv += ["--job-deadline", str(job_deadline)]
     if allow_fault_injection:
@@ -272,10 +334,24 @@ def local_shard_argv(
     return argv
 
 
-def backoff_delay(base: float, cap: float, streak: int) -> float:
-    """Exponential respawn backoff for a shard on its ``streak``-th
-    consecutive failure (streak 1 = first failure)."""
-    return min(cap, base * (2 ** max(0, streak - 1)))
+def backoff_delay(
+    base: float, cap: float, streak: int, rng: Optional[Any] = None
+) -> float:
+    """Respawn backoff for a shard on its ``streak``-th consecutive
+    failure (streak 1 = first failure).
+
+    Without ``rng`` this is plain capped exponential — deterministic,
+    for callers that need exact pacing.  With ``rng`` (a ``random()``
+    -style callable) it is *full jitter* over the same envelope,
+    ``uniform(0, min(cap, base * 2**(streak-1)))``: a machine-wide blip
+    that kills every shard at once must not produce N respawns (and N
+    health-probe bursts) marching in lockstep against whatever shared
+    resource just recovered.
+    """
+    ceiling = min(cap, base * (2 ** max(0, streak - 1)))
+    if rng is None:
+        return ceiling
+    return rng() * ceiling
 
 
 __all__ = [

@@ -312,6 +312,91 @@ class TestJournalIndex:
             handle.write(json.dumps({"type": "shed", "job": "a"}) + "\n")
         assert JournalIndex(path).result("a") is None
 
+    def test_tailing_concurrent_with_in_progress_append(self, tmp_path):
+        """A reader polling while a live writer appends — the exact
+        shape of a router deduping against a journal a shard is
+        actively writing.  Every record must eventually be seen, none
+        twice, and a poll that lands mid-write (torn tail) must simply
+        complete on a later poll."""
+        path = str(tmp_path / "j.jsonl")
+        total = 400
+        index = JournalIndex(path)
+        seen: dict[str, dict] = {}
+        stop = threading.Event()
+        reader_error: list[BaseException] = []
+
+        def reader():
+            try:
+                while not stop.is_set() or len(seen) < total:
+                    seen.update(index.records())
+                    if len(seen) >= total:
+                        break
+            except BaseException as err:  # pragma: no cover - diagnostic
+                reader_error.append(err)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            # An unbuffered raw writer lets us split one record across
+            # two os.write calls, guaranteeing some polls race a torn
+            # tail rather than hoping the scheduler obliges.
+            with open(path, "wb", buffering=0) as handle:
+                for n in range(total):
+                    line = (
+                        json.dumps(
+                            {"type": "result", "job": f"job-{n}", "seq": n}
+                        ).encode()
+                        + b"\n"
+                    )
+                    cut = len(line) // 2
+                    handle.write(line[:cut])
+                    handle.write(line[cut:])
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not thread.is_alive(), "reader never caught up"
+        assert not reader_error, reader_error
+        assert len(seen) == total
+        for n in range(total):
+            assert seen[f"job-{n}"]["seq"] == n
+        # And the index never fabricated a record from a torn tail: a
+        # final full refresh agrees with a from-scratch read.
+        assert JournalIndex(path).records() == index.records()
+
+    def test_pending_claim_tracks_admission_without_verdict(self, tmp_path):
+        """``claim`` records mark in-flight work: a claim with no
+        result is pending; a result resolves it; a respawned shard's
+        fresh claim supersedes the old one."""
+        path = str(tmp_path / "j.jsonl")
+        index = JournalIndex(path)
+        journal = Journal(path)
+        journal.append({"type": "claim", "job": "a", "time": 1.0, "pid": 11})
+        index.refresh()
+        assert index.pending_claim("a")["pid"] == 11
+        assert index.pending_claim("b") is None
+        # A newer claim (another incarnation re-admitted) replaces it.
+        journal.append({"type": "claim", "job": "a", "time": 2.0, "pid": 12})
+        index.refresh()
+        assert index.pending_claim("a")["pid"] == 12
+        # The verdict resolves the claim.
+        journal.append({"type": "result", "job": "a", "status": "ok"})
+        index.refresh()
+        assert index.pending_claim("a") is None
+        assert index.result("a")["status"] == "ok"
+        journal.close()
+
+    def test_pending_claim_does_not_refresh(self, tmp_path):
+        """The lookup is deliberately refresh-free (the routing hot
+        path piggybacks on the dedupe sweep's refresh)."""
+        path = str(tmp_path / "j.jsonl")
+        index = JournalIndex(path)
+        index.refresh()
+        with Journal(path) as journal:
+            journal.append({"type": "claim", "job": "a", "time": 1.0})
+        assert index.pending_claim("a") is None  # not yet refreshed
+        index.refresh()
+        assert index.pending_claim("a") is not None
+
 
 # ----------------------------------------------------------------------
 # Shard helpers
@@ -427,10 +512,11 @@ class TestRouterUnits:
         assert served[0]["id"] == "secrecy:zoo:yahalom"
 
     def test_journaled_verdict_wins_over_recompute(self, tmp_path):
-        """The exactly-once half of failover: the owner died *after*
-        journaling, so the router returns the journaled verdict as
-        ``cached`` — it must not re-drive (the stub ring has nowhere to
-        re-drive to, which is the point: no second computation)."""
+        """The exactly-once half of failover: the verdict is already in
+        the (dead) owner's journal, so the router serves it ``cached``
+        at admission — no forward is even attempted (the dead endpoint
+        never sees a connection, so it is not ejected: the journal
+        answered before the transport was consulted)."""
         journal_path = str(tmp_path / "dead-shard.jsonl")
         journal = Journal(journal_path)
         journal.append({
@@ -446,7 +532,32 @@ class TestRouterUnits:
         assert reply["shard"] == "remote-00"
         assert reply["result"] == {"holds": True}
         assert router.metrics.counter("cluster.dedupe_hits").value == 1
-        # Conclusive transport failure also ejected the dead shard.
+        # Dedupe answered at admission: nothing was forwarded, so the
+        # dead endpoint was never dialed and stays (nominally) healthy.
+        assert router.metrics.counter("cluster.forwarded").value == 0
+        assert router.health.healthy("remote-00")
+
+    def test_journaled_fault_does_not_dedupe_at_admission(self, tmp_path):
+        """Only ``ok`` verdicts dedupe at admission: a journaled *fault*
+        stays retryable, so the request is forwarded (and here fails
+        over onto the journaled degraded verdict, per failover
+        semantics)."""
+        journal_path = str(tmp_path / "dead-shard.jsonl")
+        journal = Journal(journal_path)
+        journal.append({
+            "type": "result", "job": "secrecy:zoo:yahalom", "status": "fault",
+            "protocol": "zoo:yahalom", "result": {"holds": None},
+            "error": "degraded",
+        })
+        journal.close()
+        router = _stub_router(tmp_path, ["/nonexistent/dead.sock"])
+        router._shards["remote-00"].journal = JournalIndex(journal_path)
+        reply = router.handle_frame(dict(SECRECY))
+        # Forwarding was attempted (transport failure), then failover
+        # dedupe served the journaled fault as degraded-cached.
+        assert reply["status"] == "degraded"
+        assert reply["cached"] is True
+        assert router.metrics.counter("cluster.forwarded").value == 1
         assert not router.health.healthy("remote-00")
 
     def test_unjournaled_request_redrives_to_next_owner(self, tmp_path):
