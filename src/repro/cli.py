@@ -489,6 +489,7 @@ def cmd_suite(args: argparse.Namespace, out) -> int:
             fault_plan=plan,
             on_outcome=lambda outcome: print(outcome.describe(), file=out),
             drain=drain,
+            verdict_store=args.verdict_store,
         )
     print(report.describe(), file=out)
     # Stash the report for --stats post-processing (see _dispatch).
@@ -539,6 +540,7 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         drain_grace=args.drain_grace,
         allow_fault_injection=args.allow_fault_injection,
         dedupe=args.dedupe,
+        verdict_store=args.verdict_store,
     ))
     server.bind()
     if args.socket is not None:
@@ -598,6 +600,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
         chaos=chaos,
         heartbeat_interval=args.heartbeat_interval,
         takeover_after=args.takeover_after,
+        verdict_store=args.verdict_store,
     )
     if args.standby:
         print(f"standby watching {args.dir}", file=out, flush=True)
@@ -743,6 +746,57 @@ def cmd_cluster_status(args: argparse.Namespace, out) -> int:
             "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip(),
             file=out,
         )
+    return 0
+
+
+def cmd_store(args: argparse.Namespace, out) -> int:
+    """``store``: inspect or maintain a persistent verdict store.
+
+    ``stats`` renders occupancy (segments, records, keys, engine
+    versions); ``compact`` rewrites the store as one segment, dropping
+    superseded duplicates and stale-engine records; ``invalidate``
+    wipes it (rarely needed — an engine-version bump already hides
+    every stored record from lookups).  See docs/store.md.
+    """
+    import json
+
+    from repro.service.store import VerdictStore
+
+    store = VerdictStore(args.dir)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+        else:
+            print(
+                f"{stats['directory']}: {stats['keys']} verdict(s) under engine "
+                f"{stats['engine']} ({stats['records']} record(s) in "
+                f"{stats['segments']} segment(s), {stats['bytes']} bytes)",
+                file=out,
+            )
+            for engine, count in sorted(stats["engines"].items()):
+                stale = "" if engine == stats["engine"] else "  (stale)"
+                print(f"  engine {engine}: {count} record(s){stale}", file=out)
+        return 0
+    if args.action == "compact":
+        report = store.compact()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        else:
+            print(
+                f"compacted {report['before']['segments']} segment(s) "
+                f"({report['before']['records']} record(s)) to "
+                f"{report['after']['segments']} segment(s) "
+                f"({report['after']['records']} record(s)); "
+                f"dropped {report['dropped_records']}",
+                file=out,
+            )
+        return 0
+    wiped = store.invalidate()
+    if args.json:
+        print(json.dumps({"invalidated": wiped}, indent=2), file=out)
+    else:
+        print(f"invalidated {wiped} record(s)", file=out)
     return 0
 
 
@@ -1012,6 +1066,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="keep exploration autosaves here (default: temporary)",
     )
+    p_suite.add_argument(
+        "--verdict-store",
+        default=None,
+        metavar="DIR",
+        help="persistent cross-run verdict cache: serve already-stored "
+        "verdicts without dispatching a worker (attempts=0) and write "
+        "budget-pure verdicts through (see docs/store.md)",
+    )
     p_suite.add_argument("--max-states", type=int, default=4000)
     p_suite.add_argument("--max-depth", type=int, default=40)
     p_suite.add_argument(
@@ -1140,6 +1202,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(cluster shards run with this so a router re-drive can never "
         "recompute a verdict; needs --journal)",
     )
+    p_serve.add_argument(
+        "--verdict-store",
+        default=None,
+        metavar="DIR",
+        help="persistent cross-run verdict cache: a stored verdict "
+        "short-circuits admission before the worker pool (cached: true, "
+        "store.hit metric) and completions write budget-pure verdicts "
+        "through; survives restarts, invalidated only by an engine-"
+        "version bump (see docs/store.md)",
+    )
     p_serve.set_defaults(handler=cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -1258,6 +1330,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="standby only: heartbeat staleness that triggers the "
         "ping-confirmed takeover (default 5)",
     )
+    p_cluster.add_argument(
+        "--verdict-store",
+        default=None,
+        metavar="DIR",
+        help="one shared persistent verdict-cache directory passed to "
+        "every shard: cluster-wide repeat traffic, failover re-drives "
+        "and resharding moves become store hits (see docs/store.md)",
+    )
     p_cluster.set_defaults(handler=cmd_cluster)
 
     p_resize = sub.add_parser(
@@ -1299,6 +1379,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the raw response frame"
     )
     p_cstatus.set_defaults(handler=cmd_cluster_status)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect or maintain a persistent verdict store "
+        "(see docs/store.md)",
+    )
+    p_store.add_argument(
+        "action",
+        choices=["stats", "compact", "invalidate"],
+        help="stats: occupancy report; compact: rewrite as one segment "
+        "dropping duplicates and stale-engine records; invalidate: "
+        "wipe the store",
+    )
+    p_store.add_argument(
+        "dir", metavar="DIR", help="verdict store directory (--verdict-store)"
+    )
+    p_store.add_argument(
+        "--json", action="store_true", help="emit the raw report as JSON"
+    )
+    p_store.set_defaults(handler=cmd_store)
 
     p_submit = sub.add_parser(
         "submit", help="submit one request to a running server"

@@ -639,6 +639,7 @@ def run_suite(
     backoff_cap: float = 8.0,
     on_outcome: Optional[Callable[[JobOutcome], None]] = None,
     drain: Optional[threading.Event] = None,
+    verdict_store: Optional[str] = None,
 ) -> SuiteReport:
     """Run a batch of verification jobs under supervision.
 
@@ -673,6 +674,13 @@ def run_suite(
             journaled), queued jobs stay un-journaled, and the report
             comes back ``drained=True``.  Wired to SIGINT/SIGTERM by
             the CLI (see :mod:`repro.runtime.lifecycle`).
+        verdict_store: directory of a persistent cross-run
+            :class:`~repro.service.store.VerdictStore`.  Jobs whose key
+            has a stored verdict are served from it (``attempts=0``,
+            journaled like a computed outcome so ``resume`` still
+            works); budget-pure ``ok`` verdicts are written through.
+            Degraded fault outcomes are never written — they stay
+            retryable.
 
     Returns:
         A :class:`SuiteReport`; every submitted job appears exactly
@@ -723,6 +731,50 @@ def run_suite(
     journal = (
         Journal(journal_path, fresh=not resume) if journal_path is not None else None
     )
+
+    # -- verdict store: cache-aside before the pool, write-through after.
+    # Fault-plan runs bypass it entirely: injected crashes are test
+    # instrumentation that must actually run, and a warm store would
+    # short-circuit them.
+    store = None
+    store_keys: dict[str, str] = {}
+    store_hits = store_misses = 0
+    if verdict_store is not None and fault_plan is None:
+        from repro.service.store import VerdictStore, store_key
+
+        store = VerdictStore(verdict_store)
+        for pending in list(queue):
+            key = store_key(pending.job)
+            if key is None:
+                continue
+            result = store.lookup(key)
+            if result is None:
+                store_misses += 1
+                store_keys[pending.job.id] = key
+                continue
+            store_hits += 1
+            queue.remove(pending)
+            outcome = JobOutcome(
+                job=pending.job,
+                status=OK,
+                attempts=0,  # no worker ever dispatched
+                elapsed=0.0,
+                result=result,
+                events=("served from verdict store",),
+            )
+            if journal is not None:
+                journal.append({
+                    "type": "result",
+                    "job": outcome.job.id,
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                    "elapsed": 0.0,
+                    "result": outcome.result,
+                    "error": None,
+                    "events": list(outcome.events),
+                })
+            decide(outcome)
+
     scratch = checkpoint_dir
     scratch_owned = False
     if scratch is None and any(p.job.kind == "explore" for p in queue):
@@ -815,6 +867,18 @@ def run_suite(
                 events=tuple(pending.events),
             )
             journal_outcome(outcome)
+            if store is not None:
+                # Write-through (only ok outcomes ever reach here;
+                # `put` additionally refuses non-budget-pure verdicts).
+                # A store hiccup costs the cache, never the suite.
+                try:
+                    store.put(
+                        store_keys.get(pending.job.id),
+                        message["result"],
+                        kind=pending.job.kind,
+                    )
+                except OSError:
+                    pass
             decide(outcome)
         elif kind == "error":
             pool.release(worker)
@@ -898,6 +962,8 @@ def run_suite(
         pool.shutdown()
         if journal is not None:
             journal.close()
+        if store is not None:
+            store.close()
         if scratch_owned and scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
 
@@ -918,6 +984,9 @@ def run_suite(
             "suite.retries", sum(max(0, o.attempts - 1) for o in report.outcomes)
         )
         metrics.inc("suite.faults", len(report.by_status(FAULT)))
+        if store is not None:
+            metrics.inc("store.hit", store_hits)
+            metrics.inc("store.miss", store_misses)
         metrics.set_gauge("suite.workers", workers)
         metrics.observe("suite.seconds", elapsed)
     return report

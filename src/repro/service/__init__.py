@@ -17,6 +17,9 @@ Layers, bottom up:
   supervised :class:`~repro.runtime.supervisor.WorkerPool`;
 * :mod:`repro.service.client` — blocking client with retry, backoff,
   jitter, and deadline propagation;
+* :mod:`repro.service.store` — the persistent cross-run verdict store
+  (``--verdict-store``): crash-safe sharded JSONL segments serving
+  whole verdicts cache-aside across restarts (see ``docs/store.md``);
 * :mod:`repro.service.shards` / :mod:`repro.service.health` /
   :mod:`repro.service.router` — the ``repro-spi cluster`` layer: a
   consistent-hash ring over supervised shard processes, breaker-backed
@@ -45,6 +48,12 @@ from repro.service.health import HealthMonitor
 from repro.service.router import ClusterError, Router, RouterConfig, run_cluster
 from repro.service.server import Server, ServerConfig, ServiceError, serve
 from repro.service.shards import HashRing, LocalShard, ShardSpec
+from repro.service.store import (
+    StoreError,
+    VerdictStore,
+    storable_result,
+    store_key,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -68,6 +77,10 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
+    "StoreError",
+    "VerdictStore",
+    "storable_result",
+    "store_key",
     "encode_frame",
     "parse_address",
     "parse_request",

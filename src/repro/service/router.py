@@ -156,6 +156,12 @@ class RouterConfig:
     #: How long a standby tolerates a stale heartbeat before it starts
     #: confirming primary death with pings.
     takeover_after: float = 5.0
+    #: One shared persistent :class:`~repro.service.store.VerdictStore`
+    #: directory passed to every local shard (``cluster
+    #: --verdict-store``): repeat traffic, failover re-drives, and
+    #: resharding moves become store hits on whichever shard the ring
+    #: picks, across router restarts.
+    verdict_store: Optional[str] = None
 
 
 @dataclass(eq=False)
@@ -320,6 +326,7 @@ class Router:
             drain_grace=cfg.shard_drain_grace,
             allow_fault_injection=cfg.allow_fault_injection,
             python=cfg.python,
+            verdict_store=cfg.verdict_store,
         )
         shard = _Shard(
             spec=spec,

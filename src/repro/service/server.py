@@ -128,6 +128,16 @@ class ServerConfig:
     #: keeps verdicts exactly-once when a promoted standby re-drives
     #: work the dead primary already delivered here.
     dedupe: bool = False
+    #: Directory of a persistent cross-run
+    #: :class:`~repro.service.store.VerdictStore` (``serve
+    #: --verdict-store``).  Admission checks it cache-aside — a hit
+    #: short-circuits before the worker pool with ``cached: true`` and
+    #: a ``store.hit`` metric, and is *not* journaled (the verdict was
+    #: never computed here; journaling it again would double-journal
+    #: warm restarts) — and completions write budget-pure ``ok``
+    #: verdicts through.  Degraded fault verdicts are never written:
+    #: they are retryable by design.
+    verdict_store: Optional[str] = None
 
 
 @dataclass(eq=False)
@@ -158,6 +168,10 @@ class _Ticket:
     ready_at: float = 0.0
     started_first: Optional[float] = None
     probe: bool = False
+    #: Verdict-store key computed at admission (``--verdict-store``);
+    #: ``None`` when there is no store, the job cannot be keyed, or the
+    #: request carries test instrumentation (fault plans must run).
+    store_key: Optional[str] = None
     events: list[str] = field(default_factory=list)
     #: Duplicate submitters coalesced onto this ticket (``--dedupe``);
     #: they receive the same final answer as the original client.
@@ -209,6 +223,12 @@ class Server:
             )
         else:
             self._journal_index = None
+        if config.verdict_store is not None:
+            from repro.service.store import VerdictStore
+
+            self.store: Optional[VerdictStore] = VerdictStore(config.verdict_store)
+        else:
+            self.store = None
         #: request id -> live ticket, for coalescing duplicates.
         self._inflight_ids: dict[str, _Ticket] = {}
         self._selector = selectors.DefaultSelector()
@@ -438,6 +458,9 @@ class Server:
                 self.metrics.inc("service.coalesced")
                 trace_event("service.coalesce", job=request.id)
                 return
+        hit, store_key = self._check_store(client, request)
+        if hit:
+            return
         now = time.monotonic()
         key = protocol.protocol_key(request.target)
         breaker = self.breakers.get(key)
@@ -450,6 +473,7 @@ class Server:
             key=key,
             admitted_at=now,
             probe=breaker.state != CLOSED,
+            store_key=store_key,
         )
         budget = request.deadline or self.config.job_deadline
         if budget is not None:
@@ -508,6 +532,39 @@ class Server:
             ),
         )
         return True
+
+    def _check_store(
+        self, client: Optional[_Client], request: Request
+    ) -> tuple[bool, Optional[str]]:
+        """Cache-aside verdict-store check at admission.
+
+        Returns ``(answered, store_key)``: on a hit the client already
+        got the stored verdict (``cached: true``, ``store.hit`` metric)
+        and nothing is journaled — the verdict was computed by some
+        earlier process incarnation, and re-journaling it here would
+        make a warm restart double-journal.  On a miss the computed key
+        rides the ticket so the completion path can write through.
+        Fault-injected requests bypass the store entirely: test
+        instrumentation must actually run (and must never persist).
+        """
+        if self.store is None or request.fault_plan is not None:
+            return False, None
+        from repro.service.store import store_key
+
+        key = store_key(request.job())
+        if key is None:
+            return False, None
+        result = self.store.lookup(key)
+        if result is None:
+            self.metrics.inc("store.miss")
+            return False, key
+        self.metrics.inc("store.hit")
+        trace_event("service.store_hit", job=request.id)
+        self._respond(
+            client,
+            protocol.response(request.id, protocol.OK, result=result, cached=True),
+        )
+        return True, key
 
     def _answer(self, ticket: _Ticket, message: dict) -> None:
         """Deliver a ticket's final answer to its client *and* every
@@ -625,6 +682,22 @@ class Server:
         elapsed = now - ticket.admitted_at
         self.metrics.inc("service.completed")
         self.metrics.observe("service.latency", elapsed)
+        if self.store is not None and ticket.store_key is not None:
+            # Write-through, only here: `_degrade`/`_degrade_fast`
+            # verdicts are retryable fault stubs and must never be
+            # persisted.  `put` additionally refuses deadline-qualified
+            # results (not budget-pure).  Store trouble costs the cache,
+            # never the response.
+            try:
+                if self.store.put(
+                    ticket.store_key,
+                    result,
+                    kind=ticket.request.kind,
+                    protocol=ticket.key,
+                ):
+                    self.metrics.inc("store.write")
+            except OSError:
+                self.metrics.inc("store.error")
         self._journal({
             "type": "result",
             "job": ticket.request.id,
@@ -840,6 +913,8 @@ class Server:
         self.pool.shutdown()
         if self.journal is not None:
             self.journal.close()
+        if self.store is not None:
+            self.store.close()
         for client in list(self._clients):
             self._close(client, after_flush=True)
         for listener in self._listeners:

@@ -300,6 +300,7 @@ def local_shard_argv(
     allow_fault_injection: bool,
     python: str = sys.executable,
     dedupe: bool = True,
+    verdict_store: Optional[str] = None,
 ) -> list[str]:
     """The ``repro-spi serve`` command line for one local shard.
 
@@ -311,6 +312,14 @@ def local_shard_argv(
     in-flight table, the backstop that keeps verdicts exactly-once even
     when *two* routers (a wedged primary and a promoted standby)
     briefly forward the same work.
+
+    ``verdict_store`` (``cluster --verdict-store``) is deliberately
+    **one shared directory** for the whole fleet: each shard does its
+    cache-aside lookups and write-throughs against the same store (the
+    per-writer-segment layout of :class:`~repro.service.store.
+    VerdictStore` makes that safe), so cluster-wide repeat traffic,
+    failover re-drives, and resharding moves all become O(1) lookups
+    regardless of which shard the ring picks.
     """
     argv = [
         python, "-m", "repro.cli", "serve",
@@ -327,6 +336,8 @@ def local_shard_argv(
     ]
     if dedupe:
         argv.append("--dedupe")
+    if verdict_store is not None:
+        argv += ["--verdict-store", verdict_store]
     if job_deadline is not None:
         argv += ["--job-deadline", str(job_deadline)]
     if allow_fault_injection:

@@ -1,0 +1,516 @@
+"""Persistent cross-run verdict store (``--verdict-store DIR``).
+
+Verdicts in this reproduction are pure functions of *(engine version,
+canonical system, property kind, budget signature)*: the exploration and
+analysis layers are deterministic, and the canonical state keys of
+:mod:`repro.semantics.canonical` are alpha-invariant.  That makes whole
+verdicts cacheable **across processes and across restarts** — which is
+what this module does, lifting the in-memory replay speedup of the
+hash-consed state cache (``BENCH_canonical.json``) to whole-job
+granularity for repeat traffic against ``serve``/``cluster``/``suite``.
+
+Layout — a directory of sharded append-only JSONL segments::
+
+    store/
+        seg-<pid>-<token>.jsonl     # one segment per writer process
+        seg-compact-<token>.jsonl   # produced by compaction
+
+Every writer owns exactly one segment, so concurrent shard processes
+never interleave bytes within one file (Python's buffered appends are
+not atomic); readers merge all segments.  Each segment follows the
+:mod:`repro.runtime.journal` durability discipline:
+
+* **appends are whole fsync'd lines** (:class:`~repro.runtime.journal.
+  Journal`) — an acknowledged record survives a crash;
+* **reads are incremental and paranoid** — per-segment byte-offset
+  tailing in the style of :class:`~repro.runtime.journal.JournalIndex`:
+  a torn final line is buffered until its newline arrives, a corrupt
+  complete line is skipped, and a segment that shrank (torn-tail repair
+  on reopen) or vanished (compaction) resets its tail.  The failure
+  direction is always a **miss** (recompute the verdict), never a wrong
+  hit and never an exception on the admission path.
+
+Keying — ``store_key`` hashes ``(engine version, canonical system
+signature, kind, budget signature)``.  System signatures are
+content-addressed the way the worker interprets targets: zoo entries by
+name (the builder is deterministic), inline/``.spi`` sources by the
+**alpha-invariant canonical key** of the instantiated process (two
+alpha-renamed sources share a store key iff their canonical keys
+match), system files by content digest.  Budget signatures carry
+``max_states``/``max_depth`` plus the *normalized* ``secret``/``sender``
+(the worker's defaults applied, so ``secret=None`` and the default
+``"KAB"`` key identically).  Anything that cannot be keyed (unreadable
+file, parse error) degrades to ``None`` — a miss, never a fault.
+
+Invalidation — records carry the engine version that computed them and
+lookups only return records stamped with the *current*
+``repro.__version__``.  There is no TTL: a verdict never goes stale by
+sitting still, only by the engine changing.  ``compact()`` rewrites the
+store to one segment, dropping superseded duplicates and stale-engine
+records; ``invalidate()`` wipes it.
+
+Storability — only *budget-pure* verdicts are written through:
+``exhaustion`` absent, or every reason in
+:data:`~repro.runtime.exhaustion.BUDGET_REASONS` (``states``/``depth``
+are part of the key; ``deadline``/``cancelled``/``fault`` qualified
+verdicts depend on wall-clock luck or transient faults and must be
+recomputed, never replayed — see :func:`storable_result`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import uuid
+from typing import Mapping, Optional
+
+from repro.core.errors import ReproError
+from repro.runtime.exhaustion import BUDGET_REASONS
+from repro.runtime.journal import Journal
+from repro.runtime.worker import Job
+
+#: Store-record schema version (bumped on incompatible layout changes).
+STORE_VERSION = 1
+
+#: Segment filename prefix; everything else in the directory is ignored.
+SEGMENT_PREFIX = "seg-"
+
+
+class StoreError(ReproError):
+    """The verdict store directory cannot be used."""
+
+
+def engine_version() -> str:
+    """The engine stamp records carry — bumping :mod:`repro`'s version
+    invalidates every stored verdict at once."""
+    import repro
+
+    return repro.__version__
+
+
+# ----------------------------------------------------------------------
+# Keying
+# ----------------------------------------------------------------------
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _file_digest(path: str) -> str:
+    with open(path, "rb") as handle:
+        return _digest(handle.read())
+
+
+def _source_signature(source: str) -> str:
+    """Alpha-invariant signature of an inline process source: the
+    canonical key of the instantiated system, so two alpha-renamed
+    spellings of one process share a store key iff their canonical keys
+    match (the property the key-invariance tests pin)."""
+    from repro.semantics.system import instantiate
+    from repro.syntax.parser import parse_process
+
+    key = instantiate(parse_process(source)).canonical_key()
+    return f"src:{_digest(key.encode('utf-8'))}"
+
+
+def system_signature(target: Mapping[str, str]) -> str:
+    """Canonical signature of *what system* a job verifies.
+
+    Mirrors how :mod:`repro.runtime.worker` interprets targets: zoo
+    entries are named deterministic builders, sources are canonicalized,
+    system files are content-addressed (same bytes, same system — a
+    conservative approximation that can only cause misses, never wrong
+    hits).
+    """
+    if "zoo" in target:
+        return f"zoo:{target['zoo']}"
+    if "source" in target:
+        return _source_signature(target["source"])
+    if "spi" in target:
+        with open(target["spi"], "r", encoding="utf-8") as handle:
+            return _source_signature(handle.read())
+    if "sysfile" in target:
+        return f"sysfile:{_file_digest(target['sysfile'])}"
+    if {"impl", "spec"} <= set(target):
+        return (
+            f"check:{_file_digest(target['impl'])}:{_file_digest(target['spec'])}"
+        )
+    raise StoreError(f"target {sorted(target)!r} cannot be keyed")
+
+
+def budget_signature(job: Job) -> dict:
+    """The budget axes a verdict depends on, with the worker's defaults
+    applied so equivalent spellings key identically (``secret=None`` on
+    a zoo secrecy job *is* ``secret="KAB"``)."""
+    secret = sender = None
+    if job.kind == "secrecy":
+        secret = job.secret or ("KAB" if "zoo" in job.target else None)
+    elif job.kind == "authentication":
+        sender = job.sender or "A"
+    return {
+        "max_states": job.max_states,
+        "max_depth": job.max_depth,
+        "secret": secret,
+        "sender": sender,
+    }
+
+
+def store_key(job: Job, engine: Optional[str] = None) -> Optional[str]:
+    """The verdict-store key for ``job``, or ``None`` when the job
+    cannot be keyed (unreadable file, parse error...).
+
+    ``None`` is a *miss*, never an error: key trouble on the admission
+    path must cost one recompute, not a failed request.
+    """
+    try:
+        material = {
+            "v": STORE_VERSION,
+            "engine": engine or engine_version(),
+            "kind": job.kind,
+            "system": system_signature(job.target),
+            "budget": budget_signature(job),
+        }
+    except Exception:
+        return None
+    return _digest(
+        json.dumps(material, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def record_checksum(key: str, engine: str, result: Mapping) -> str:
+    """Integrity stamp carried by every store record.
+
+    The durability property the store promises is *miss, never wrong
+    hit*: a flipped byte inside a record's ``result`` still parses as
+    valid JSON, so structural validation alone cannot catch it.  The
+    checksum binds ``(key, engine, result)`` together; readers drop any
+    record whose stamp does not re-derive.
+    """
+    material = json.dumps(
+        {"key": key, "engine": engine, "result": result},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return _digest(material.encode("utf-8"))[:16]
+
+
+def storable_result(result: object) -> bool:
+    """Whether a verdict is a pure function of its store key.
+
+    Exact verdicts are.  Budget-qualified verdicts (``states``/``depth``
+    exhaustion) are too — the budget is part of the key.  Verdicts
+    qualified by ``deadline``/``cancelled``/``fault`` are **not**: they
+    record what a particular run failed to finish, are retryable by
+    design (see :class:`~repro.runtime.exhaustion.Exhaustion`), and
+    persisting one would freeze a transient degradation into a
+    permanent answer.
+    """
+    if not isinstance(result, Mapping):
+        return False
+    exhaustion = result.get("exhaustion")
+    if exhaustion is None:
+        return True
+    if not isinstance(exhaustion, Mapping):
+        return False
+    reasons = exhaustion.get("reasons")
+    if not isinstance(reasons, (list, tuple)) or not reasons:
+        return False
+    return set(reasons) <= BUDGET_REASONS
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+
+
+class _SegmentTail:
+    """Incremental reader of one segment file (JournalIndex discipline:
+    buffer torn tails, skip corrupt lines, reset on shrink)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._offset = 0
+        self._tail = b""
+        #: key -> full store record (latest wins within the segment).
+        self.records: dict[str, dict] = {}
+        #: Complete lines parsed (including stale-engine ones).
+        self.lines = 0
+        #: Dead segment: the file vanished (compaction/invalidation).
+        self.gone = False
+
+    def refresh(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size < self._offset:
+                    self._reset()
+                if size == self._offset:
+                    return
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            self._reset()
+            self.gone = True
+            return
+        self.gone = False
+        self._offset += len(data)
+        buffer = self._tail + data
+        lines = buffer.split(b"\n")
+        self._tail = lines.pop()  # b"" when data ended on a newline
+        for line in lines:
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8", errors="replace"))
+            except ValueError:
+                continue  # damaged line: a cache miss, never a crash
+            if (
+                not isinstance(record, dict)
+                or record.get("type") != "verdict"
+                or not isinstance(record.get("key"), str)
+                or not isinstance(record.get("result"), dict)
+            ):
+                continue
+            if record.get("sum") != record_checksum(
+                record["key"], str(record.get("engine")), record["result"]
+            ):
+                continue  # damaged payload: a miss, never a wrong hit
+            self.lines += 1
+            self.records[record["key"]] = record
+
+    def _reset(self) -> None:
+        self._offset = 0
+        self._tail = b""
+        self.records = {}
+        self.lines = 0
+
+
+class VerdictStore:
+    """Process-shared persistent verdict cache over ``directory``.
+
+    One instance per process; any number of processes (cluster shards,
+    suite runners, servers) may share the directory.  Reads merge every
+    segment; writes go to this process's own segment, so writers never
+    contend.  All methods fail towards *miss* — a store that cannot be
+    read costs recomputes, never failed requests.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.engine = engine_version()
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as err:
+            raise StoreError(f"cannot create verdict store {directory!r}: {err}")
+        if not os.path.isdir(directory):
+            raise StoreError(f"verdict store {directory!r} is not a directory")
+        self._tails: dict[str, _SegmentTail] = {}
+        self._writer: Optional[Journal] = None
+        self._writer_path: Optional[str] = None
+
+    # -- reading -------------------------------------------------------
+
+    def _segments(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in names
+            if name.startswith(SEGMENT_PREFIX) and name.endswith(".jsonl")
+        )
+
+    def refresh(self) -> None:
+        """Absorb new segments and new bytes in known segments."""
+        live = set(self._segments())
+        for path in live:
+            if path not in self._tails:
+                self._tails[path] = _SegmentTail(path)
+        for path, tail in list(self._tails.items()):
+            tail.refresh()
+            if tail.gone and path not in live:
+                del self._tails[path]
+
+    def lookup(self, key: Optional[str]) -> Optional[dict]:
+        """The stored verdict ``result`` for ``key`` under the current
+        engine version, or ``None`` (miss).  Refreshes first."""
+        record = self.record(key)
+        return record["result"] if record is not None else None
+
+    def record(self, key: Optional[str]) -> Optional[dict]:
+        """Like :meth:`lookup` but returns the whole store record."""
+        if key is None:
+            return None
+        self.refresh()
+        for tail in self._tails.values():
+            record = tail.records.get(key)
+            if record is not None and record.get("engine") == self.engine:
+                return record
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.record(key) is not None
+
+    # -- writing -------------------------------------------------------
+
+    def _ensure_writer(self) -> Journal:
+        if self._writer is None:
+            token = uuid.uuid4().hex[:8]
+            self._writer_path = os.path.join(
+                self.directory, f"{SEGMENT_PREFIX}{os.getpid()}-{token}.jsonl"
+            )
+            self._writer = Journal(self._writer_path, fresh=False)
+        return self._writer
+
+    def put(
+        self,
+        key: Optional[str],
+        result: Mapping,
+        kind: Optional[str] = None,
+        protocol: Optional[str] = None,
+    ) -> bool:
+        """Write one verdict through (durably, fsync'd).
+
+        Refuses non-:func:`storable_result` verdicts and un-keyed jobs
+        (``key=None``); skips keys that already have a current-engine
+        record (concurrent writers can still race one in — duplicates
+        are harmless, compaction removes them).  Returns whether a
+        record was appended.
+        """
+        if key is None or not storable_result(result):
+            return False
+        if self.record(key) is not None:
+            return False
+        record = {
+            "type": "verdict",
+            "key": key,
+            "engine": self.engine,
+            "time": time.time(),
+            "result": dict(result),
+            "sum": record_checksum(key, self.engine, dict(result)),
+        }
+        if kind is not None:
+            record["kind"] = kind
+        if protocol is not None:
+            record["protocol"] = protocol
+        self._ensure_writer().append(record)
+        return True
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._writer_path = None
+
+    def __enter__(self) -> "VerdictStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- maintenance ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Occupancy snapshot (refreshes first)."""
+        self.refresh()
+        engines: dict[str, int] = {}
+        keys: set[str] = set()
+        records = 0
+        for tail in self._tails.values():
+            for record in tail.records.values():
+                records += 1
+                engine = str(record.get("engine"))
+                engines[engine] = engines.get(engine, 0) + 1
+                if engine == self.engine:
+                    keys.add(record["key"])
+        size = 0
+        for path in self._segments():
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "directory": self.directory,
+            "engine": self.engine,
+            "segments": len(self._tails),
+            "bytes": size,
+            "records": records,
+            "keys": len(keys),
+            "engines": engines,
+        }
+
+    def compact(self) -> dict:
+        """Rewrite the store as one fresh segment: latest record per
+        key, current engine only; stale-engine records and superseded
+        duplicates are dropped.
+
+        Crash-safe in the append-only way: the survivor segment is
+        fully written and fsync'd *before* any old segment is unlinked;
+        a crash in between leaves duplicates, which are harmless.
+        Intended as a maintenance operation (``repro-spi store
+        compact``) — a writer process that races it simply starts a new
+        segment on its next write.
+        """
+        before = self.stats()
+        old = self._segments()
+        survivors: dict[str, dict] = {}
+        for tail in self._tails.values():
+            for key, record in tail.records.items():
+                if record.get("engine") == self.engine:
+                    survivors[key] = record
+        self.close()  # our own segment (if any) is compacted too
+        compact_path = os.path.join(
+            self.directory, f"{SEGMENT_PREFIX}compact-{uuid.uuid4().hex[:8]}.jsonl"
+        )
+        if survivors:
+            with Journal(compact_path, fresh=True) as journal:
+                for key in sorted(survivors):
+                    journal.append(survivors[key])
+        for path in old:
+            if path == compact_path:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._tails = {}
+        after = self.stats()
+        return {
+            "before": before,
+            "after": after,
+            "dropped_records": before["records"] - after["records"],
+        }
+
+    def invalidate(self) -> int:
+        """Delete every segment; returns the number of records wiped.
+
+        Rarely needed by hand — an engine-version bump already makes
+        every stored record invisible to lookups.
+        """
+        count = self.stats()["records"]
+        self.close()
+        for path in self._segments():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._tails = {}
+        return count
+
+
+__all__ = [
+    "STORE_VERSION",
+    "StoreError",
+    "VerdictStore",
+    "budget_signature",
+    "engine_version",
+    "record_checksum",
+    "storable_result",
+    "store_key",
+    "system_signature",
+]
