@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.analysis.knowledge import Knowledge, synthesizable
 from repro.obs.metrics import current_metrics
@@ -48,12 +48,12 @@ from repro.runtime.exhaustion import (
     Exhaustion,
 )
 from repro.runtime.faults import FaultError
-from repro.semantics import canonical
+from repro.semantics import canonical, reduction
 from repro.semantics.actions import Comm, PendingAction, Transition
 from repro.semantics.lts import Budget, DEFAULT_BUDGET
 from repro.semantics.normalize import normalize
 from repro.semantics.system import System
-from repro.semantics.transitions import _admits, pending_actions, successors
+from repro.semantics.transitions import _admits, pending_actions
 from repro.core.processes import LocVar
 
 
@@ -112,15 +112,38 @@ def env_successors(
     env_loc: Location,
     channels: frozenset[str],
     synth_depth: int = 1,
+    tau_visited: Optional[Callable[[Transition], bool]] = None,
 ) -> Iterator[EnvStep]:
     """Every step of the environment-sensitive semantics.
 
     ``channels`` restricts the environment to the protocol wires (the
     set ``C`` of Definition 4, by base spelling); honest internal steps
     are not restricted.
+
+    ``tau_visited`` (supplied by :func:`env_explore`) enables
+    partial-order reduction of the honest internal steps: it is the
+    cycle proviso over *environment* states.  Invisibility here is
+    stricter than in the plain semantics — a restricted channel the
+    attacker can derive is one it can hear or say on, so such channels
+    never seed an ample set (the ``externally_visible`` veto below).
+    Hear/say steps and knowledge are untouched by the reduction: a
+    deferred independent transition neither changes the attacker's
+    knowledge nor removes a pending action at another leaf.
     """
+
+    def externally_visible(info) -> bool:
+        ch = info.channel
+        return ch.base in channels and (
+            ch.uid is None or state.knowledge.can_derive(ch)
+        )
+
     # Honest internal steps (the environment idles).
-    for step in successors(state.system):
+    steps = reduction.reduced_successors(
+        state.system,
+        is_visited=tau_visited,
+        externally_visible=externally_visible,
+    )
+    for step in steps:
         yield EnvStep("tau", step.action, EnvState(step.target, state.knowledge))
 
     actions = [
@@ -239,6 +262,10 @@ def env_explore(
     max_queue = 0
     started = time.monotonic()
     cache_before = canonical.metrics_snapshot()
+    reduction_before = reduction.metrics_snapshot()
+
+    def tau_visited(step: Transition, knowledge=None) -> bool:
+        return (step.target.canonical_key(), knowledge) in graph.states
 
     def note(reason: str, message: Optional[str] = None) -> None:
         nonlocal detail
@@ -266,7 +293,16 @@ def env_explore(
                     continue
                 out: list[tuple[EnvStep, tuple]] = []
                 try:
-                    for step in env_successors(state, env_loc, channels, synth_depth):
+                    steps = env_successors(
+                        state,
+                        env_loc,
+                        channels,
+                        synth_depth,
+                        tau_visited=lambda step, k=state.knowledge.atoms: tau_visited(
+                            step, k
+                        ),
+                    )
+                    for step in steps:
                         target_key = step.target.key()
                         if target_key not in graph.states:
                             if len(graph.states) >= budget.max_states:
@@ -303,6 +339,7 @@ def env_explore(
         metrics.set_gauge("env.queue_depth", max_queue)
         metrics.observe("env.seconds", time.monotonic() - started)
         canonical.publish_cache_metrics(metrics, cache_before)
+        reduction.publish_reduction_metrics(metrics, reduction_before)
     return graph
 
 

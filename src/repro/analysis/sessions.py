@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core.addresses import Location, location_str
 from repro.equivalence.testing import Configuration, compose
+from repro.semantics import reduction
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
 
 
@@ -63,7 +64,12 @@ def communication_partners(
     reflects every scheduling the budget reached.
     """
     system = compose(config)
-    graph = explore(system, budget)
+    # Per-instance pairings must stay location-exact: symmetry reduction
+    # merges states that differ only by a permutation of replicated
+    # copies, which would collapse distinct (sender, receiver) pairs and
+    # could make a non-exclusive hooking look exclusive.
+    with reduction.suspended():
+        graph = explore(system, budget)
     pairs: set[tuple[Location, Location]] = set()
     for key in graph.states:
         for transition, _ in graph.successors_of(key):

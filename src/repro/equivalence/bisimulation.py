@@ -102,8 +102,11 @@ def weakly_bisimilar(
 ) -> BisimulationResult:
     """Are the two systems barbed-weakly bisimilar (up to the budget)?"""
     ctl = resolve_control(control)
-    left_graph = explore(left, budget, ctl)
-    right_graph = explore(right, budget, ctl)
+    # Branching-time equivalences are not preserved by partial-order
+    # reduction (pruned interleavings change the simulation game), so
+    # both sides are explored with full branching.
+    left_graph = explore(left, budget, ctl, use_por=False)
+    right_graph = explore(right, budget, ctl, use_por=False)
     noted: list[str] = []
     relation = largest_bisimulation(left_graph, right_graph, ctl, noted)
     return BisimulationResult(

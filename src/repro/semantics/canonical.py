@@ -53,8 +53,9 @@ loops; see :func:`metrics_snapshot` / :func:`publish_cache_metrics`.
 from __future__ import annotations
 
 import os
+import re
 from collections import OrderedDict
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.addresses import RelativeAddress, location_str
 from repro.core.intern import InternTable
@@ -91,6 +92,17 @@ from repro.syntax.pretty import canonical_process
 #: ``--no-state-cache`` choice.
 DISABLE_ENV = "REPRO_NO_STATE_CACHE"
 
+#: Reduction-mode environment switches (shared with
+#: :mod:`repro.semantics.reduction`, which lives above this module in
+#: the import graph).  ``REPRO_NO_REDUCTION`` forces mode ``none``;
+#: ``REPRO_REDUCTION`` selects an explicit mode.  Both are read at
+#: import time so spawn-context workers inherit the parent's choice,
+#: exactly like ``REPRO_NO_STATE_CACHE``.
+NO_REDUCTION_ENV = "REPRO_NO_REDUCTION"
+REDUCTION_ENV = "REPRO_REDUCTION"
+
+REDUCTION_MODES = ("none", "por", "sym", "full")
+
 #: Full-clear threshold for the intern table (node count).  Clearing is
 #: all-or-nothing by design — see the module docstring.
 MAX_INTERNED_NODES = 2_000_000
@@ -103,17 +115,47 @@ def _env_disabled() -> bool:
     return os.environ.get(DISABLE_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
 
 
+def env_reduction_mode() -> str:
+    """The reduction mode requested by the environment.
+
+    ``REPRO_NO_REDUCTION`` wins over ``REPRO_REDUCTION``; an absent or
+    unknown ``REPRO_REDUCTION`` value means the default ``full``.
+    """
+    if os.environ.get(NO_REDUCTION_ENV, "").strip().lower() in {"1", "true", "yes", "on"}:
+        return "none"
+    mode = os.environ.get(REDUCTION_ENV, "").strip().lower()
+    return mode if mode in REDUCTION_MODES else "full"
+
+
 _enabled: bool = not _env_disabled()
+
+#: Is symmetry canonicalization active?  Owned here (rather than in
+#: :mod:`repro.semantics.reduction`) because key assembly must not
+#: depend on modules that import this one.
+_symmetry: bool = env_reduction_mode() in {"sym", "full"}
 
 _table = InternTable()
 _flats: dict[int, list] = {}  # id(interned node) -> flattened tokens
 _keys: dict[int, str] = {}  # id(interned root) -> canonical key
 _successors: "OrderedDict[tuple, tuple]" = OrderedDict()
 
+# Symmetry-canonicalization memos: all keyed by id of interned nodes,
+# so they live and die with the intern table (see clear_caches).
+_sym_keys: dict[tuple, str] = {}  # (id(root), roles) -> symmetric key
+_sym_safe_memo: dict[int, bool] = {}
+_spiny_memo: dict[int, bool] = {}
+_blind_memo: dict[tuple, str] = {}
+
+#: Hooks run by :func:`clear_caches` so sibling modules whose memos key
+#: on interned-node identity (e.g. the batched-normalize memo in
+#: :mod:`repro.semantics.transitions`) are dropped with the table.
+_clear_hooks: list[Callable[[], None]] = []
+
 _canonical_hits = 0
 _canonical_misses = 0
 _successor_hits = 0
 _successor_misses = 0
+_sym_reorders = 0
 
 
 # ----------------------------------------------------------------------
@@ -140,16 +182,53 @@ def set_cache_enabled(enabled: bool) -> bool:
     return previous
 
 
-def clear_caches() -> None:
-    """Drop the intern table, both memos and the successor cache.
+def symmetry_enabled() -> bool:
+    """Is symmetry canonicalization of replicated sessions active?"""
+    return _symmetry
 
-    Always clears all four together: the memos key by ``id`` of objects
-    the table keeps alive, so none of them may outlive it.
+
+def set_symmetry_enabled(enabled: bool) -> bool:
+    """Switch symmetry canonicalization; returns the previous setting.
+
+    Flipping the switch drops the symmetric-key memos: plain and
+    symmetric keys for the same tree differ, so entries computed under
+    the other setting must never be served.
+    """
+    global _symmetry
+    previous = _symmetry
+    _symmetry = bool(enabled)
+    if previous != _symmetry:
+        _sym_keys.clear()
+        _blind_memo.clear()
+    return previous
+
+
+def register_clear_hook(hook: Callable[[], None]) -> None:
+    """Run ``hook`` whenever :func:`clear_caches` drops the arena.
+
+    For memos in other modules keyed by interned-node identity; they
+    must not outlive the intern table.
+    """
+    _clear_hooks.append(hook)
+
+
+def clear_caches() -> None:
+    """Drop the intern table, every memo and the successor cache.
+
+    Always clears everything together: the memos key by ``id`` of
+    objects the table keeps alive, so none of them may outlive it.
+    Registered clear hooks run last.
     """
     _table.clear()
     _flats.clear()
     _keys.clear()
     _successors.clear()
+    _sym_keys.clear()
+    _sym_safe_memo.clear()
+    _spiny_memo.clear()
+    _blind_memo.clear()
+    for hook in _clear_hooks:
+        hook()
 
 
 def interned_size() -> int:
@@ -377,8 +456,38 @@ def _flatten(node) -> list:
     return out
 
 
-def _assemble(root) -> str:
-    """Render an interned tree from its token list (one linear pass).
+def _flatten_raw(node) -> list:
+    """Non-memoized :func:`_flatten` for uninterned trees.
+
+    Used by the disabled-cache symmetry path, which must produce the
+    same token stream without touching the (cleared) arena memos.
+    """
+    out: list = []
+    for part in _FRAGMENT_BUILDERS[node.__class__](node):
+        cls = part.__class__
+        if cls is str:
+            if out and out[-1].__class__ is str:
+                out[-1] += part
+            else:
+                out.append(part)
+        elif cls is tuple or cls is _PreNumber:
+            out.append(part)
+        else:
+            child = _flatten_raw(part)
+            if child and out and out[-1].__class__ is str and child[0].__class__ is str:
+                out[-1] += child[0]
+                out.extend(child[1:])
+            else:
+                out.extend(child)
+    return out
+
+
+def _tokens(node, caching: bool) -> list:
+    return _flatten(node) if caching else _flatten_raw(node)
+
+
+def _render(tokens) -> str:
+    """Render a token stream (one linear pass).
 
     Identity triples are numbered in first-occurrence order with one
     shared counter across kinds — byte-identical to ``canon_id``.
@@ -387,7 +496,7 @@ def _assemble(root) -> str:
     # the bulk of the tokens — cost one dict hit, no formatting.
     renumber: dict[tuple, str] = {}
     out: list[str] = []
-    for item in _flatten(root):
+    for item in tokens:
         cls = item.__class__
         if cls is str:
             out.append(item)
@@ -403,22 +512,294 @@ def _assemble(root) -> str:
     return "".join(out)
 
 
+def _assemble(root) -> str:
+    """Render an interned tree from its token list."""
+    return _render(_flatten(root))
+
+
+# ----------------------------------------------------------------------
+# Symmetry canonicalization of replicated sessions
+# ----------------------------------------------------------------------
+#
+# A ``!P`` that has unfolded k copies is a right-nested parallel chain
+# ending in the replication template (the *spine*): copies sit in the
+# chain's left slots, at locations h·1^i·0.  Two states that differ
+# only by a permutation of such sibling copies — classic multi-session
+# symmetry — are behaviourally interchangeable for every verdict the
+# engine emits, *provided* nothing in the tree resolves addresses
+# relative to tree positions and no role boundary runs through the
+# spine.  The symmetric key renders the state with each eligible
+# spine's slots sorted into a canonical order, rewriting the absolute
+# creator locations baked into names so the rendered string is exactly
+# the plain key of the permuted state.  Key equality therefore implies
+# the states are related by a within-spine permutation with consistent
+# creator renaming — a sound merge.  (Completeness is heuristic: a
+# missed merge costs states, never verdicts.)
+
+#: Matches every rendered absolute location, e.g. ``<||0||1||0>``.
+#: Unambiguous in canonical output: uids render as ``n12``/``v3`` and
+#: no other literal contains ``<||``.
+_LOC_RE = re.compile(r"<(?:\|\|[01])+>")
+
+
+def _parse_loc(rendered: str) -> tuple:
+    return tuple(int(tag) for tag in rendered[1:-1].split("||")[1:])
+
+
+#: Child fields per node class for the position-safety scan.  Classes
+#: handled specially (Channel, SharedEnc, At, AddrMatch) are absent.
+_SYM_CHILDREN: dict[type, tuple[str, ...]] = {
+    Name: (),
+    Var: (),
+    Zero: (),
+    Nil: (),
+    Pair: ("first", "second"),
+    Succ: ("term",),
+    Localized: ("term",),
+    Output: ("channel", "payload", "continuation"),
+    Input: ("channel", "continuation"),
+    Restriction: ("body",),
+    Parallel: ("left", "right"),
+    Match: ("left", "right", "continuation"),
+    Replication: ("body",),
+    Case: ("scrutinee", "key", "continuation"),
+    IntCase: ("scrutinee", "zero_branch", "succ_branch"),
+    Split: ("scrutinee", "continuation"),
+}
+
+
+def _sym_safe(node, memo: Optional[dict]) -> bool:
+    """No position-relative constructs anywhere in the subtree.
+
+    ``At`` terms, address matches, location variables and localized
+    channels all resolve relative to absolute tree positions, so
+    permuting siblings is only meaning-preserving in their absence.
+    Plain creator locations (on names and localized values) are fine:
+    the renderer rewrites them consistently with the permutation.
+    """
+    if memo is not None:
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit
+    cls = node.__class__
+    if cls is At or cls is AddrMatch:
+        ok = False
+    elif cls is Channel:
+        ok = node.index is None and _sym_safe(node.subject, memo)
+    elif cls is SharedEnc:
+        ok = all(_sym_safe(p, memo) for p in node.body) and _sym_safe(node.key, memo)
+    else:
+        fields = _SYM_CHILDREN.get(cls)
+        ok = fields is not None and all(
+            _sym_safe(getattr(node, f), memo) for f in fields
+        )
+    if memo is not None:
+        memo[id(node)] = ok
+    return ok
+
+
+def _chain(node) -> Optional[tuple[list, object]]:
+    """The right-nested parallel chain at ``node`` ending in a
+    replication template, as ``(slots, template)`` — or ``None`` when
+    the shape does not match or fewer than two copies have unfolded."""
+    slots: list = []
+    cur = node
+    while cur.__class__ is Parallel:
+        slots.append(cur.left)
+        cur = cur.right
+    if cur.__class__ is Replication and len(slots) >= 2:
+        return slots, cur
+    return None
+
+
+def _spiny(node, memo: Optional[dict]) -> bool:
+    """Does the subtree contain any candidate spine (through parallels)?"""
+    if node.__class__ is not Parallel:
+        return False
+    if memo is not None:
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit
+    result = (
+        _chain(node) is not None
+        or _spiny(node.left, memo)
+        or _spiny(node.right, memo)
+    )
+    if memo is not None:
+        memo[id(node)] = result
+    return result
+
+
+def _role_gate(head: tuple, roles: tuple) -> bool:
+    """No role location strictly inside the spine at ``head``.
+
+    Sorting a spine that a role boundary runs through would conflate
+    distinct roles (the composition tree is itself a right-leaning
+    parallel chain).  A role *at* the head, or above it, is fine: then
+    the whole spine belongs to one role.
+    """
+    n = len(head)
+    return all(not (loc[:n] == head and loc != head) for loc, _label in roles)
+
+
+def _blind(node, slot_pos: tuple, caching: bool) -> str:
+    """The location-blind sort key of one spine slot.
+
+    The slot is rendered with locally renumbered identities; locations
+    under the slot's own position are re-based onto a placeholder so
+    structurally identical copies at different slots compare equal.
+    Foreign locations (names received from elsewhere) stay verbatim.
+    """
+    key = (id(node), slot_pos)
+    if caching:
+        hit = _blind_memo.get(key)
+        if hit is not None:
+            return hit
+    n = len(slot_pos)
+
+    def debase(match: "re.Match[str]") -> str:
+        loc = _parse_loc(match.group(0))
+        if loc[:n] == slot_pos:
+            return "<*" + "".join(f"||{t}" for t in loc[n:]) + ">"
+        return match.group(0)
+
+    rendered = _LOC_RE.sub(debase, _render(_tokens(node, caching)))
+    if caching:
+        _blind_memo[key] = rendered
+    return rendered
+
+
+def _sym_emit(
+    node,
+    old_pos: tuple,
+    new_pos: tuple,
+    roles: tuple,
+    moves: dict,
+    out: list,
+    caching: bool,
+) -> None:
+    """Emit the symmetry-reordered token stream of ``node``.
+
+    ``old_pos`` is the node's position in the original tree (where the
+    creator locations baked into its names point), ``new_pos`` its
+    position in the reordered rendering; every divergence is recorded
+    in ``moves`` (old absolute prefix -> new absolute prefix) for the
+    final location rewrite.
+    """
+    global _sym_reorders
+    if node.__class__ is Parallel:
+        chain = _chain(node)
+        if chain is not None and _role_gate(old_pos, roles):
+            slots, template = chain
+            k = len(slots)
+            old_slots = [old_pos + (1,) * i + (0,) for i in range(k)]
+            new_slots = [new_pos + (1,) * i + (0,) for i in range(k)]
+            order = sorted(
+                range(k), key=lambda i: _blind(slots[i], old_slots[i], caching)
+            )
+            if order != list(range(k)):
+                _sym_reorders += 1
+            for j, i in enumerate(order):
+                out.append("(")
+                if old_slots[i] != new_slots[j]:
+                    moves[old_slots[i]] = new_slots[j]
+                _sym_emit(
+                    slots[i], old_slots[i], new_slots[j], roles, moves, out, caching
+                )
+                out.append(" | ")
+            if old_pos != new_pos:
+                moves[old_pos + (1,) * k] = new_pos + (1,) * k
+            out.extend(_tokens(template, caching))
+            out.append(")" * k)
+            return
+        if _spiny(node, _spiny_memo if caching else None):
+            out.append("(")
+            _sym_emit(
+                node.left, old_pos + (0,), new_pos + (0,), roles, moves, out, caching
+            )
+            out.append(" | ")
+            _sym_emit(
+                node.right, old_pos + (1,), new_pos + (1,), roles, moves, out, caching
+            )
+            out.append(")")
+            return
+    out.extend(_tokens(node, caching))
+
+
+def _sym_key(node, roles: tuple, caching: bool) -> str:
+    """The symmetry-canonical key of a tree (see section comment)."""
+    if not _sym_safe(node, _sym_safe_memo if caching else None) or not _spiny(
+        node, _spiny_memo if caching else None
+    ):
+        return _render(_tokens(node, caching))
+    moves: dict = {}
+    out: list = []
+    _sym_emit(node, (), (), roles, moves, out, caching)
+    rendered = _render(out)
+    if not moves:
+        return rendered
+    # Longest-prefix-first lookup, done with one exact dict probe per
+    # distinct move length (spine slots share only a few lengths) and a
+    # per-call memo so each distinct location string is resolved once.
+    lengths = sorted({len(old) for old in moves}, reverse=True)
+    resolved: dict[str, str] = {}
+
+    def rebase(match: "re.Match[str]") -> str:
+        text = match.group(0)
+        hit = resolved.get(text)
+        if hit is None:
+            loc = _parse_loc(text)
+            hit = text
+            for n in lengths:
+                new = moves.get(loc[:n])
+                if new is not None:
+                    hit = location_str(new + loc[n:])
+                    break
+            resolved[text] = hit
+        return hit
+
+    return _LOC_RE.sub(rebase, rendered)
+
+
+def sym_reorder_count() -> int:
+    """Monotonic count of spine reorderings performed by symmetric key
+    assembly — the ``reduction.sym_merge`` metric's raw counter."""
+    return _sym_reorders
+
+
 # ----------------------------------------------------------------------
 # State keys
 # ----------------------------------------------------------------------
 
 
-def state_key(root: Process) -> str:
+def state_key(root: Process, roles: tuple = ()) -> str:
     """The alpha-invariant canonical key of a state's process tree.
 
-    Byte-identical to ``canonical_process(root)``; with the cache
-    enabled the tree is interned first and the key is memoized per
-    interned root.
+    With ``roles`` empty (or symmetry off) this is byte-identical to
+    ``canonical_process(root)``; with the cache enabled the tree is
+    interned first and the key is memoized per interned root.  When
+    symmetry canonicalization is on and the caller supplies the
+    system's roles, replicated sibling sessions are sorted into a
+    canonical order first, merging states that differ only by a
+    permutation of structurally identical copies.
     """
     global _canonical_hits, _canonical_misses
     if not _enabled:
+        if _symmetry and roles:
+            return _sym_key(root, roles, caching=False)
         return canonical_process(root)
     node = _table.process(root)
+    if _symmetry and roles:
+        memo_key = (id(node), roles)
+        key = _sym_keys.get(memo_key)
+        if key is not None:
+            _canonical_hits += 1
+            return key
+        _canonical_misses += 1
+        key = _sym_keys[memo_key] = _sym_key(node, roles, caching=True)
+        if len(_table) > MAX_INTERNED_NODES:
+            clear_caches()
+        return key
     key = _keys.get(id(node))
     if key is not None:
         _canonical_hits += 1
@@ -453,8 +834,13 @@ def successor_key(system) -> Optional[tuple]:
     return ((id(node), system.private, system.roles), node)
 
 
-def successor_get(handle: tuple) -> Optional[list]:
-    """Cached transition list for ``handle``, or ``None``."""
+def successor_get(handle: tuple):
+    """Cached successor batch for ``handle``, or ``None``.
+
+    The payload is opaque to this module (an immutable
+    :class:`~repro.semantics.transitions.StepBatch`); callers must not
+    mutate it.
+    """
     global _successor_hits, _successor_misses
     key, _node = handle
     entry = _successors.get(key)
@@ -463,13 +849,13 @@ def successor_get(handle: tuple) -> Optional[list]:
         return None
     _successors.move_to_end(key)
     _successor_hits += 1
-    return list(entry[1])
+    return entry[1]
 
 
-def successor_put(handle: tuple, transitions: list) -> None:
-    """Record the computed transitions of one state (LRU-bounded)."""
+def successor_put(handle: tuple, batch) -> None:
+    """Record the computed successor batch of one state (LRU-bounded)."""
     key, node = handle
-    _successors[key] = (node, tuple(transitions))
+    _successors[key] = (node, batch)
     _successors.move_to_end(key)
     while len(_successors) > SUCCESSOR_CACHE_SIZE:
         _successors.popitem(last=False)

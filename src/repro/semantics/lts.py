@@ -47,7 +47,7 @@ from repro.runtime import exhaustion as ex
 from repro.runtime.deadline import RunControl, resolve_control
 from repro.runtime.exhaustion import Exhaustion
 from repro.runtime.faults import FaultError
-from repro.semantics import canonical
+from repro.semantics import canonical, reduction
 from repro.semantics.actions import Transition
 from repro.semantics.system import System
 from repro.semantics.transitions import successors
@@ -162,12 +162,27 @@ def _expand(
     budget: Budget,
     queue: deque[tuple[str, int]],
     tally: _Tally,
+    use_por: bool = True,
 ) -> tuple[list[tuple[Transition, str]], bool]:
     """Expand one state; returns its (possibly partial) out-edges and
-    whether the state budget refused any target."""
+    whether the state budget refused any target.
+
+    Successors come from the reducer: partial-order reduction (when
+    active and ``use_por``) expands a single ample transition instead
+    of the full batch, with visited states as the cycle proviso; the
+    full batch is materialized in one arena pass either way.
+    """
     out: list[tuple[Transition, str]] = []
     refused = False
-    for step in successors(state):
+    steps = reduction.reduced_successors(
+        state,
+        is_visited=(
+            (lambda step: step.target.canonical_key() in graph.states)
+            if use_por
+            else None
+        ),
+    )
+    for step in steps:
         target_key = step.target.canonical_key()
         if target_key not in graph.states:
             if len(graph.states) >= budget.max_states:
@@ -187,11 +202,33 @@ def _expand(
     return out, refused
 
 
+def _dedup_pending(entries) -> list[tuple[str, int]]:
+    """Drop repeated frontier keys, keeping the first (shallowest,
+    BFS-ordered) entry for each.
+
+    A batched expansion enqueues a whole successor set at once, so a
+    checkpoint written around it can see the same key both in the
+    refused ``pending`` list and the live queue; resuming such a
+    snapshot without deduplication would expand the state twice and
+    double-count its work in the run's ``states``/``transitions``
+    stats.
+    """
+    seen: set[str] = set()
+    out: list[tuple[str, int]] = []
+    for key, depth in entries:
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((key, depth))
+    return out
+
+
 def snapshot_exploration(graph: Graph, queue: deque[tuple[str, int]]) -> Graph:
     """A resumable, independent copy of an in-flight exploration.
 
-    The copy's ``pending`` frontier includes the not-yet-expanded queue,
-    so feeding it to :func:`resume_exploration` (directly or through a
+    The copy's ``pending`` frontier includes the not-yet-expanded queue
+    (deduplicated against the refused entries), so feeding it to
+    :func:`resume_exploration` (directly or through a
     :class:`~repro.runtime.checkpoint.Checkpoint`) continues exactly
     where the live run stood.  State values are immutable, so shallow
     container copies fully decouple the snapshot from the live graph.
@@ -201,7 +238,7 @@ def snapshot_exploration(graph: Graph, queue: deque[tuple[str, int]]) -> Graph:
         states=dict(graph.states),
         edges=dict(graph.edges),
         exhaustion=graph.exhaustion,
-        pending=list(graph.pending) + list(queue),
+        pending=_dedup_pending(list(graph.pending) + list(queue)),
         incomplete=set(graph.incomplete),
     )
 
@@ -211,6 +248,7 @@ def _run_exploration(
     queue: deque[tuple[str, int]],
     budget: Budget,
     control: RunControl,
+    use_por: bool = True,
 ) -> None:
     """Drive the BFS over ``queue``, mutating ``graph`` in place."""
     reasons: list[str] = []
@@ -222,6 +260,7 @@ def _run_exploration(
     last_saved = len(graph.states)
     tally = _Tally()
     cache_before = canonical.metrics_snapshot()
+    reduction_before = reduction.metrics_snapshot()
 
     def note(reason: str) -> None:
         if reason not in reasons:
@@ -243,7 +282,7 @@ def _run_exploration(
                 continue
             try:
                 out, refused = _expand(
-                    graph, graph.states[key], depth, budget, queue, tally
+                    graph, graph.states[key], depth, budget, queue, tally, use_por
                 )
             except FaultError as error:
                 note(ex.FAULT)
@@ -292,14 +331,25 @@ def _run_exploration(
         metrics.set_gauge("explore.queue_depth", tally.max_queue)
         metrics.observe("explore.seconds", elapsed)
         canonical.publish_cache_metrics(metrics, cache_before)
+        reduction.publish_reduction_metrics(metrics, reduction_before)
 
 
 def explore(
     system: System,
     budget: Budget = DEFAULT_BUDGET,
     control: Optional[RunControl] = None,
+    use_por: bool = True,
 ) -> Graph:
-    """Breadth-first exploration of the tau-reachable states."""
+    """Breadth-first exploration of the tau-reachable states.
+
+    ``use_por=False`` opts this exploration out of partial-order
+    reduction (even when the global mode enables it): callers that need
+    the *full branching structure* — bisimulation, simulation and
+    must-testing are not preserved by POR, which only keeps
+    trace/reachability-style properties — pass False.  Symmetry
+    reduction (a quotient by an automorphism of the LTS) remains active
+    and is sound for those checks.
+    """
     initial_key = system.canonical_key()
     graph = Graph(initial=initial_key)
     graph.states[initial_key] = system
@@ -309,7 +359,7 @@ def explore(
     queue: deque[tuple[str, int]] = deque([(initial_key, 0)])
     with trace_span("lts.explore", max_states=budget.max_states,
                     max_depth=budget.max_depth):
-        _run_exploration(graph, queue, budget, resolve_control(control))
+        _run_exploration(graph, queue, budget, resolve_control(control), use_por)
     return graph
 
 
@@ -317,6 +367,7 @@ def resume_exploration(
     graph: Graph,
     budget: Budget = DEFAULT_BUDGET,
     control: Optional[RunControl] = None,
+    use_por: bool = True,
 ) -> Graph:
     """Continue a partial exploration from its pending frontier.
 
@@ -333,13 +384,17 @@ def resume_exploration(
         edges=dict(graph.edges),
         incomplete=set(graph.incomplete),
     )
-    queue: deque[tuple[str, int]] = deque(graph.pending)
+    # Deduplicate defensively on the read side too: checkpoints written
+    # by older versions (or mid-expansion of a batched successor set)
+    # may carry a key in both the refused list and the saved queue, and
+    # re-expanding it would double-count states/transitions work.
+    queue: deque[tuple[str, int]] = deque(_dedup_pending(graph.pending))
     if not queue:
         resumed.exhaustion = graph.exhaustion
         return resumed
     with trace_span("lts.resume", prior_states=len(graph.states),
                     max_states=budget.max_states, max_depth=budget.max_depth):
-        _run_exploration(resumed, queue, budget, resolve_control(control))
+        _run_exploration(resumed, queue, budget, resolve_control(control), use_por)
     return resumed
 
 
@@ -370,6 +425,13 @@ def search(
 
     The structured twin of :func:`reachable`: the result says not just
     whether the search was exhaustive but which limit stopped it.
+
+    Under partial-order reduction the search remains complete for the
+    predicates this codebase uses (leaf-local/stutter-invariant facts:
+    barbs, heard-sets, activation fingerprints) because every pruned
+    interleaving reaches a representative where the same leaves and
+    pending actions occur; a predicate sensitive to the *ordering* of
+    independent internal steps would need ``--reduce none``.
     """
     ctl = resolve_control(control)
     seen: set[str] = {system.canonical_key()}
@@ -382,6 +444,7 @@ def search(
     found = False
     started = time.monotonic()
     cache_before = canonical.metrics_snapshot()
+    reduction_before = reduction.metrics_snapshot()
 
     def note(reason: str) -> None:
         if reason not in reasons:
@@ -397,6 +460,7 @@ def search(
             metrics.set_gauge("search.queue_depth", max_queue)
             metrics.observe("search.seconds", time.monotonic() - started)
             canonical.publish_cache_metrics(metrics, cache_before)
+            reduction.publish_reduction_metrics(metrics, reduction_before)
 
     try:
         while queue:
@@ -416,7 +480,10 @@ def search(
                 note(ex.DEPTH)
                 continue
             try:
-                for step in successors(state):
+                steps = reduction.reduced_successors(
+                    state, is_visited=lambda step: step.target.canonical_key() in seen
+                )
+                for step in steps:
                     key = step.target.canonical_key()
                     if key in seen:
                         dedup_hits += 1

@@ -1,0 +1,403 @@
+"""Cold-path state-space reduction: partial order + symmetry.
+
+The exploration loops expand strictly fewer states without changing a
+single verdict, by two orthogonal prunings:
+
+**Partial-order reduction (ample sets).**  At each state, the reducer
+looks for a transition that can serve as a *persistent singleton
+ample set*: firing only it, and postponing every other enabled
+transition, loses no behaviour relevant to any verdict.  A transition
+``t`` on channel ``ch`` qualifies when
+
+1. *invisibility* — ``ch`` is restricted (``ch in system.private``), so
+   ``t`` contributes no barb and no observable the may-testing or
+   environment layers could distinguish (public channels — including
+   every tester's observe wire, which sits outside the restriction —
+   never qualify);
+2. *single commitment* — ``t``'s two leaves each offer exactly one
+   pending prefix (``t``'s own ends), so no other enabled transition
+   touches them, and neither end was reached through a replication
+   unfold (an unfold leaves its template in place, so the leaf is
+   never actually committed and an infinite chain of fresh unfoldings
+   would postpone everything else without ever closing a cycle);
+3. *channel confinement* — every occurrence of ``ch`` in the whole
+   tree, in any polarity and including occurrences inside transmitted
+   terms, lies inside ``t``'s two leaf subtrees, and no prefix outside
+   them has a variable channel subject that substitution could later
+   bind to ``ch``.  Then ``t`` is the unique transition on ``ch`` now
+   and forever, and every other transition — current or future —
+   rewrites disjoint leaves, hence commutes with ``t``;
+4. *cycle proviso* — ``t``'s target has not been visited already
+   (checked through a caller-supplied predicate), preventing the
+   classic ignoring problem where postponed transitions chase a cycle
+   of ample steps forever.
+
+Conditions 1–3 make ``{t}`` persistent and invisible: every pruned
+interleaving commutes, state by state, to the representative that
+fires ``t`` first, with identical actions on identical edges; the
+pending-action sets other analyses scan (activation collection,
+barb/convergence checks, spy hearing) are preserved along the way.
+Occurrence sets are memoized per interned node, so the confinement
+check walks shared subtrees once and is pointer-cheap afterwards.
+
+**Symmetry reduction.**  Replicated sessions that differ only by a
+permutation of structurally identical copies are merged at the
+canonical-key level — see the symmetry section of
+:mod:`repro.semantics.canonical`, which owns the machinery (key
+assembly cannot depend on this module).
+
+Modes are selected with :func:`set_reduction_mode` (CLI flag
+``--reduce {none,por,sym,full}``) or the environment
+(``REPRO_REDUCTION``, with the ``REPRO_NO_REDUCTION`` escape hatch
+winning), both read at import so spawn-context suite/serve/cluster
+workers inherit the parent's choice, like ``REPRO_NO_STATE_CACHE``.
+Effectiveness is observable through the ``reduction.ample_hit`` /
+``reduction.sym_merge`` counters published by the exploration loops.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.core.addresses import Location
+from repro.core.errors import SemanticsError
+from repro.core.processes import Input, Output, Parallel, Process, Restriction
+from repro.core.terms import Localized, Name, payload
+from repro.semantics import canonical
+from repro.semantics.actions import Transition
+from repro.semantics.canonical import (
+    NO_REDUCTION_ENV,
+    REDUCTION_ENV,
+    REDUCTION_MODES,
+    env_reduction_mode,
+)
+from repro.semantics.system import System
+from repro.semantics.transitions import StepBatch, StepInfo, batched_successors
+
+__all__ = [
+    "MODES",
+    "NO_REDUCTION_ENV",
+    "REDUCTION_ENV",
+    "independent",
+    "metrics_snapshot",
+    "permute_sessions",
+    "por_enabled",
+    "publish_reduction_metrics",
+    "reduced_successors",
+    "reduction_mode",
+    "set_reduction_mode",
+    "sym_enabled",
+]
+
+MODES = REDUCTION_MODES
+
+_mode: str = env_reduction_mode()
+canonical.set_symmetry_enabled(_mode in {"sym", "full"})
+
+_ample_hits = 0
+
+
+def reduction_mode() -> str:
+    """The active reduction mode (``none``/``por``/``sym``/``full``)."""
+    return _mode
+
+
+def set_reduction_mode(mode: str) -> str:
+    """Select the reduction mode; returns the previous one.
+
+    Clears the canonical caches on a change: state keys and memoized
+    batches computed under one mode must never leak into another.
+    """
+    global _mode
+    if mode not in MODES:
+        raise ValueError(f"unknown reduction mode {mode!r} (expected one of {MODES})")
+    previous = _mode
+    _mode = mode
+    if previous != mode:
+        canonical.set_symmetry_enabled(mode in {"sym", "full"})
+        canonical.clear_caches()
+    return previous
+
+
+def por_enabled() -> bool:
+    return _mode in {"por", "full"}
+
+
+def sym_enabled() -> bool:
+    return _mode in {"sym", "full"}
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Run a block with all reduction off, restoring the mode after.
+
+    For analyses that need the *full, location-exact* transition system:
+    branching-sensitive equivalences (bisimulation, must-testing) are
+    not preserved by partial-order reduction, and per-copy diagnostics
+    (session hooking reports) must not merge permuted sessions.
+    Switching modes drops the canonical caches, so this is for cold
+    paths only.
+    """
+    previous = set_reduction_mode("none")
+    try:
+        yield
+    finally:
+        set_reduction_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# Independence
+# ----------------------------------------------------------------------
+
+
+def independent(a: StepInfo, b: StepInfo) -> bool:
+    """Are two enabled steps independent?
+
+    Sufficient criterion: the four involved leaves are pairwise
+    distinct — the steps rewrite disjoint subtrees, so they commute and
+    neither can disable the other.  Leaf locations are value tuples, so
+    the relation is symmetric by construction and stable under
+    interning of the underlying states.
+    """
+    return not ({a.out_leaf, a.in_leaf} & {b.out_leaf, b.in_leaf})
+
+
+#: Occurrence memo: id(interned node) -> (names occurring anywhere in
+#: the subtree, does any prefix have a non-name channel subject).
+#: Registered with the canonical clear hooks so entries never outlive
+#: the intern table.
+_occ_memo: dict[int, tuple[frozenset, bool]] = {}
+canonical.register_clear_hook(_occ_memo.clear)
+
+
+def _occurrences(node, memo: Optional[dict]) -> tuple[frozenset, bool]:
+    """All names in a subtree and whether it has a variable channel
+    subject — computed over the interned arena when caching, so shared
+    subtrees are scanned once."""
+    if memo is not None:
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit
+    names: set = set()
+    var_subject = False
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, Name):
+            names.add(cur)
+            continue
+        if memo is not None and cur is not node:
+            sub = memo.get(id(cur))
+            if sub is not None:
+                names.update(sub[0])
+                var_subject = var_subject or sub[1]
+                continue
+        if isinstance(cur, (Output, Input)):
+            if not isinstance(payload(cur.channel.subject), Name):
+                var_subject = True
+        for field in getattr(cur, "__dataclass_fields__", {}):
+            value = getattr(cur, field)
+            if isinstance(value, (tuple, list)):
+                for item in value:
+                    if hasattr(item, "__dataclass_fields__"):
+                        stack.append(item)
+            elif hasattr(value, "__dataclass_fields__"):
+                stack.append(value)
+    result = (frozenset(names), var_subject)
+    if memo is not None:
+        memo[id(node)] = result
+    return result
+
+
+def _confined(root: Process, allowed: tuple[Location, ...], channel: Name, caching: bool) -> bool:
+    """Is every use of ``channel`` (and every variable channel subject)
+    inside the leaf subtrees at ``allowed``?"""
+    memo = _occ_memo if caching else None
+
+    def go(node: Process, at: Location) -> bool:
+        if at in allowed:
+            return True
+        if isinstance(node, Parallel):
+            return go(node.left, at + (0,)) and go(node.right, at + (1,))
+        if isinstance(node, Restriction):
+            return go(node.body, at)
+        names, var_subject = _occurrences(node, memo)
+        return channel not in names and not var_subject
+
+    return go(root, ())
+
+
+# ----------------------------------------------------------------------
+# Reduced successor generation
+# ----------------------------------------------------------------------
+
+
+def reduced_successors(
+    system: System,
+    is_visited: Optional[Callable[[Transition], bool]] = None,
+    externally_visible: Optional[Callable[[StepInfo], bool]] = None,
+) -> list[Transition]:
+    """The transitions an exploration must expand from ``system``.
+
+    With partial-order reduction off (or no ample candidate), this is
+    exactly ``successors(system)``.  ``is_visited`` implements the
+    cycle proviso: it receives a candidate ample transition and returns
+    True when its target state counts as already visited, in which case
+    the reducer falls back to full expansion.  Callers that cannot
+    supply it (diagnostics, traces) get full expansion.
+    ``externally_visible`` lets the environment-sensitive semantics
+    veto candidates whose channel the attacker could interact with
+    (a derivable restricted channel is not invisible *to the
+    environment*).
+    """
+    global _ample_hits
+    batch = batched_successors(system)
+    transitions = list(batch.transitions)
+    if not por_enabled() or is_visited is None or len(transitions) < 2:
+        return transitions
+    caching = canonical.cache_enabled()
+    private = system.private
+    leaf_counts = batch.leaf_counts
+    for step, info in zip(batch.transitions, batch.infos):
+        if info.channel not in private:
+            continue  # visible: firing it alone could hide a barb
+        if info.unfolds:
+            # Replication unfolds never commit their leaf: the template
+            # survives the step, so an ample chain of unfolds is an
+            # infinite fresh-state path on which deferred transitions
+            # would be ignored forever (no cycle for the proviso).
+            continue
+        if leaf_counts.get(info.out_leaf, 0) != 1:
+            continue
+        if leaf_counts.get(info.in_leaf, 0) != 1:
+            continue
+        if externally_visible is not None and externally_visible(info):
+            continue
+        if not _confined(system.root, (info.out_leaf, info.in_leaf), info.channel, caching):
+            continue
+        if is_visited(step):
+            continue  # cycle proviso: expand fully instead
+        _ample_hits += 1
+        return [step]
+    return transitions
+
+
+# ----------------------------------------------------------------------
+# Session permutation (test helper and specification witness)
+# ----------------------------------------------------------------------
+
+
+def permute_sessions(system: System, head: Location, order: tuple[int, ...]) -> System:
+    """The system with the replicated sessions at ``head`` permuted.
+
+    ``head`` locates a spine — a right-nested parallel chain ending in
+    a replication template — and ``order`` gives, for each slot
+    position, the index of the original slot to place there.  Creator
+    locations throughout the system (names, localized values, the
+    private set) are rewritten consistently, so the result is the
+    behaviourally equivalent state the symmetry argument promises: the
+    canonical symmetric key is invariant under this operation.
+    """
+    from repro.core.processes import subprocess_at
+
+    node = subprocess_at(system.root, head)
+    chain = canonical._chain(node)
+    if chain is None:
+        raise SemanticsError(f"no replicated-session spine at {head!r}")
+    slots, template = chain
+    k = len(slots)
+    if sorted(order) != list(range(k)):
+        raise SemanticsError(f"order {order!r} is not a permutation of range({k})")
+    old_slots = [head + (1,) * i + (0,) for i in range(k)]
+    moves = {}
+    for new_index, old_index in enumerate(order):
+        if old_index != new_index:
+            moves[old_slots[old_index]] = old_slots[new_index]
+    rebuilt: Process = template
+    for i in reversed(range(k)):
+        rebuilt = Parallel(slots[order[i]], rebuilt)
+
+    def rebuild(node: Process, at: Location) -> Process:
+        if at == head:
+            return rebuilt
+        if not isinstance(node, Parallel):
+            raise SemanticsError(f"spine head {head!r} not in tree")
+        if head[: len(at) + 1] == at + (0,):
+            return Parallel(rebuild(node.left, at + (0,)), node.right)
+        return Parallel(node.left, rebuild(node.right, at + (1,)))
+
+    new_root = rebuild(system.root, ()) if head else rebuilt
+    if not moves:
+        return system
+    ordered = sorted(moves.items(), key=lambda item: len(item[0]), reverse=True)
+
+    def move_loc(loc):
+        if loc is None:
+            return None
+        for old, new in ordered:
+            if loc[: len(old)] == old:
+                return new + loc[len(old):]
+        return loc
+
+    def rewrite(value):
+        if isinstance(value, Name):
+            moved = move_loc(value.creator)
+            if moved is value.creator:
+                return value
+            return Name(value.base, value.uid, moved)
+        if isinstance(value, Localized):
+            return Localized(move_loc(value.creator), rewrite(value.term))
+        if not hasattr(value, "__dataclass_fields__"):
+            return value
+        changed = False
+        updates = {}
+        for field in value.__dataclass_fields__:
+            old = getattr(value, field)
+            if isinstance(old, tuple) and old and hasattr(old[0], "__dataclass_fields__"):
+                new = tuple(rewrite(item) for item in old)
+                same = all(a is b for a, b in zip(old, new))
+            elif hasattr(old, "__dataclass_fields__"):
+                new = rewrite(old)
+                same = new is old
+            else:
+                continue
+            if not same:
+                changed = True
+                updates[field] = new
+        if not changed:
+            return value
+        import dataclasses
+
+        return dataclasses.replace(value, **updates)
+
+    import dataclasses
+
+    return dataclasses.replace(
+        system,
+        root=rewrite(new_root),
+        private=frozenset(rewrite(n) for n in system.private),
+        _key_cache=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+
+def metrics_snapshot() -> tuple[int, int]:
+    """Monotonic ``(ample hits, symmetry reorders)`` counters —
+    snapshot before a run, diff after, publish the delta."""
+    return (_ample_hits, canonical.sym_reorder_count())
+
+
+_METRIC_NAMES = ("reduction.ample_hit", "reduction.sym_merge")
+
+
+def publish_reduction_metrics(metrics, before: tuple[int, int]) -> None:
+    """Publish counter deltas since ``before`` to a metrics registry."""
+    after = metrics_snapshot()
+    for name, b, a in zip(_METRIC_NAMES, before, after):
+        if a > b:
+            metrics.inc(name, a - b)

@@ -135,10 +135,13 @@ class System:
         Computed through :func:`repro.semantics.canonical.state_key`:
         hash-consed and memoized when the state cache is enabled,
         rendered from scratch otherwise — byte-identical either way.
+        The roles are passed along so symmetry canonicalization (when
+        active) can merge states that differ only by a permutation of
+        replicated sibling sessions within one role.
         """
         if self._key_cache is None:
             fault_hook(CANONICAL)
-            object.__setattr__(self, "_key_cache", state_key(self.root))
+            object.__setattr__(self, "_key_cache", state_key(self.root, self.roles))
         return self._key_cache
 
     def __str__(self) -> str:  # pragma: no cover - trivial

@@ -26,6 +26,7 @@ computes every silent transition, implementing the paper's rules:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.core.addresses import AddressError, Location, RelativeAddress
@@ -224,8 +225,14 @@ def _admits(index: object, own_loc: Location, partner_loc: Location) -> bool:
     raise SemanticsError(f"unknown channel index {index!r}")
 
 
-def synchronize(out: PendingAction, inp: PendingAction, system: System) -> Optional[Transition]:
-    """Build the transition for one output/input pair, if admissible."""
+def _match_pair(
+    out: PendingAction, inp: PendingAction
+) -> Optional[tuple[Term, Process, Process]]:
+    """Admissibility and continuations for one output/input pair.
+
+    Returns ``(value, sender_cont, receiver_cont)`` when the pair can
+    synchronize, ``None`` otherwise.
+    """
     if out.leaf_loc == inp.leaf_loc:
         # Both prefixes come from the same leaf (a replication whose body
         # contains both ends).  Their rebuild closures would conflict;
@@ -246,7 +253,15 @@ def synchronize(out: PendingAction, inp: PendingAction, system: System) -> Optio
     receiver_cont: Process = subst(inp.continuation, {inp.binder: value})
     if isinstance(inp.index, LocVar):
         receiver_cont = instantiate_locvar(receiver_cont, inp.index, out.act_loc)
+    return value, sender_cont, receiver_cont
 
+
+def synchronize(out: PendingAction, inp: PendingAction, system: System) -> Optional[Transition]:
+    """Build the transition for one output/input pair, if admissible."""
+    matched = _match_pair(out, inp)
+    if matched is None:
+        return None
+    value, sender_cont, receiver_cont = matched
     new_root = replace_leaves(
         system.root,
         {out.leaf_loc: out.wrap(sender_cont), inp.leaf_loc: inp.wrap(receiver_cont)},
@@ -264,19 +279,149 @@ def synchronize(out: PendingAction, inp: PendingAction, system: System) -> Optio
     return Transition(action=action, target=target)
 
 
-def successors(system: System) -> list[Transition]:
-    """Every silent transition enabled in ``system``.
+# ----------------------------------------------------------------------
+# Batched successor generation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StepInfo:
+    """Leaf/channel anatomy of one transition, for the reducer.
+
+    ``out_leaf``/``in_leaf`` are the leaf locations whose prefixes the
+    step consumes; ``channel`` is the synchronizing subject.  All three
+    are value objects, so info records survive interning unchanged.
+    """
+
+    out_leaf: Location
+    in_leaf: Location
+    channel: Name
+    #: True when either side's prefix was reached through a replication
+    #: unfold (the acting location sits strictly below the spine leaf).
+    #: Such steps never seed an ample set: firing them leaves the
+    #: template in place, so the "single commitment" reading of the
+    #: leaf is wrong and an infinite unfolding chain would defer the
+    #: other transitions forever (the ignoring problem has no cycle to
+    #: trip the proviso on).
+    unfolds: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class StepBatch:
+    """Every successor of one state, materialized in a single pass.
+
+    ``leaf_counts`` maps each leaf location to the number of pending
+    prefixes it offers (the reducer's single-commitment test).  Batches
+    are immutable by convention — they are shared through the successor
+    cache.
+    """
+
+    transitions: tuple[Transition, ...]
+    infos: tuple[StepInfo, ...]
+    leaf_counts: dict
+
+
+def _rewrite_batch(root: Process, patches: list[dict]) -> list[Process]:
+    """Apply each two-leaf patch to ``root`` independently, in one walk.
+
+    Each patch is a ``{leaf location: replacement}`` dict as accepted by
+    :func:`~repro.core.processes.replace_leaves`; the result list holds
+    one rebuilt root per patch.  Untouched subtrees are shared between
+    the input tree and every result, so the per-target cost is the two
+    rewritten spines rather than a full-tree copy per transition.
+    """
+
+    def go(node: Process, at: Location, idxs: list[int]) -> dict[int, Process]:
+        built: dict[int, Process] = {}
+        rest: list[int] = []
+        for i in idxs:
+            if at in patches[i]:
+                if len(patches[i]) == 1 or all(
+                    loc[: len(at)] != at or loc == at for loc in patches[i]
+                ):
+                    built[i] = patches[i][at]
+                else:
+                    raise SemanticsError(f"nested replacement locations at {at}")
+            else:
+                rest.append(i)
+        if not rest:
+            return built
+        if isinstance(node, Restriction):
+            for i, sub in go(node.body, at, rest).items():
+                built[i] = Restriction(node.name, sub)
+            return built
+        if not isinstance(node, Parallel):
+            raise SemanticsError(f"replacement location not in tree at {at}")
+        lp, rp = at + (0,), at + (1,)
+        lefts = [i for i in rest if any(loc[: len(lp)] == lp for loc in patches[i])]
+        rights = [i for i in rest if any(loc[: len(rp)] == rp for loc in patches[i])]
+        left_built = go(node.left, lp, lefts) if lefts else {}
+        right_built = go(node.right, rp, rights) if rights else {}
+        for i in rest:
+            built[i] = Parallel(
+                left_built.get(i, node.left), right_built.get(i, node.right)
+            )
+        return built
+
+    results = go(root, (), list(range(len(patches))))
+    return [results[i] for i in range(len(patches))]
+
+
+#: ``normalize`` memo for the batched path, keyed by (identity of the
+#: interned node, absolute position).  Guard evaluation is position
+#: dependent (address matching resolves relative to the position), so
+#: the position is part of the key.  Entries reference nodes the intern
+#: table keeps alive; the memo is dropped with the rest of the
+#: canonical caches via the registered clear hook.
+_norm_memo: dict[tuple[int, Location], Process] = {}
+canonical.register_clear_hook(_norm_memo.clear)
+
+
+def _normalize_interned(node: Process, at: Location = ()) -> Process:
+    """:func:`normalize` over the interned arena, memoized.
+
+    ``node`` must be interned (children of an interned node are
+    interned, so the recursion stays inside the arena until it reaches
+    a non-structural node, which falls through to plain ``normalize``).
+    """
+    key = (id(node), at)
+    hit = _norm_memo.get(key)
+    if hit is not None:
+        return hit
+    if isinstance(node, Parallel):
+        result: Process = Parallel(
+            _normalize_interned(node.left, at + (0,)),
+            _normalize_interned(node.right, at + (1,)),
+        )
+    elif isinstance(node, Restriction):
+        result = Restriction(node.name, _normalize_interned(node.body, at))
+    else:
+        result = normalize(node, at)
+    _norm_memo[key] = result
+    return result
+
+
+def batched_successors(system: System) -> StepBatch:
+    """Every silent transition enabled in ``system``, as one batch.
 
     Instrumented for fault injection (:mod:`repro.runtime.faults`): the
     hook is free unless a plan is active, and it fires *before* the
     successor-cache lookup so injected-fault schedules see the same
     call sequence whether or not the cache is enabled.
 
-    Results are memoized per interned state (see
+    Batches are memoized per interned state (see
     :mod:`repro.semantics.canonical`): re-expanding a state the
     attacker enumeration or an escalated re-exploration has already
-    visited returns the recorded transitions — uids included, since the
-    cache keys on the identity of the hash-consed root.
+    visited returns the recorded batch — uids included, since the cache
+    keys on the identity of the hash-consed root.
+
+    With the cache enabled, target construction is batched: all patched
+    roots are rebuilt in one shared walk over the arena
+    (:func:`_rewrite_batch`) and normalized through a per-(node,
+    position) memo, so shared spine work is paid once per state instead
+    of once per transition.  With the cache disabled the legacy
+    per-pair path runs — the differential parity suites hold the two
+    byte-identical.
     """
     fault_hook(SUCCESSORS)
     cache_handle = canonical.successor_key(system)
@@ -285,14 +430,72 @@ def successors(system: System) -> list[Transition]:
         if cached is not None:
             return cached
     actions = pending_actions(system)
+    leaf_counts: dict[Location, int] = {}
+    for act in actions:
+        leaf_counts[act.leaf_loc] = leaf_counts.get(act.leaf_loc, 0) + 1
     outputs = [a for a in actions if a.is_output]
     inputs = [a for a in actions if not a.is_output]
-    transitions: list[Transition] = []
+    pairs: list[tuple[PendingAction, PendingAction, Term, Process, Process]] = []
     for out in outputs:
         for inp in inputs:
-            step = synchronize(out, inp, system)
-            if step is not None:
-                transitions.append(step)
+            matched = _match_pair(out, inp)
+            if matched is not None:
+                pairs.append((out, inp) + matched)
+    transitions: list[Transition] = []
+    infos: list[StepInfo] = []
+    if cache_handle is not None and pairs:
+        patches = [
+            {out.leaf_loc: out.wrap(sender), inp.leaf_loc: inp.wrap(receiver)}
+            for out, inp, _value, sender, receiver in pairs
+        ]
+        roots = _rewrite_batch(system.root, patches)
+        for (out, inp, value, _s, _r), new_root in zip(pairs, roots):
+            normalized = _normalize_interned(canonical.intern_process(new_root))
+            target = system.with_root(normalized, out.new_private | inp.new_private)
+            action = Comm(
+                channel=out.channel_subject,
+                value=value,
+                sender=out.act_loc,
+                receiver=inp.act_loc,
+            )
+            transitions.append(Transition(action=action, target=target))
+            infos.append(StepInfo(
+                out.leaf_loc,
+                inp.leaf_loc,
+                out.channel_subject,
+                unfolds=(out.act_loc != out.leaf_loc or inp.act_loc != inp.leaf_loc),
+            ))
+    else:
+        for out, inp, value, sender, receiver in pairs:
+            new_root = replace_leaves(
+                system.root,
+                {out.leaf_loc: out.wrap(sender), inp.leaf_loc: inp.wrap(receiver)},
+            )
+            new_root = normalize(new_root)
+            target = system.with_root(new_root, out.new_private | inp.new_private)
+            action = Comm(
+                channel=out.channel_subject,
+                value=value,
+                sender=out.act_loc,
+                receiver=inp.act_loc,
+            )
+            transitions.append(Transition(action=action, target=target))
+            infos.append(StepInfo(
+                out.leaf_loc,
+                inp.leaf_loc,
+                out.channel_subject,
+                unfolds=(out.act_loc != out.leaf_loc or inp.act_loc != inp.leaf_loc),
+            ))
+    batch = StepBatch(tuple(transitions), tuple(infos), leaf_counts)
     if cache_handle is not None:
-        canonical.successor_put(cache_handle, transitions)
-    return transitions
+        canonical.successor_put(cache_handle, batch)
+    return batch
+
+
+def successors(system: System) -> list[Transition]:
+    """Every silent transition enabled in ``system``.
+
+    Thin wrapper over :func:`batched_successors`; callers that need the
+    step anatomy (the partial-order reducer) use the batch directly.
+    """
+    return list(batched_successors(system).transitions)

@@ -145,6 +145,8 @@ def budget_signature(job: Job) -> dict:
     """The budget axes a verdict depends on, with the worker's defaults
     applied so equivalent spellings key identically (``secret=None`` on
     a zoo secrecy job *is* ``secret="KAB"``)."""
+    from repro.semantics.reduction import reduction_mode
+
     secret = sender = None
     if job.kind == "secrecy":
         secret = job.secret or ("KAB" if "zoo" in job.target else None)
@@ -155,6 +157,10 @@ def budget_signature(job: Job) -> dict:
         "max_depth": job.max_depth,
         "secret": secret,
         "sender": sender,
+        # A budget-truncated verdict can legitimately differ between
+        # reduction modes (the horizon covers different states), so a
+        # warm hit must never cross modes.
+        "reduce": reduction_mode(),
     }
 
 

@@ -417,6 +417,92 @@ class TestObservabilityFlags:
         assert "suite.dispatch" in names and "suite.outcome" in names
 
 
+class TestReduceFlag:
+    """``--reduce {none,por,sym,full}`` on every verdicting command."""
+
+    #: Two independent private communications: the unreduced graph is
+    #: the full diamond, an ample set serializes it to one path.
+    DIAMOND = "(nu a)((nu b)(a<a>.0 | (a(x).0 | (b<b>.0 | b(x).0))))"
+
+    def test_modes_change_exploration_not_exit_codes(self):
+        for mode, states in (("none", 4), ("por", 3), ("sym", 4), ("full", 3)):
+            status, output = run_cli(
+                "explore", "--reduce", mode, "-e", self.DIAMOND
+            )
+            assert status == 0
+            # Symmetry needs role-tagged sessions, so on a plain term
+            # only the partial-order half prunes.
+            assert output.split()[0] == str(states), (mode, output)
+
+    def test_reduction_counters_reach_stats(self, tmp_path):
+        import json
+
+        for mode, hits in (("por", 1), ("none", 0)):
+            stats = tmp_path / f"{mode}.json"
+            status, _ = run_cli(
+                "explore", "--reduce", mode, "--stats", str(stats),
+                "-e", self.DIAMOND,
+            )
+            assert status == 0
+            counters = json.loads(stats.read_text())["metrics"]["counters"]
+            assert counters.get("reduction.ample_hit", 0) == hits
+
+    def test_flag_sets_mode_and_env_for_the_run(self, monkeypatch):
+        # The env var is what spawned suite/serve/cluster workers
+        # inherit; the flag must set it, beat the REPRO_NO_REDUCTION
+        # escape hatch for the duration, and restore both afterwards.
+        import os
+
+        import repro.cli as cli
+        from repro.semantics import canonical, reduction
+
+        before = reduction.reduction_mode()
+        seen = {}
+        real = cli._dispatch_observed
+
+        def spy(args, out):
+            seen["mode"] = reduction.reduction_mode()
+            seen["env"] = os.environ.get(canonical.REDUCTION_ENV)
+            seen["hatch"] = os.environ.get(canonical.NO_REDUCTION_ENV)
+            return real(args, out)
+
+        monkeypatch.setattr(cli, "_dispatch_observed", spy)
+        monkeypatch.setenv(canonical.NO_REDUCTION_ENV, "1")
+        monkeypatch.delenv(canonical.REDUCTION_ENV, raising=False)
+        status, _ = run_cli("explore", "--reduce", "sym", "-e", EXAMPLE)
+        assert status == 0
+        assert seen == {"mode": "sym", "env": "sym", "hatch": None}
+        assert reduction.reduction_mode() == before
+        assert os.environ.get(canonical.REDUCTION_ENV) is None
+        assert os.environ.get(canonical.NO_REDUCTION_ENV) == "1"
+
+    def test_exit_codes_stable_across_modes(self):
+        for mode in ("none", "full"):
+            status, _ = run_cli(
+                "secrecy", str(SYSTEMS_DIR / "p1_impl.spi"),
+                "--secret", "M", "--reduce", mode,
+            )
+            assert status == 1, mode
+            status, _ = run_cli(
+                "secrecy", str(SYSTEMS_DIR / "p2_impl.spi"),
+                "--secret", "M", "--reduce", mode,
+            )
+            assert status == 0, mode
+
+    def test_suite_accepts_reduce(self, tmp_path):
+        source = tmp_path / "demo.spi"
+        source.write_text("a<M>.0 | a(x).0")
+        for mode in ("none", "full"):
+            status, output = run_cli(
+                "suite", str(source), "--jobs", "1", "--reduce", mode
+            )
+            assert status == 0, (mode, output)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("explore", "--reduce", "most", "-e", EXAMPLE)
+
+
 class TestStatsCommand:
     def _journal(self, tmp_path) -> str:
         journal = tmp_path / "suite.jsonl"

@@ -200,18 +200,18 @@ class TestControl:
         assert graph.exhaustion is not None and graph.exhaustion.reason == CANCELLED
 
     def test_keyboard_interrupt_yields_partial_graph(self, monkeypatch):
-        import repro.semantics.lts as lts
+        from repro.semantics import reduction
 
-        real = lts.successors
+        real = reduction.reduced_successors
         calls = {"n": 0}
 
-        def interrupting(system):
+        def interrupting(system, **kwargs):
             calls["n"] += 1
             if calls["n"] >= 3:
                 raise KeyboardInterrupt
-            return real(system)
+            return real(system, **kwargs)
 
-        monkeypatch.setattr(lts, "successors", interrupting)
+        monkeypatch.setattr(reduction, "reduced_successors", interrupting)
         graph = explore(chain_system(10))
         assert graph.exhaustion is not None
         assert CANCELLED in graph.exhaustion.reasons

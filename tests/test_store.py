@@ -120,6 +120,22 @@ class TestStoreKey:
         assert store_key(job) == store_key(job, engine=engine_version())
         assert store_key(job) != store_key(job, engine="0.0.0-other")
 
+    def test_reduction_mode_is_a_key_axis(self):
+        # Budget-truncated verdicts can legitimately differ between
+        # reduction modes (the reduced run covers more depth per
+        # state), so a warm hit must never cross modes.
+        from repro.semantics import reduction
+
+        job = _job()
+        base = store_key(job)
+        assert budget_signature(job)["reduce"] == reduction.reduction_mode()
+        previous = reduction.set_reduction_mode("none")
+        try:
+            assert store_key(job) != base
+        finally:
+            reduction.set_reduction_mode(previous)
+        assert store_key(job) == base
+
     def test_worker_defaults_normalize_into_the_key(self):
         """``secret=None`` on a zoo secrecy job *is* the worker default
         ``"KAB"``; ``sender=None`` on authentication *is* ``"A"`` — the
@@ -174,6 +190,7 @@ class TestStoreKey:
         sig = budget_signature(_job(secret=None))
         assert sig == {
             "max_states": 500, "max_depth": 24, "secret": "KAB", "sender": None,
+            "reduce": "full",
         }
         # Non-zoo secrecy has no builder default to normalize to.
         assert budget_signature(
