@@ -16,7 +16,7 @@ runs both when asked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.addresses import RelativeAddress
 from repro.core.processes import AddrMatch, Channel, Input, Nil, Output, Process
@@ -33,6 +33,9 @@ from repro.runtime.deadline import RunControl
 from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.actions import output_barb
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, find_trace, narrate
+
+if TYPE_CHECKING:
+    from repro.analysis.witness import Witness
 
 #: The default success channel testers signal on.
 SUCCESS = Name("omega")
@@ -121,12 +124,21 @@ def standard_testers(
 
 @dataclass(frozen=True, slots=True)
 class Attack:
-    """A found implementation flaw, with its reconstructed narration."""
+    """A found implementation flaw, with its reconstructed narration.
+
+    ``witness`` is the same distinguishing run in machine-checkable
+    form (unsealed: the caller that knows how ``impl`` was built must
+    seal it with a system recipe before serializing).  It covers the
+    implementation side of Definition 4 only — that the tester's success
+    barb is reachable; the specification side's *absence* of such a run
+    is the search's claim and not replayable from one trace.
+    """
 
     attacker_name: str
     attacker: Process
     test: Test
     narration: tuple[str, ...]
+    witness: Optional["Witness"] = None
 
     def describe(self) -> str:
         lines = [
@@ -179,16 +191,19 @@ class ImplementationVerdict:
 
 def _narrate_attack(
     config: Configuration, test: Test, budget: Budget
-) -> tuple[str, ...]:
+) -> tuple[tuple[str, ...], Optional["Witness"]]:
     """Reconstruct the shortest run of ``config | tester`` that makes the
-    test succeed, rendered with role names."""
+    test succeed: the role-named narration plus the machine-checkable
+    witness built from the same trace."""
+    from repro.analysis.witness import attack_witness
     from repro.equivalence.barbs import exhibits
 
     system = compose(config, test.tester)
     trace = find_trace(system, lambda s: exhibits(s, test.barb), budget)
     if trace is None:
-        return ("(run reconstruction exceeded the budget)",)
-    return tuple(narrate(system, trace))
+        return ("(run reconstruction exceeded the budget)",), None
+    witness = attack_witness(system, trace, test.name, test.barb.channel.base)
+    return tuple(narrate(system, trace)), witness
 
 
 def securely_implements(
@@ -242,11 +257,13 @@ def securely_implements(
             exhaustions.append(spec_result.exhaustion)
             if spec_result.found:
                 continue
+            narration, witness = _narrate_attack(impl_x, test, budget)
             attack = Attack(
                 attacker_name=attacker_name,
                 attacker=attacker,
                 test=test,
-                narration=_narrate_attack(impl_x, test, budget),
+                narration=narration,
+                witness=witness,
             )
             return ImplementationVerdict(
                 secure=False,

@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from repro.analysis.knowledge import Knowledge, synthesizable
 from repro.obs.metrics import current_metrics
@@ -55,6 +55,9 @@ from repro.semantics.normalize import normalize
 from repro.semantics.system import System
 from repro.semantics.transitions import _admits, pending_actions
 from repro.core.processes import LocVar
+
+if TYPE_CHECKING:
+    from repro.analysis.witness import Witness
 
 
 @dataclass(frozen=True, slots=True)
@@ -194,6 +197,38 @@ def env_successors(
             yield EnvStep("say", action, target)
 
 
+def env_initial(
+    config: Configuration,
+    env_role: str = "E",
+    initial_knowledge: tuple[Term, ...] = (),
+) -> tuple[EnvState, Location, frozenset[str]]:
+    """The starting point of the environment-sensitive semantics.
+
+    Returns the initial :class:`EnvState`, the environment's location,
+    and the wire set ``C`` (by base spelling) — everything
+    :func:`env_successors` needs.  Shared by :func:`env_explore` and the
+    independent witness replayer, which must agree on the initial
+    system.
+    """
+    from repro.core.processes import Nil
+
+    cfg = config
+    if env_role not in config.labels():
+        cfg = config.with_part(env_role, Nil())
+    system = compose(cfg)
+    env_loc = system.location_of(env_role)
+    channels = frozenset(name.base for name in cfg.private) | {
+        name.base for name in initial_knowledge if isinstance(name, Name)
+    }
+    # The attacker of Definition 4 lives inside the (nu C) scope, so it
+    # knows the *instantiated* channel names, not just their spellings.
+    channel_instances = tuple(
+        name for name in system.private if name.base in channels
+    )
+    knowledge = Knowledge.from_terms(tuple(initial_knowledge) + channel_instances)
+    return EnvState(system, knowledge), env_loc, channels
+
+
 @dataclass
 class EnvGraph:
     """Explored fragment of the environment-sensitive state space."""
@@ -233,24 +268,8 @@ def env_explore(
     between state expansions, and injected faults skip the failing state
     — both leave a partial graph with a structured :attr:`EnvGraph.exhaustion`.
     """
-    from repro.core.processes import Nil
-
     ctl = resolve_control(control)
-    cfg = config
-    if env_role not in config.labels():
-        cfg = config.with_part(env_role, Nil())
-    system = compose(cfg)
-    env_loc = system.location_of(env_role)
-    channels = frozenset(name.base for name in cfg.private) | {
-        name.base for name in initial_knowledge if isinstance(name, Name)
-    }
-    # The attacker of Definition 4 lives inside the (nu C) scope, so it
-    # knows the *instantiated* channel names, not just their spellings.
-    channel_instances = tuple(
-        name for name in system.private if name.base in channels
-    )
-    knowledge = Knowledge.from_terms(tuple(initial_knowledge) + channel_instances)
-    initial = EnvState(system, knowledge)
+    initial, env_loc, channels = env_initial(config, env_role, initial_knowledge)
 
     graph = EnvGraph(initial=initial.key())
     graph.states[initial.key()] = initial
@@ -357,6 +376,7 @@ class EnvVerdict:
     states: int
     violation: Optional[str] = None
     exhaustion: Optional[Exhaustion] = None
+    witness: Optional["Witness"] = None
 
     def describe(self) -> str:
         if self.holds:
@@ -385,12 +405,30 @@ def env_secrecy(
     for state in graph.states.values():
         for name in state.system.private:
             if name.base == secret_base and state.knowledge.can_derive(name):
+                from repro.analysis.witness import env_witness
+
                 return EnvVerdict(
                     holds=False,
                     exhaustive=not graph.truncated,
                     states=graph.state_count(),
                     violation=f"the attacker derives {name.render()}",
                     exhaustion=graph.exhaustion,
+                    witness=env_witness(
+                        config,
+                        kind="env-secrecy",
+                        goal=lambda st: any(
+                            n.base == secret_base and st.knowledge.can_derive(n)
+                            for n in st.system.private
+                        ),
+                        prop={
+                            "secret": secret_base,
+                            "env": env_role,
+                            "synth_depth": synth_depth,
+                        },
+                        env_role=env_role,
+                        synth_depth=synth_depth,
+                        budget=budget,
+                    ),
                 )
     return EnvVerdict(
         holds=True,
@@ -429,6 +467,8 @@ def env_freshness(
                 continue
             previous = per_creator.get(creator)
             if previous is not None and previous != act.act_loc:
+                from repro.analysis.witness import env_witness, freshness_violation
+
                 return EnvVerdict(
                     holds=False,
                     exhaustive=not graph.truncated,
@@ -438,6 +478,19 @@ def env_freshness(
                         "creator in a single run"
                     ),
                     exhaustion=graph.exhaustion,
+                    witness=env_witness(
+                        config,
+                        kind="env-freshness",
+                        goal=lambda st: freshness_violation(st.system, observe),
+                        prop={
+                            "observe": observe,
+                            "env": env_role,
+                            "synth_depth": synth_depth,
+                        },
+                        env_role=env_role,
+                        synth_depth=synth_depth,
+                        budget=budget,
+                    ),
                 )
             per_creator[creator] = act.act_loc
     return EnvVerdict(
@@ -476,6 +529,10 @@ def env_authentication(
                 continue
             creator = origin(value)
             if creator is None or not is_prefix(sender_loc, creator):
+                from repro.analysis.witness import (
+                    authentication_violation,
+                    env_witness,
+                )
                 from repro.syntax.pretty import render_term
 
                 return EnvVerdict(
@@ -487,6 +544,22 @@ def env_authentication(
                         f"not created by {sender_role}"
                     ),
                     exhaustion=graph.exhaustion,
+                    witness=env_witness(
+                        config,
+                        kind="env-authentication",
+                        goal=lambda st: authentication_violation(
+                            st.system, sender_loc, observe
+                        ),
+                        prop={
+                            "sender": sender_role,
+                            "observe": observe,
+                            "env": env_role,
+                            "synth_depth": synth_depth,
+                        },
+                        env_role=env_role,
+                        synth_depth=synth_depth,
+                        budget=budget,
+                    ),
                 )
     return EnvVerdict(
         holds=True,

@@ -22,7 +22,7 @@ its origin intact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.addresses import Location, RelativeAddress, is_prefix
 from repro.core.terms import Name, origin
@@ -30,6 +30,9 @@ from repro.equivalence.testing import Configuration, compose
 from repro.runtime.deadline import RunControl
 from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
+
+if TYPE_CHECKING:
+    from repro.analysis.witness import Witness
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +64,7 @@ class PropertyVerdict:
     activations: int
     violation: Optional[str] = None
     exhaustion: Optional[Exhaustion] = None
+    witness: Optional["Witness"] = None
 
     def describe(self) -> str:
         if self.holds:
@@ -138,12 +142,17 @@ def authentication(
     activations, exhaustion = _collect_activations(config, observe, budget, control)
     for activation in activations:
         if activation.creator is None or not is_prefix(sender_loc, activation.creator):
+            from repro.analysis.witness import authentication_witness
+
             return PropertyVerdict(
                 holds=False,
                 exhaustive=exhaustion is None,
                 activations=len(activations),
                 violation=activation.describe(),
                 exhaustion=exhaustion,
+                witness=authentication_witness(
+                    system, sender_role, observe.base, budget
+                ),
             )
     return PropertyVerdict(
         holds=True,
@@ -194,6 +203,7 @@ def freshness(
             total += 1
             previous = per_creator.get(creator)
             if previous is not None and previous != action.act_loc:
+                from repro.analysis.witness import freshness_witness
                 from repro.core.addresses import location_str
 
                 return PropertyVerdict(
@@ -206,6 +216,7 @@ def freshness(
                         f"created at {location_str(creator)} in one run"
                     ),
                     exhaustion=graph.exhaustion,
+                    witness=freshness_witness(system, observe.base, budget),
                 )
             per_creator[creator] = action.act_loc
     return PropertyVerdict(

@@ -19,7 +19,7 @@ may consume) does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.analysis.knowledge import Knowledge
 from repro.core.addresses import is_prefix
@@ -31,6 +31,9 @@ from repro.protocols.startup import startup
 from repro.runtime.deadline import RunControl
 from repro.runtime.exhaustion import Exhaustion
 from repro.semantics.lts import Budget, DEFAULT_BUDGET, explore
+
+if TYPE_CHECKING:
+    from repro.analysis.witness import Witness
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +50,7 @@ class SecrecyVerdict:
     heard: int
     leak: Optional[Term] = None
     exhaustion: Optional[Exhaustion] = None
+    witness: Optional["Witness"] = None
 
     def describe(self) -> str:
         if self.holds:
@@ -105,12 +109,23 @@ def keeps_secret(
     knowledge = Knowledge.from_terms(heard)
     for name in sorted(secrets, key=lambda n: n.uid or 0):
         if knowledge.can_derive(name):
+            witness = None
+            if isinstance(secret, str):
+                # Union-knowledge over all branches is an over-
+                # approximation of any single run; the witness builder
+                # re-searches for one concrete leaking path and may
+                # come up empty within the budget (witness stays None
+                # and --certify degrades the verdict to a fault).
+                from repro.analysis.witness import secrecy_witness
+
+                witness = secrecy_witness(system, spy_loc, secret, spy, budget)
             return SecrecyVerdict(
                 holds=False,
                 exhaustive=not graph.truncated,
                 heard=len(heard),
                 leak=name,
                 exhaustion=graph.exhaustion,
+                witness=witness,
             )
     return SecrecyVerdict(
         holds=True,

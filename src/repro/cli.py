@@ -144,6 +144,17 @@ def _add_runtime_arguments(
         )
 
 
+def _add_certify_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="require every violation verdict to carry a witness that "
+        "replays under the unreduced, uncached semantics; a violation "
+        "whose witness fails to replay degrades to a retryable fault "
+        "instead of being reported (see docs/verification.md)",
+    )
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-state-cache",
@@ -363,13 +374,36 @@ def cmd_property(args: argparse.Namespace, out) -> int:
         secret=getattr(args, "secret", None),
         sender=getattr(args, "sender", None),
     )
-    result = run_job(job, deadline=args.deadline)
+    from repro.semantics.replay import CertificationError
+
+    try:
+        result = run_job(job, deadline=args.deadline)
+    except CertificationError as err:
+        # --certify found a violation whose witness does not replay
+        # under the unreduced, uncached semantics.  That is a fault in
+        # the search, not a verdict: exit 3 (degraded), never a silent
+        # 0 or a confident 1.
+        print(f"certification failed: {err}", file=out)
+        return 3
     print(result["summary"], file=out)
+    if result.get("certified"):
+        print(
+            "certified: witness replayed independently "
+            "(reduction and state cache disabled)",
+            file=out,
+        )
     return 1 if result["violated"] else 0
 
 
 def cmd_stats(args: argparse.Namespace, out) -> int:
-    """``stats``: render a suite journal's per-job metrics as a table."""
+    """``stats``: render a suite journal's per-job metrics as a table.
+
+    A missing, empty, or wholly torn journal is an *empty* run, not an
+    error: operators point dashboards at journals that may not exist
+    yet (a cluster that has served no traffic), and a cron'd ``stats``
+    call must not page anyone over that.  The table renders with zero
+    rows and the exit status is 0.
+    """
     import json
 
     import os
@@ -377,9 +411,10 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
     from repro.obs.stats import SuiteStats, render_job_table
     from repro.runtime.journal import journaled_results
 
-    if not os.path.exists(args.journal):
-        raise ReproError(f"no journal at {args.journal!r}")
-    records = list(journaled_results(args.journal).values())
+    if os.path.exists(args.journal):
+        records = list(journaled_results(args.journal).values())
+    else:
+        records = []
     print(render_job_table(records), file=out)
     if args.json is not None:
         payload = SuiteStats.from_records(records).to_json()
@@ -425,6 +460,30 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         else:
             verdict = run(budget)
     print(verdict.describe(), file=out)
+    from repro.runtime.worker import certify_enabled
+
+    if not verdict.secure and certify_enabled():
+        from repro.semantics.replay import replay_witness
+
+        attack = verdict.attack
+        witness = attack.witness if attack is not None else None
+        if witness is None:
+            print("certification failed: attack carries no witness", file=out)
+            return 3
+        recipe = {
+            "source": "check",
+            "impl": args.impl,
+            "spec": args.spec,
+            "observe": impl.observe.base,
+            "roles": tuple(roles) + ("E",),
+            "attacker": attack.attacker_name,
+            "test": attack.test.name,
+        }
+        report = replay_witness(witness.sealed(recipe).to_json())
+        if not report.ok:
+            print(f"certification failed: {report.describe()}", file=out)
+            return 3
+        print(report.describe(), file=out)
     return 0 if verdict.secure else 1
 
 
@@ -613,6 +672,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
         heartbeat_interval=args.heartbeat_interval,
         takeover_after=args.takeover_after,
         verdict_store=args.verdict_store,
+        cross_check=args.cross_check,
     )
     if args.standby:
         print(f"standby watching {args.dir}", file=out, flush=True)
@@ -733,6 +793,18 @@ def cmd_cluster_status(args: argparse.Namespace, out) -> int:
         f" retired: {', '.join(cluster.get('retired', [])) or 'none'})",
         file=out,
     )
+    crosscheck = reply.get("crosscheck")
+    if crosscheck:
+        print(
+            f"cross-check rate {crosscheck.get('rate', 0):g}: "
+            f"{crosscheck.get('sampled', 0)} sampled, "
+            f"{crosscheck.get('agreed', 0)} agreed, "
+            f"{crosscheck.get('divergent', 0)} divergent, "
+            f"{crosscheck.get('errors', 0)} error(s); "
+            f"quarantined: "
+            f"{', '.join(crosscheck.get('quarantined', [])) or 'none'}",
+            file=out,
+        )
     rows = [
         ("SHARD", "ADDRESS", "PID", "ALIVE", "RESTARTS", "INFLIGHT",
          "HEALTHY", "BREAKER", "LAST_ERROR"),
@@ -761,20 +833,80 @@ def cmd_cluster_status(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_witness(args: argparse.Namespace, out) -> int:
+    """``witness replay``: independently re-check a stored witness.
+
+    Reads a witness JSON file (as attached to violation verdicts under
+    ``--certify``), rebuilds the initial system from the witness's own
+    recipe, and replays every recorded step against the *unreduced*,
+    *uncached* transition relation before confirming the violated
+    property at the end of the trace.  Exit codes: 0 the witness
+    replays, 1 it does not (with the reason), 2 unreadable file.
+    """
+    import json
+
+    from repro.semantics.replay import replay_witness
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as err:
+        raise ReproError(f"cannot read witness file {args.file!r}: {err}")
+    # A verdict result object and a bare witness are both accepted —
+    # operators paste whichever they have in front of them.  A bare
+    # witness is recognised by its own step list; anything else
+    # carrying a "witness" object is treated as a wrapper.
+    if (
+        isinstance(data, dict)
+        and "steps" not in data
+        and isinstance(data.get("witness"), dict)
+    ):
+        data = data["witness"]
+    if args.max_nodes is not None:
+        report = replay_witness(data, max_nodes=args.max_nodes)
+    else:
+        report = replay_witness(data)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_store(args: argparse.Namespace, out) -> int:
     """``store``: inspect or maintain a persistent verdict store.
 
     ``stats`` renders occupancy (segments, records, keys, engine
     versions); ``compact`` rewrites the store as one segment, dropping
-    superseded duplicates and stale-engine records; ``invalidate``
-    wipes it (rarely needed — an engine-version bump already hides
-    every stored record from lookups).  See docs/store.md.
+    superseded duplicates and stale-engine records; ``verify`` audits
+    every record (checksums, and witness replay for current-engine
+    violations); ``invalidate`` wipes it (rarely needed — an engine-
+    version bump already hides every stored record from lookups).
+    See docs/store.md.
     """
     import json
 
     from repro.service.store import VerdictStore
 
     store = VerdictStore(args.dir)
+    if args.action == "verify":
+        report = store.verify(replay=not args.no_replay)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        else:
+            print(
+                f"{report['records']} record(s) in {report['segments']} "
+                f"segment(s): {report['corrupt']} corrupt, "
+                f"{report['torn']} torn tail(s), "
+                f"{report['stale_engine']} stale-engine, "
+                f"{report['witnesses']} witness(es) "
+                f"({report['witness_ok']} ok, "
+                f"{report['witness_failed']} failed)",
+                file=out,
+            )
+            for failure in report["failures"]:
+                print(f"  {failure}", file=out)
+        return 0 if report["ok"] else 1
     if args.action == "stats":
         stats = store.stats()
         if args.json:
@@ -996,6 +1128,7 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SECONDS",
             help="wall-clock limit; expiry qualifies the verdict",
         )
+        _add_certify_argument(p_prop)
         _add_obs_arguments(p_prop)
         p_prop.set_defaults(handler=cmd_property)
 
@@ -1006,6 +1139,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("spec", help="specification system file")
     p_check.add_argument("--max-states", type=int, default=2000)
     p_check.add_argument("--max-depth", type=int, default=24)
+    _add_certify_argument(p_check)
     _add_runtime_arguments(p_check)
     _add_obs_arguments(p_check)
     p_check.set_defaults(handler=cmd_check)
@@ -1113,6 +1247,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="test instrumentation: fail successor call N on each "
         "job's first attempt",
     )
+    _add_certify_argument(p_suite)
     _add_obs_arguments(p_suite)
     p_suite.set_defaults(handler=cmd_suite)
 
@@ -1224,6 +1359,10 @@ def build_parser() -> argparse.ArgumentParser:
         "through; survives restarts, invalidated only by an engine-"
         "version bump (see docs/store.md)",
     )
+    _add_certify_argument(p_serve)
+    # The cross-check shard runs `serve --reduce none --no-state-cache`;
+    # the obs flags ride along for parity with the other run commands.
+    _add_obs_arguments(p_serve)
     p_serve.set_defaults(handler=cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -1350,6 +1489,16 @@ def build_parser() -> argparse.ArgumentParser:
         "every shard: cluster-wide repeat traffic, failover re-drives "
         "and resharding moves become store hits (see docs/store.md)",
     )
+    p_cluster.add_argument(
+        "--cross-check",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="re-run this fraction (0..1) of ok verdicts on a dedicated "
+        "cross-check shard with reduction and the state cache disabled; "
+        "a divergence is journaled to DIR/crosscheck.jsonl and "
+        "quarantines the protocol (see docs/cluster.md)",
+    )
     p_cluster.set_defaults(handler=cmd_cluster)
 
     p_resize = sub.add_parser(
@@ -1399,18 +1548,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_store.add_argument(
         "action",
-        choices=["stats", "compact", "invalidate"],
+        choices=["stats", "compact", "verify", "invalidate"],
         help="stats: occupancy report; compact: rewrite as one segment "
-        "dropping duplicates and stale-engine records; invalidate: "
-        "wipe the store",
+        "dropping duplicates and stale-engine records; verify: audit "
+        "record checksums and replay stored witnesses (exit 1 on any "
+        "failure); invalidate: wipe the store",
     )
     p_store.add_argument(
         "dir", metavar="DIR", help="verdict store directory (--verdict-store)"
     )
     p_store.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="verify only: check witness checksums without the full "
+        "independent replay (fast integrity sweep)",
+    )
+    p_store.add_argument(
         "--json", action="store_true", help="emit the raw report as JSON"
     )
     p_store.set_defaults(handler=cmd_store)
+
+    p_witness = sub.add_parser(
+        "witness",
+        help="work with attack witnesses (see docs/verification.md)",
+    )
+    witness_sub = p_witness.add_subparsers(dest="witness_command", required=True)
+    p_replay = witness_sub.add_parser(
+        "replay",
+        help="independently replay a witness file against the "
+        "unreduced, uncached semantics (exit 0 = replays, 1 = not)",
+    )
+    p_replay.add_argument(
+        "file", help="witness JSON file (or a verdict result carrying one)"
+    )
+    p_replay.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="backtracking budget for resolving uid-shape ambiguity "
+        "(default 50000)",
+    )
+    p_replay.add_argument(
+        "--json", action="store_true", help="emit the replay report as JSON"
+    )
+    p_replay.set_defaults(handler=cmd_witness)
 
     p_submit = sub.add_parser(
         "submit", help="submit one request to a running server"
@@ -1525,6 +1704,27 @@ def _dispatch(args: argparse.Namespace, out) -> int:
                 os.environ[canonical.REDUCTION_ENV] = previous_env
             if previous_off is not None:
                 os.environ[canonical.NO_REDUCTION_ENV] = previous_off
+    if getattr(args, "certify", False):
+        import os
+
+        from repro.runtime.worker import CERTIFY_ENV
+
+        # The env var is the whole mechanism: run_job consults it in
+        # this interpreter, spawned suite/serve workers inherit it,
+        # cluster shards get it through their serve subprocesses, and
+        # cmd_check's in-process certify path reads it back via
+        # certify_enabled().  Restored afterwards because tests call
+        # main() repeatedly in one interpreter.
+        previous_env = os.environ.get(CERTIFY_ENV)
+        os.environ[CERTIFY_ENV] = "1"
+        try:
+            args = argparse.Namespace(**{**vars(args), "certify": False})
+            return _dispatch(args, out)
+        finally:
+            if previous_env is None:
+                os.environ.pop(CERTIFY_ENV, None)
+            else:
+                os.environ[CERTIFY_ENV] = previous_env
     if getattr(args, "no_state_cache", False):
         import os
 

@@ -739,6 +739,7 @@ def run_suite(
     store = None
     store_keys: dict[str, str] = {}
     store_hits = store_misses = 0
+    witness_replayed = witness_failed = 0
     if verdict_store is not None and fault_plan is None:
         from repro.service.store import VerdictStore, store_key
 
@@ -838,6 +839,12 @@ def run_suite(
 
     def handle_failure(pending: _Pending, description: str, now: float) -> None:
         """One attempt died (crash, kill, or in-worker error)."""
+        nonlocal witness_failed
+        if description.startswith("CertificationError"):
+            # A violation whose witness would not replay: retried like
+            # any fault, degraded (never reported as a clean verdict)
+            # if certification keeps failing.
+            witness_failed += 1
         pending.events.append(f"attempt {pending.attempt}: {description}")
         if pending.attempt >= retries + 1:
             degrade(pending, now)
@@ -857,7 +864,12 @@ def run_suite(
         ):
             return  # liveness chatter, or a job we already gave up on
         if kind == "result":
+            nonlocal witness_replayed
             pool.release(worker)
+            if isinstance(message.get("result"), dict) and message["result"].get(
+                "certified"
+            ):
+                witness_replayed += 1
             outcome = JobOutcome(
                 job=pending.job,
                 status=OK,
@@ -984,6 +996,10 @@ def run_suite(
             "suite.retries", sum(max(0, o.attempts - 1) for o in report.outcomes)
         )
         metrics.inc("suite.faults", len(report.by_status(FAULT)))
+        if witness_replayed:
+            metrics.inc("witness.replayed", witness_replayed)
+        if witness_failed:
+            metrics.inc("witness.failed", witness_failed)
         if store is not None:
             metrics.inc("store.hit", store_hits)
             metrics.inc("store.miss", store_misses)

@@ -44,6 +44,18 @@ from repro.runtime.faults import FaultPlan, inject_faults
 #: Recognized job kinds.
 KINDS = frozenset({"explore", "secrecy", "authentication", "freshness", "check"})
 
+#: When this environment variable is truthy, every violation verdict is
+#: independently replayed (reduction suspended, state cache off) before
+#: it is reported; a violation that cannot be certified raises
+#: :class:`~repro.semantics.replay.CertificationError`, which the
+#: supervisor/server retry machinery degrades to a retryable fault.
+CERTIFY_ENV = "REPRO_CERTIFY"
+
+
+def certify_enabled() -> bool:
+    """Is violation certification requested for this process?"""
+    return os.environ.get(CERTIFY_ENV, "") not in ("", "0")
+
 #: Per-kind target schemas (one of the listed key sets must match).
 _TARGET_KEYS = ("zoo", "spi", "source", "sysfile", "impl", "spec")
 
@@ -216,11 +228,21 @@ def _run_explore(job: Job, control: RunControl, checkpoint_path: Optional[str]) 
     }
 
 
+#: The intruder each zoo property kind is checked against (also the
+#: witness recipe vocabulary the replayer rebuilds from).
+_ZOO_INTRUDERS = {
+    "secrecy": "eavesdropper",
+    "authentication": "impersonator",
+    "freshness": "replayer",
+}
+
+
 def _property_verdict(job: Job, control: RunControl):
     """Dispatch a secrecy/authentication/freshness job to the right
     analysis: intruder-based for zoo targets (as in the zoo benchmark),
     most-general-attacker for system files (as in ``repro-spi
-    analyze``)."""
+    analyze``).  Returns the verdict plus the witness-sealing recipe
+    describing how the checked system was built."""
     from repro.core.terms import Name
     from repro.semantics.lts import Budget
 
@@ -236,22 +258,39 @@ def _property_verdict(job: Job, control: RunControl):
             spec, observed_role="B", observed_datum="PAYLOAD"
         )
         wire = Name(spec.channel)
+        recipe = {
+            "source": "zoo",
+            "protocol": job.target["zoo"],
+            "observed_role": "B",
+            "observed_datum": "PAYLOAD",
+            "intruder": _ZOO_INTRUDERS[job.kind],
+        }
         if job.kind == "secrecy":
-            return keeps_secret(
-                config.with_part("E", eavesdropper(wire, messages=6)),
-                job.secret or "KAB",
-                budget=budget,
-                control=control,
+            recipe["messages"] = 6
+            return (
+                keeps_secret(
+                    config.with_part("E", eavesdropper(wire, messages=6)),
+                    job.secret or "KAB",
+                    budget=budget,
+                    control=control,
+                ),
+                recipe,
             )
         if job.kind == "authentication":
-            return authentication(
-                config.with_part("E", impersonator(wire)),
-                job.sender or "A",
-                budget=budget,
-                control=control,
+            return (
+                authentication(
+                    config.with_part("E", impersonator(wire)),
+                    job.sender or "A",
+                    budget=budget,
+                    control=control,
+                ),
+                recipe,
             )
-        return freshness(
-            config.with_part("E", replayer(wire)), budget=budget, control=control
+        return (
+            freshness(
+                config.with_part("E", replayer(wire)), budget=budget, control=control
+            ),
+            recipe,
         )
     if "sysfile" in job.target:
         from repro.analysis.environment import (
@@ -263,33 +302,43 @@ def _property_verdict(job: Job, control: RunControl):
 
         sysfile = load_system_file(job.target["sysfile"])
         config = sysfile.configuration
+        recipe = {"source": "sysfile", "path": job.target["sysfile"]}
         if job.kind == "secrecy":
             if not job.secret:
                 raise JobError(f"job {job.id!r}: sysfile secrecy needs a secret")
-            return env_secrecy(config, job.secret, budget=budget, control=control)
-        if job.kind == "authentication":
-            return env_authentication(
-                config,
-                job.sender or "A",
-                observe=sysfile.observe.base,
-                budget=budget,
-                control=control,
+            return (
+                env_secrecy(config, job.secret, budget=budget, control=control),
+                recipe,
             )
-        return env_freshness(
-            config, observe=sysfile.observe.base, budget=budget, control=control
+        if job.kind == "authentication":
+            return (
+                env_authentication(
+                    config,
+                    job.sender or "A",
+                    observe=sysfile.observe.base,
+                    budget=budget,
+                    control=control,
+                ),
+                recipe,
+            )
+        return (
+            env_freshness(
+                config, observe=sysfile.observe.base, budget=budget, control=control
+            ),
+            recipe,
         )
     raise JobError(f"job {job.id!r}: {job.kind} needs a zoo or sysfile target")
 
 
 def _run_property(job: Job, control: RunControl) -> dict:
-    verdict = _property_verdict(job, control)
+    verdict, recipe = _property_verdict(job, control)
     detail = getattr(verdict, "violation", None)
     leak = getattr(verdict, "leak", None)
     if detail is None and leak is not None:
         from repro.syntax.pretty import render_term
 
         detail = f"leaked {render_term(leak)}"
-    return {
+    result = {
         "kind": job.kind,
         "holds": verdict.holds,
         "exact": verdict.exhaustive,
@@ -298,6 +347,10 @@ def _run_property(job: Job, control: RunControl) -> dict:
         "exhaustion": verdict.exhaustion.to_json() if verdict.exhaustion else None,
         "summary": verdict.describe(),
     }
+    witness = getattr(verdict, "witness", None)
+    if witness is not None:
+        result["witness"] = witness.sealed(recipe).to_json()
+    return result
 
 
 def _run_check(job: Job, control: RunControl) -> dict:
@@ -321,7 +374,7 @@ def _run_check(job: Job, control: RunControl) -> dict:
             roles=tuple(roles) + ("E",),
             budget=Budget(job.max_states, job.max_depth),
         )
-    return {
+    result = {
         "kind": "check",
         "secure": verdict.secure,
         "exact": verdict.exhaustive,
@@ -331,6 +384,19 @@ def _run_check(job: Job, control: RunControl) -> dict:
         "exhaustion": verdict.exhaustion.to_json() if verdict.exhaustion else None,
         "summary": verdict.describe(),
     }
+    attack = verdict.attack
+    if attack is not None and attack.witness is not None:
+        recipe = {
+            "source": "check",
+            "impl": job.target["impl"],
+            "spec": job.target["spec"],
+            "observe": impl.observe.base,
+            "roles": list(roles) + ["E"],
+            "attacker": attack.attacker_name,
+            "test": attack.test.name,
+        }
+        result["witness"] = attack.witness.sealed(recipe).to_json()
+    return result
 
 
 def run_job(
@@ -364,6 +430,17 @@ def run_job(
                 result = _run_check(job, control)
             else:
                 result = _run_property(job, control)
+        if certify_enabled() and result.get("violated"):
+            from repro.semantics.replay import CertificationError, replay_result
+
+            report = replay_result(result)
+            if not report.ok:
+                metrics.inc("witness.failed")
+                raise CertificationError(
+                    f"job {job.id!r}: {report.describe()}"
+                )
+            metrics.inc("witness.replayed")
+            result["certified"] = True
     elapsed = time.monotonic() - started
     stats = job_stats_block(metrics, elapsed)
     # Resumed explorations only metered the *new* work; the graph totals

@@ -15,6 +15,10 @@ discipline a robust caller wants baked in:
 * **``draining`` is not retried** — the server is going away; the
   caller should fail over or fall back to a batch run, not hammer a
   closing door;
+* **``expired`` is not retried** — the server has already declared the
+  queued deadline dead; backing off and re-submitting the same doomed
+  request would burn the whole retry budget to learn the same thing
+  (``repro-spi submit`` maps it straight to exit 3);
 * **backoff never outlives the deadline** — every sleep (backoff jitter
   and server ``retry_after`` hints alike) is capped at the remaining
   budget, and a sleep that *would* consume the entire remainder is not
@@ -233,6 +237,11 @@ class ServiceClient:
                 self._refresh_or_rotate()
             else:
                 if reply.get("status") != "overloaded":
+                    # Terminal for this call: only a shed burst is worth
+                    # another attempt.  `expired` in particular must fail
+                    # fast — the server already declared the queued
+                    # deadline dead, and re-submitting the same doomed
+                    # request can only waste the retry budget.
                     return reply
                 last_error = reply.get("error", "overloaded")
                 hinted = reply.get("retry_after")

@@ -846,6 +846,10 @@ class Server:
         if kind == "result":
             self.pool.release(worker)
             self.breakers.get(ticket.key).record_success()
+            if isinstance(message.get("result"), dict) and message["result"].get(
+                "certified"
+            ):
+                self.metrics.inc("witness.replayed")
             self._complete(ticket, message["result"])
         elif kind == "error":
             # Deterministic in-worker failure: the request's fault, not
@@ -854,6 +858,24 @@ class Server:
             self.pool.release(worker)
             self.breakers.get(ticket.key).record_success()
             error = message.get("error", "worker error")
+            if error.startswith("CertificationError"):
+                # A violation whose witness would not replay must never
+                # surface as a clean answer *or* a plain error: retry it
+                # like a crash, degrading to a retryable fault verdict
+                # when the budget runs out.
+                self.metrics.inc("witness.failed")
+                ticket.events.append(f"attempt {ticket.attempt}: {error}")
+                if self._draining or ticket.attempt > self.config.retries:
+                    self._degrade(ticket, error)
+                else:
+                    delay = min(
+                        self.config.backoff_cap,
+                        self.config.backoff_base * (2 ** (ticket.attempt - 1)),
+                    ) * (0.5 + 0.5 * random.random())
+                    ticket.attempt += 1
+                    ticket.ready_at = time.monotonic() + delay
+                    self.queue.requeue(ticket)
+                return
             self.metrics.inc("service.errors")
             self._journal({
                 "type": "error", "job": ticket.request.id,

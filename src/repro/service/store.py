@@ -461,24 +461,66 @@ class VerdictStore:
         Intended as a maintenance operation (``repro-spi store
         compact``) — a writer process that races it simply starts a new
         segment on its next write.
+
+        Live-writer safe: a record another process appends to an open
+        segment *after* our tail read would be silently lost if we
+        unlinked that segment.  So after the survivor segment is
+        durable, every old segment is re-tailed (late records are
+        appended to the survivor segment too), and a segment that has
+        grown past its final tailed offset by unlink time is left in
+        place — the duplicate records it holds are harmless and the
+        next compaction retires it.
         """
         before = self.stats()
-        old = self._segments()
-        survivors: dict[str, dict] = {}
-        for tail in self._tails.values():
-            for key, record in tail.records.items():
-                if record.get("engine") == self.engine:
-                    survivors[key] = record
         self.close()  # our own segment (if any) is compacted too
+        old = self._segments()
+        for path in old:
+            if path not in self._tails:
+                self._tails[path] = _SegmentTail(path)
+        survivors: dict[str, dict] = {}
+
+        def absorb() -> None:
+            for tail in self._tails.values():
+                tail.refresh()
+                for key, record in tail.records.items():
+                    if record.get("engine") == self.engine:
+                        survivors[key] = record
+
+        absorb()
         compact_path = os.path.join(
             self.directory, f"{SEGMENT_PREFIX}compact-{uuid.uuid4().hex[:8]}.jsonl"
         )
-        if survivors:
-            with Journal(compact_path, fresh=True) as journal:
+        written: set[str] = set()
+        journal: Optional[Journal] = None
+        try:
+            if survivors:
+                journal = Journal(compact_path, fresh=True)
                 for key in sorted(survivors):
                     journal.append(survivors[key])
+                written = set(survivors)
+            # Final re-tail: catch records a live writer appended to an
+            # old segment between our first read and now.
+            absorb()
+            late = set(survivors) - written
+            if late:
+                if journal is None:
+                    journal = Journal(compact_path, fresh=True)
+                for key in sorted(late):
+                    journal.append(survivors[key])
+        finally:
+            if journal is not None:
+                journal.close()
+        kept = 0
         for path in old:
             if path == compact_path:
+                continue
+            tail = self._tails.get(path)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = None  # already gone
+            if size is not None and (tail is None or size > tail._offset):
+                kept += 1  # grew since the final tail read: do not unlink
                 continue
             try:
                 os.unlink(path)
@@ -490,7 +532,109 @@ class VerdictStore:
             "before": before,
             "after": after,
             "dropped_records": before["records"] - after["records"],
+            "kept_segments": kept,
         }
+
+    def verify(self, replay: bool = True, max_failures: int = 20) -> dict:
+        """Integrity pass over every segment (``repro-spi store verify``).
+
+        Unlike the read path — which silently *skips* anything damaged,
+        because a miss is the right failure direction for a cache — this
+        pass **reports** every complete line that is not a valid,
+        checksummed store record.  For current-engine records whose
+        result carries a ``witness``, the witness is additionally
+        validated: checksum always, and (with ``replay=True``) a full
+        independent replay against the unreduced, uncached transition
+        relation.  A torn final line is counted separately — a
+        crash-truncated tail is expected, not corruption.
+        """
+        self.refresh()
+        report: dict = {
+            "directory": self.directory,
+            "engine": self.engine,
+            "segments": 0,
+            "records": 0,
+            "stale_engine": 0,
+            "torn": 0,
+            "corrupt": 0,
+            "witnesses": 0,
+            "witness_ok": 0,
+            "witness_failed": 0,
+            "failures": [],
+        }
+
+        def fail(description: str) -> None:
+            if len(report["failures"]) < max_failures:
+                report["failures"].append(description)
+
+        for path in self._segments():
+            report["segments"] += 1
+            name = os.path.basename(path)
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError as err:
+                report["corrupt"] += 1
+                fail(f"{name}: unreadable: {err}")
+                continue
+            lines = data.split(b"\n")
+            if lines.pop():  # bytes after the last newline
+                report["torn"] += 1
+            for lineno, line in enumerate(lines, start=1):
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8", errors="replace"))
+                except ValueError:
+                    report["corrupt"] += 1
+                    fail(f"{name}:{lineno}: not valid JSON")
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or record.get("type") != "verdict"
+                    or not isinstance(record.get("key"), str)
+                    or not isinstance(record.get("result"), dict)
+                ):
+                    report["corrupt"] += 1
+                    fail(f"{name}:{lineno}: not a store record")
+                    continue
+                if record.get("sum") != record_checksum(
+                    record["key"], str(record.get("engine")), record["result"]
+                ):
+                    report["corrupt"] += 1
+                    fail(f"{name}:{lineno}: record checksum mismatch")
+                    continue
+                report["records"] += 1
+                if record.get("engine") != self.engine:
+                    report["stale_engine"] += 1
+                    continue
+                witness = record["result"].get("witness")
+                if witness is None:
+                    continue
+                report["witnesses"] += 1
+                if replay:
+                    from repro.semantics.replay import replay_witness
+
+                    outcome = replay_witness(witness)
+                    ok, reason = outcome.ok, outcome.reason
+                else:
+                    from repro.analysis.witness import Witness, WitnessError
+
+                    try:
+                        ok = Witness.from_json(witness).verify_checksum()
+                        reason = None if ok else "witness checksum mismatch"
+                    except WitnessError as err:
+                        ok, reason = False, str(err)
+                if ok:
+                    report["witness_ok"] += 1
+                else:
+                    report["witness_failed"] += 1
+                    fail(
+                        f"{name}:{lineno}: witness for key "
+                        f"{record['key'][:12]}…: {reason}"
+                    )
+        report["ok"] = report["corrupt"] == 0 and report["witness_failed"] == 0
+        return report
 
     def invalidate(self) -> int:
         """Delete every segment; returns the number of records wiped.

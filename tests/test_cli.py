@@ -534,7 +534,37 @@ class TestStatsCommand:
             "zoo:woo-lam:secrecy", "zoo:woo-lam:authentication",
         }
 
-    def test_missing_journal_is_error(self, tmp_path, capsys):
-        status, _ = run_cli("stats", str(tmp_path / "gone.jsonl"))
-        assert status == 2
-        assert "no journal" in capsys.readouterr().err
+    def test_missing_journal_renders_empty(self, tmp_path):
+        # A journal that does not exist yet is an empty run, not an
+        # error: dashboards and cron jobs point at journals before the
+        # first verdict lands.
+        status, output = run_cli("stats", str(tmp_path / "gone.jsonl"))
+        assert status == 0
+        assert "no verdicted jobs" in output
+
+    def test_empty_journal_renders_empty(self, tmp_path):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        status, output = run_cli("stats", str(journal))
+        assert status == 0
+        assert "no verdicted jobs" in output
+
+    def test_torn_only_journal_renders_empty(self, tmp_path):
+        # A crash can leave nothing but a torn, newline-less tail; that
+        # reads as zero verdicts, exit 0.
+        journal = tmp_path / "torn.jsonl"
+        journal.write_text('{"type": "result", "job": "x"')
+        status, output = run_cli("stats", str(journal))
+        assert status == 0
+        assert "no verdicted jobs" in output
+
+    def test_empty_journal_json_aggregate(self, tmp_path):
+        import json
+
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        target = tmp_path / "agg.json"
+        status, _ = run_cli("stats", str(journal), "--json", str(target))
+        assert status == 0
+        data = json.loads(target.read_text())
+        assert data["aggregate"]["jobs"] == 0

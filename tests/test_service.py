@@ -438,6 +438,24 @@ class TestClient:
         assert reply["status"] == "draining"
         assert len(served) == 1  # no second attempt against a closing door
 
+    def test_expired_is_not_retried(self):
+        """An ``expired`` reply is terminal: the request's deadline is
+        gone, so retrying can only burn budget the caller no longer
+        has.  Exactly one attempt, the verdict returned as-is."""
+        sleeps = []
+        with stub_server([
+            {"status": "expired", "id": "x", "error": "deadline exceeded"},
+            {"status": "ok", "id": "x"},
+        ]) as (path, served):
+            client = ServiceClient(
+                ("unix", path), timeout=30.0, retries=3,
+                jitter=lambda: 0.0, sleep=sleeps.append,
+            )
+            reply = client.call({"kind": "ping"})
+        assert reply["status"] == "expired"
+        assert len(served) == 1  # fail fast: a dead deadline never revives
+        assert sleeps == []  # and no backoff was burned on it
+
     def test_unreachable_server_raises_after_retries(self):
         sleeps = []
         client = ServiceClient(

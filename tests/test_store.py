@@ -560,6 +560,98 @@ class TestConcurrentWriters:
             assert reader.lookup(key) is not None, key
 
 
+_RACE_WRITER_SCRIPT = """
+import sys
+
+from repro.service.store import VerdictStore
+
+store = VerdictStore(sys.argv[1])
+store.put("race-1", {"holds": True, "exact": True, "idx": 1})
+print("ready", flush=True)
+for line in sys.stdin:
+    line = line.strip()
+    if not line:
+        break
+    idx = int(line)
+    store.put(f"race-{idx}", {"holds": True, "exact": True, "idx": idx})
+    print("ok", flush=True)
+"""
+
+
+class TestCompactLiveWriterRace:
+    def test_compact_never_drops_a_racing_writers_records(self, tmp_path, monkeypatch):
+        """Deterministic reproduction of the compact/live-writer race.
+
+        A writer *process* keeps its segment open across the whole
+        compaction.  The compactor is instrumented to make the writer
+        append at the two worst moments: (a) right after the survivor
+        segment is created — after the first tail read, inside the
+        window the final re-tail must close — and (b) right after the
+        survivor segment is closed — past the final re-tail, where only
+        the size guard can save the record by refusing the unlink.
+        Both records must be visible after compaction.
+        """
+        from repro.service import store as store_module
+
+        script = tmp_path / "race_writer.py"
+        script.write_text(_RACE_WRITER_SCRIPT, encoding="utf-8")
+        store_dir = str(tmp_path / "store")
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        writer = subprocess.Popen(
+            [sys.executable, str(script), store_dir],
+            env=env,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert writer.stdout.readline().strip() == "ready"
+
+            def inject(idx: int) -> None:
+                writer.stdin.write(f"{idx}\n")
+                writer.stdin.flush()
+                assert writer.stdout.readline().strip() == "ok"
+
+            real_journal = store_module.Journal
+
+            class InjectingJournal(real_journal):
+                def __init__(self, path, fresh=False):
+                    super().__init__(path, fresh=fresh)
+                    if fresh:
+                        # Survivor segment just created: the first tail
+                        # read is behind us, the final re-tail ahead.
+                        inject(2)
+
+                def close(self):
+                    already = getattr(self, "_race_closed", False)
+                    super().close()
+                    if not already:
+                        self._race_closed = True
+                        # Past the final re-tail: only the grew-since-
+                        # tailed guard can keep this record alive.
+                        inject(3)
+
+            monkeypatch.setattr(store_module, "Journal", InjectingJournal)
+            compactor = VerdictStore(store_dir)
+            report = compactor.compact()
+        finally:
+            writer.stdin.close()
+            writer.wait(timeout=60)
+        assert writer.returncode == 0
+        # The writer's still-open segment grew past the tailed offset,
+        # so it must have been left in place, not unlinked.
+        assert report["kept_segments"] >= 1
+        fresh = VerdictStore(store_dir)
+        for idx in (1, 2, 3):
+            assert fresh.lookup(f"race-{idx}") == {
+                "holds": True, "exact": True, "idx": idx,
+            }, f"race-{idx} lost by compaction"
+
+
 # ----------------------------------------------------------------------
 # Differential cache parity: run_suite
 # ----------------------------------------------------------------------
